@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt cover evaluate examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure (+ extensions).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Regenerate the paper's full evaluation at paper scale (Table II,
+# Figs 12-17, ablations, extensions) into results_paper_scale.txt.
+evaluate:
+	$(GO) run ./cmd/gtscbench | tee results_paper_scale.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/paperwalkthrough
+	$(GO) run ./examples/irregulargraph
+	$(GO) run ./examples/leasesweep
+	$(GO) run ./examples/atomichistogram
+
+clean:
+	$(GO) clean ./...

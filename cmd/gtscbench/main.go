@@ -1,0 +1,51 @@
+// Command gtscbench regenerates the paper's evaluation: Table II,
+// Figures 12–17, the §VI-E expiry-miss characterization, and the §V
+// design ablations, printing the same rows and series the paper
+// reports (normalized to the same baselines).
+//
+// Usage:
+//
+//	gtscbench                  # full suite at paper scale
+//	gtscbench -exp fig12       # one experiment
+//	gtscbench -exp lease       # an extension (lease, tso, scale, micro, platform, cache)
+//	gtscbench -scale 1 -sms 8  # smaller machine / inputs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gtsc-sim/gtsc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: all, table2, fig12..fig17, expiry, vis, combine, lease, tso, scale, micro, platform, cache")
+		scale = flag.Int("scale", 2, "workload scale factor")
+		sms   = flag.Int("sms", 16, "number of SMs")
+		banks = flag.Int("banks", 8, "number of L2 banks")
+		lease = flag.Uint64("gtsc-lease", 10, "G-TSC logical lease")
+		tcl   = flag.Uint64("tc-lease", 400, "TC lease in cycles")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.NumSMs = *sms
+	cfg.NumBanks = *banks
+	cfg.GTSCLease = *lease
+	cfg.TCLease = *tcl
+	s := experiments.NewSession(cfg)
+
+	var err error
+	if *exp == "all" {
+		err = s.RunAll(os.Stdout)
+	} else {
+		err = s.RunOne(*exp, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtscbench:", err)
+		os.Exit(1)
+	}
+}

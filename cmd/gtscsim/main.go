@@ -1,0 +1,165 @@
+// Command gtscsim runs one benchmark on one simulated GPU
+// configuration and reports its statistics — the single-run entry
+// point of the simulator.
+//
+// Usage:
+//
+//	gtscsim -workload CC -protocol gtsc -consistency rc -sms 16 -banks 8
+//	gtscsim -list
+//	gtscsim -workload BFS -protocol tc -check
+//
+// Protocols: gtsc (the paper's contribution), tc (Temporal Coherence;
+// TC-Weak under rc, TC-Strong under sc), bl (no L1 — the paper's
+// baseline), l1nc (non-coherent L1; only valid for the second
+// benchmark set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gtsc-sim/gtsc/internal/check"
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "CC", "workload name (see -list)")
+		proto    = flag.String("protocol", "gtsc", "coherence protocol: gtsc, tc, bl, l1nc, dir")
+		cons     = flag.String("consistency", "rc", "memory consistency model: rc, sc, tso")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		sms      = flag.Int("sms", 16, "number of SMs")
+		banks    = flag.Int("banks", 8, "number of L2 banks / DRAM partitions")
+		lease    = flag.Uint64("lease", 0, "protocol lease (0 = default: 10 logical for gtsc, 400 cycles for tc)")
+		tsBits   = flag.Int("tsbits", 16, "G-TSC timestamp width in bits")
+		adaptive = flag.Bool("adaptive-lease", false, "G-TSC adaptive per-block lease policy (extension)")
+		sched    = flag.String("scheduler", "lrr", "warp scheduler: lrr, gto")
+		doCheck  = flag.Bool("check", false, "verify protocol invariants with the operation checker")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workload.All() {
+			coh := " "
+			if w.NeedsCoherence {
+				coh = "*"
+			}
+			fmt.Printf("%s %-5s %s\n", coh, w.Name, w.Description)
+		}
+		fmt.Println("microbenchmarks:")
+		for _, w := range workload.Micro() {
+			coh := " "
+			if w.NeedsCoherence {
+				coh = "*"
+			}
+			fmt.Printf("%s %-5s %s\n", coh, w.Name, w.Description)
+		}
+		fmt.Println("(* requires coherence; not runnable under -protocol l1nc)")
+		return
+	}
+
+	wl, ok := workload.ByName(*name)
+	if !ok {
+		wl, ok = workload.MicroByName(*name)
+	}
+	if !ok {
+		fatalf("unknown workload %q; try -list", *name)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Mem.NumSMs = *sms
+	cfg.Mem.NumBanks = *banks
+	cfg.Mem.GTSC.TSBits = *tsBits
+	cfg.Mem.GTSC.AdaptiveLease = *adaptive
+	switch *sched {
+	case "lrr":
+		cfg.SM.Scheduler = gpu.LRR
+	case "gto":
+		cfg.SM.Scheduler = gpu.GTO
+	default:
+		fatalf("unknown scheduler %q", *sched)
+	}
+	switch *proto {
+	case "gtsc":
+		cfg.Mem.Protocol = memsys.GTSC
+		if *lease != 0 {
+			cfg.Mem.GTSC.Lease = *lease
+		}
+	case "tc":
+		cfg.Mem.Protocol = memsys.TC
+		if *lease != 0 {
+			cfg.Mem.TC.Lease = *lease
+		}
+	case "bl":
+		cfg.Mem.Protocol = memsys.BL
+	case "l1nc":
+		cfg.Mem.Protocol = memsys.L1NC
+		if wl.NeedsCoherence {
+			fatalf("workload %s requires coherence and is not runnable under l1nc", wl.Name)
+		}
+	case "dir":
+		cfg.Mem.Protocol = memsys.DIR
+	default:
+		fatalf("unknown protocol %q", *proto)
+	}
+	switch *cons {
+	case "rc":
+		cfg.SM.Consistency = gpu.RC
+	case "sc":
+		cfg.SM.Consistency = gpu.SC
+	case "tso":
+		cfg.SM.Consistency = gpu.TSO
+	default:
+		fatalf("unknown consistency %q", *cons)
+	}
+
+	var rec *check.Recorder
+	if *doCheck {
+		rec = check.NewRecorder()
+		cfg.Observer = rec
+	}
+
+	run, err := wl.Build(*scale).Run(cfg)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+	fmt.Print(run)
+
+	if rec != nil {
+		loads, stores := check.Summary(rec.Ops())
+		fmt.Printf("checker: %d loads, %d stores observed\n", loads, stores)
+		var violations []check.Violation
+		switch cfg.Mem.Protocol {
+		case memsys.GTSC:
+			violations = check.CheckTimestampOrder(rec.Ops(), 10)
+		case memsys.BL, memsys.DIR:
+			violations = check.CheckPhysical(rec.Ops(), 10)
+		case memsys.TC:
+			if cfg.SM.Consistency == gpu.SC {
+				violations = check.CheckPhysical(rec.Ops(), 10)
+			} else {
+				fmt.Println("checker: TC-Weak permits bounded staleness; only functional verification applies")
+			}
+		default:
+			fmt.Println("checker: no ordering invariant applies to this configuration")
+		}
+		for _, v := range violations {
+			fmt.Println("VIOLATION:", v.Error())
+		}
+		if len(violations) == 0 {
+			fmt.Println("checker: no ordering violations")
+		} else {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gtscsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Atomic histogram example: global atomics (an extension to the
+// paper's protocol set) performed at the shared L2, with the message
+// tracer attached so the BusAtom/BusAtomAck flows are visible.
+//
+// Every thread classifies items into 32 shared buckets with atomicAdd;
+// the warp-level coalescer aggregates same-bucket lanes into one
+// request and reconstructs each lane's return value (old + prefix).
+// The final counts are exact under every protocol — atomics serialize
+// at the L2 — which the program verifies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/gtsc-sim/gtsc"
+	"github.com/gtsc-sim/gtsc/internal/trace"
+)
+
+const (
+	buckets        = 32
+	itemsPerThread = 8
+	bucketBase     = gtsc.Addr(0x50000)
+)
+
+func bucketOf(gtid, i int) int { return (gtid*37 + i*11) % buckets }
+
+func main() {
+	cfg := gtsc.DefaultConfig()
+	cfg.Mem.Protocol = gtsc.ProtocolGTSC
+	cfg.SM.Consistency = gtsc.RC
+
+	s := gtsc.NewSimulator(cfg)
+	tr := trace.Attach(s.Sys, s.Now, trace.WithLimit(10))
+
+	kernel := &gtsc.Kernel{
+		Name: "histogram", CTAs: 8, WarpsPerCTA: 2, Regs: 2,
+		ProgramFor: func(w *gtsc.Warp) gtsc.Program {
+			return &gtsc.LoopProgram{
+				Iters: itemsPerThread,
+				Body: func(i int) []*gtsc.Instr {
+					return []*gtsc.Instr{
+						gtsc.Atomic(gtsc.AtomAdd, 0, func(t *gtsc.Thread) (gtsc.Addr, bool) {
+							return bucketBase + gtsc.Addr(bucketOf(t.GTID, i)*4), true
+						}, func(t *gtsc.Thread) uint32 { return 1 }),
+						gtsc.Comp(3),
+					}
+				},
+			}
+		},
+	}
+
+	run, err := s.Run(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("first protocol messages (atomics ride BusAtom/BusAtomAck):")
+	tr.Dump(os.Stdout)
+
+	total := 8 * 2 * gtsc.WarpWidth
+	want := make([]uint32, buckets)
+	for t := 0; t < total; t++ {
+		for i := 0; i < itemsPerThread; i++ {
+			want[bucketOf(t, i)]++
+		}
+	}
+	var sum uint32
+	for b := 0; b < buckets; b++ {
+		got := s.ReadWord(bucketBase + gtsc.Addr(b*4))
+		if got != want[b] {
+			log.Fatalf("bucket %d: got %d, want %d", b, got, want[b])
+		}
+		sum += got
+	}
+	fmt.Printf("\nall %d buckets exact (%d increments total) in %d cycles; %d atomics performed at L2\n",
+		buckets, sum, run.Cycles, run.L2.Atomics)
+	fmt.Println("\nmessage totals:")
+	tr.Summary(os.Stdout)
+}

@@ -1,0 +1,173 @@
+// Irregular-graph example: builds a custom BFS-style kernel from the
+// public ISA — the class of irregular application the paper's
+// introduction motivates GPU coherence for — and runs it under a
+// coherent protocol (G-TSC) and, to show why coherence matters, under
+// the non-coherent L1, where the level relaxation converges to the
+// wrong answer.
+//
+// The kernel relaxes BFS levels over a user-built graph:
+//
+//	for iter { for each owned v { d[v] = min(d[v], d[u]+1 for u in N(v)) }; fence }
+//
+// Vertices are distributed grid-stride across CTAs, so neighbor reads
+// cross SM boundaries constantly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gtsc-sim/gtsc"
+)
+
+const (
+	vertices = 512
+	degree   = 4
+	iters    = 60
+	distBase = gtsc.Addr(0x100000)
+	adjBase  = gtsc.Addr(0x200000)
+	inf      = uint32(1 << 20)
+)
+
+// buildGraph makes a ring plus pseudo-random chords (deterministic).
+func buildGraph() []uint32 {
+	adj := make([]uint32, vertices*degree)
+	seed := uint64(42)
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	for v := 0; v < vertices; v++ {
+		adj[v*degree+0] = uint32((v + 1) % vertices)
+		adj[v*degree+1] = uint32((v + vertices - 1) % vertices)
+		for j := 2; j < degree; j++ {
+			adj[v*degree+j] = uint32(next() % vertices)
+		}
+	}
+	return adj
+}
+
+// reference computes the BFS fixpoint sequentially.
+func reference(adj []uint32) []uint32 {
+	dist := make([]uint32, vertices)
+	for i := 1; i < vertices; i++ {
+		dist[i] = inf
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < vertices; v++ {
+			for j := 0; j < degree; j++ {
+				if d := dist[adj[v*degree+j]] + 1; d < dist[v] {
+					dist[v] = d
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+func bfsKernel(adj []uint32) *gtsc.Kernel {
+	const ctas, warpsPerCTA = 16, 1
+	total := ctas * warpsPerCTA * gtsc.WarpWidth
+	return &gtsc.Kernel{
+		Name: "bfs-custom", CTAs: ctas, WarpsPerCTA: warpsPerCTA, Regs: 4,
+		NeedsCoherence: true,
+		Init: func(st *gtsc.Store) {
+			for v := 0; v < vertices; v++ {
+				d := inf
+				if v == 0 {
+					d = 0
+				}
+				st.WriteWord(distBase+gtsc.Addr(v*4), d)
+			}
+			for i, a := range adj {
+				st.WriteWord(adjBase+gtsc.Addr(i*4), a)
+			}
+		},
+		ProgramFor: func(w *gtsc.Warp) gtsc.Program {
+			vert := func(t *gtsc.Thread) (int, bool) { return t.GTID, t.GTID < vertices }
+			own := func(t *gtsc.Thread) (gtsc.Addr, bool) {
+				v, ok := vert(t)
+				if !ok {
+					return 0, false
+				}
+				return distBase + gtsc.Addr(v*4), true
+			}
+			var body []*gtsc.Instr
+			body = append(body, gtsc.Load(0, own))
+			for j := 0; j < degree; j++ {
+				j := j
+				body = append(body,
+					gtsc.Load(1, func(t *gtsc.Thread) (gtsc.Addr, bool) {
+						v, ok := vert(t)
+						if !ok {
+							return 0, false
+						}
+						return adjBase + gtsc.Addr((v*degree+j)*4), true
+					}),
+					gtsc.Load(2, func(t *gtsc.Thread) (gtsc.Addr, bool) {
+						if _, ok := vert(t); !ok {
+							return 0, false
+						}
+						return distBase + gtsc.Addr(t.Regs[1]*4), true
+					}, 1),
+					gtsc.ALU(func(t *gtsc.Thread) {
+						if d := t.Regs[2] + 1; d < t.Regs[0] {
+							t.Regs[0] = d
+						}
+					}, 0, 2),
+				)
+			}
+			body = append(body,
+				gtsc.StoreOp(own, func(t *gtsc.Thread) uint32 { return t.Regs[0] }, 0),
+				gtsc.Fence(),
+			)
+			_ = total
+			return &gtsc.LoopProgram{Iters: iters, Body: func(int) []*gtsc.Instr { return body }}
+		},
+	}
+}
+
+func run(proto gtsc.Protocol, adj []uint32) (*gtsc.Run, int, *gtsc.Simulator) {
+	cfg := gtsc.DefaultConfig()
+	cfg.Mem.Protocol = proto
+	cfg.SM.Consistency = gtsc.RC
+	s := gtsc.NewSimulator(cfg)
+	r, err := s.Run(bfsKernel(adj))
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := reference(adj)
+	wrong := 0
+	for v := 0; v < vertices; v++ {
+		if s.ReadWord(distBase+gtsc.Addr(v*4)) != want[v] {
+			wrong++
+		}
+	}
+	return r, wrong, s
+}
+
+func main() {
+	adj := buildGraph()
+
+	gtscRun, gtscWrong, _ := run(gtsc.ProtocolGTSC, adj)
+	fmt.Printf("G-TSC:   %7d cycles, %d/%d vertices wrong\n", gtscRun.Cycles, gtscWrong, vertices)
+
+	tcRun, tcWrong, _ := run(gtsc.ProtocolTC, adj)
+	fmt.Printf("TC:      %7d cycles, %d/%d vertices wrong\n", tcRun.Cycles, tcWrong, vertices)
+
+	ncRun, ncWrong, _ := run(gtsc.ProtocolL1NC, adj)
+	fmt.Printf("no-coh:  %7d cycles, %d/%d vertices wrong\n", ncRun.Cycles, ncWrong, vertices)
+
+	if gtscWrong != 0 || tcWrong != 0 {
+		log.Fatal("coherent protocols must converge to the reference")
+	}
+	if ncWrong == 0 {
+		log.Fatal("the non-coherent L1 should NOT have converged (it demonstrates why GPUs need coherence)")
+	}
+	fmt.Printf("\ncoherent protocols reach the BFS fixpoint; the non-coherent L1 leaves %d stale vertices\n", ncWrong)
+	fmt.Printf("G-TSC speedup over TC on this kernel: %.2fx\n", float64(tcRun.Cycles)/float64(gtscRun.Cycles))
+}

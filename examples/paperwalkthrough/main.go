@@ -1,0 +1,88 @@
+// Paper walkthrough: the exact two-warp scenario of the paper's
+// Figure 9, written as a custom kernel against the public API, with
+// the protocol's invariant checker attached. Warp 0 (SM0) runs
+// LD X / ST Y / LD X; warp 1 (SM1) runs LD Y / ST X / LD Y. The
+// program prints what each load observed and the logical timestamps
+// the protocol assigned, demonstrating timestamp ordering end to end:
+// the final order class is A1,B1 -> A2,B2 -> A3,B3 regardless of
+// physical interleaving.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gtsc-sim/gtsc"
+)
+
+const (
+	addrX = gtsc.Addr(0x1000)
+	addrY = gtsc.Addr(0x2000)
+)
+
+func lane0(a gtsc.Addr) func(t *gtsc.Thread) (gtsc.Addr, bool) {
+	return func(t *gtsc.Thread) (gtsc.Addr, bool) { return a, t.Lane == 0 }
+}
+
+func main() {
+	cfg := gtsc.DefaultConfig()
+	cfg.Mem.Protocol = gtsc.ProtocolGTSC
+	cfg.Mem.NumSMs = 2
+	cfg.Mem.NumBanks = 1
+	cfg.SM.Consistency = gtsc.SC
+
+	rec := gtsc.NewRecorder()
+	cfg.Observer = rec
+	s := gtsc.NewSimulator(cfg)
+
+	kernel := &gtsc.Kernel{
+		Name: "fig9", CTAs: 2, WarpsPerCTA: 1, Regs: 2, MaxCTAsPerSM: 1,
+		NeedsCoherence: true,
+		Init: func(st *gtsc.Store) {
+			st.WriteWord(addrX, 0x0)
+			st.WriteWord(addrY, 0x0)
+		},
+		ProgramFor: func(w *gtsc.Warp) gtsc.Program {
+			if w.CTA.ID == 0 {
+				return gtsc.Seq(
+					gtsc.Load(0, lane0(addrX)), // A1
+					gtsc.StoreOp(lane0(addrY), func(*gtsc.Thread) uint32 { return 0xA2 }), // A2
+					gtsc.Load(1, lane0(addrX)), // A3
+				)
+			}
+			return gtsc.Seq(
+				gtsc.Load(0, lane0(addrY)), // B1
+				gtsc.StoreOp(lane0(addrX), func(*gtsc.Thread) uint32 { return 0xB2 }), // B2
+				gtsc.Load(1, lane0(addrY)), // B3
+			)
+		},
+	}
+
+	run, err := s.Run(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("operations in timestamp order (ts, then physical time):")
+	name := map[gtsc.BlockAddr]string{addrX.Block(): "X", addrY.Block(): "Y"}
+	for _, r := range rec.Ops() {
+		kind := "LD"
+		if r.Store {
+			kind = "ST"
+		}
+		var val uint32
+		for w := 0; w < 32; w++ {
+			if r.Mask.Has(w) {
+				val = r.Data.Words[w]
+			}
+		}
+		fmt.Printf("  SM%d %s %s = %#04x   ts=%-3d (cycle %d)\n",
+			r.SM, kind, name[r.Block], val, r.TS, r.Cycle)
+	}
+
+	if v := gtsc.CheckTimestampOrder(rec.Ops(), 5); len(v) > 0 {
+		log.Fatalf("timestamp ordering violated: %v", v[0].Error())
+	}
+	fmt.Printf("\ntimestamp-ordering invariant holds; kernel took %d cycles\n", run.Cycles)
+	fmt.Printf("final memory: X=%#x Y=%#x\n", s.ReadWord(addrX), s.ReadWord(addrY))
+}

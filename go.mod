@@ -1,0 +1,3 @@
+module github.com/gtsc-sim/gtsc
+
+go 1.22

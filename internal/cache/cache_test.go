@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+type meta struct {
+	pinned bool
+	tag    int
+}
+
+func TestArrayGeometryValidation(t *testing.T) {
+	for _, bad := range []struct{ sets, ways int }{{0, 1}, {3, 1}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewArray(%d,%d) should panic", bad.sets, bad.ways)
+				}
+			}()
+			NewArray[meta](bad.sets, bad.ways)
+		}()
+	}
+	a := NewArray[meta](4, 2)
+	if s, w := a.Geometry(); s != 4 || w != 2 {
+		t.Fatalf("geometry %d/%d", s, w)
+	}
+}
+
+func TestArrayInstallLookup(t *testing.T) {
+	a := NewArray[meta](4, 2)
+	if a.Lookup(5) != nil {
+		t.Fatal("empty array must miss")
+	}
+	var data mem.Block
+	data.Words[0] = 99
+	v := a.Victim(5, nil)
+	a.Install(v, 5, &data, 10)
+	l := a.Lookup(5)
+	if l == nil || l.Data.Words[0] != 99 || l.Addr != 5 {
+		t.Fatal("lookup after install failed")
+	}
+	if a.CountValid() != 1 {
+		t.Fatalf("valid=%d", a.CountValid())
+	}
+	a.Invalidate(l)
+	if a.Lookup(5) != nil || a.CountValid() != 0 {
+		t.Fatal("invalidate failed")
+	}
+}
+
+func TestArrayLRUVictim(t *testing.T) {
+	a := NewArray[meta](1, 2) // one set, two ways
+	a.Install(a.Victim(1, nil), 1, nil, 10)
+	a.Install(a.Victim(2, nil), 2, nil, 20)
+	// Touch 1 so 2 becomes LRU.
+	a.Touch(a.Lookup(1), 30)
+	v := a.Victim(3, nil)
+	if !v.Valid || v.Addr != 2 {
+		t.Fatalf("LRU victim should be block 2, got %+v", v)
+	}
+}
+
+func TestArrayVictimFiltering(t *testing.T) {
+	a := NewArray[meta](1, 2)
+	a.Install(a.Victim(1, nil), 1, nil, 10)
+	a.Lookup(1).Meta.pinned = true
+	a.Install(a.Victim(2, nil), 2, nil, 20)
+	a.Lookup(2).Meta.pinned = true
+
+	// All pinned: no victim — TC's inclusive replacement stall.
+	if v := a.Victim(3, func(l *Line[meta]) bool { return !l.Meta.pinned }); v != nil {
+		t.Fatalf("expected nil victim, got %+v", v)
+	}
+	a.Lookup(1).Meta.pinned = false
+	v := a.Victim(3, func(l *Line[meta]) bool { return !l.Meta.pinned })
+	if v == nil || v.Addr != 1 {
+		t.Fatal("unpinned line must be chosen")
+	}
+}
+
+func TestArraySetMapping(t *testing.T) {
+	a := NewArray[meta](8, 1)
+	// Same set index -> conflict; different -> no conflict.
+	a.Install(a.Victim(0, nil), 0, nil, 1)
+	a.Install(a.Victim(8, nil), 8, nil, 2) // maps to set 0 too
+	if a.Lookup(0) != nil {
+		t.Fatal("block 0 should have been evicted by block 8")
+	}
+	if a.Lookup(8) == nil {
+		t.Fatal("block 8 must be present")
+	}
+}
+
+func TestArrayForEach(t *testing.T) {
+	a := NewArray[meta](4, 2)
+	for i := mem.BlockAddr(0); i < 6; i++ {
+		a.Install(a.Victim(i, nil), i, nil, uint64(i))
+	}
+	n := 0
+	a.ForEach(func(l *Line[meta]) { n++ })
+	if n != a.CountValid() || n == 0 {
+		t.Fatalf("ForEach visited %d, valid %d", n, a.CountValid())
+	}
+}
+
+// TestArrayNeverExceedsWays is a property test: after any sequence of
+// installs, each set holds at most `ways` valid lines and Lookup finds
+// the most recently installed block of each address.
+func TestArrayNeverExceedsWays(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		a := NewArray[meta](8, 2)
+		now := uint64(0)
+		for _, raw := range addrs {
+			b := mem.BlockAddr(raw % 64)
+			now++
+			if a.Lookup(b) != nil {
+				continue
+			}
+			a.Install(a.Victim(b, nil), b, nil, now)
+		}
+		counts := map[int]int{}
+		a.ForEach(func(l *Line[meta]) { counts[a.SetIndex(l.Addr)]++ })
+		for _, c := range counts {
+			if c > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRBasics(t *testing.T) {
+	m := NewMSHR[int](2)
+	if m.Full() || m.Lookup(1) != nil {
+		t.Fatal("fresh table state wrong")
+	}
+	e := m.Allocate(1)
+	e.Waiters = append(e.Waiters, 10)
+	if m.Lookup(1) != e || m.Len() != 1 {
+		t.Fatal("lookup after allocate failed")
+	}
+	m.Allocate(2)
+	if !m.Full() {
+		t.Fatal("table should be full")
+	}
+	m.Release(1)
+	if m.Full() || m.Lookup(1) != nil {
+		t.Fatal("release failed")
+	}
+	n := 0
+	m.ForEach(func(*MSHREntry[int]) { n++ })
+	if n != 1 {
+		t.Fatalf("ForEach visited %d", n)
+	}
+}
+
+func TestMSHRPanics(t *testing.T) {
+	m := NewMSHR[int](1)
+	m.Allocate(1)
+	assertPanics(t, "duplicate allocate", func() { m.Allocate(1) })
+	assertPanics(t, "allocate on full", func() { m.Allocate(2) })
+}
+
+func assertPanics(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s should panic", what)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,71 @@
+package cache
+
+import "github.com/gtsc-sim/gtsc/internal/mem"
+
+// MSHR is a miss-status holding register table. It tracks outstanding
+// misses by block address and merges subsequent requests to the same
+// block into the existing entry — the request-combining behaviour
+// Section V-B of the paper analyzes. The waiter payload W is defined
+// by each protocol (it typically carries the warp, its timestamp and
+// the completion callback).
+type MSHR[W any] struct {
+	entries map[mem.BlockAddr]*MSHREntry[W]
+	max     int
+}
+
+// MSHREntry tracks one outstanding block miss and the requests merged
+// into it.
+type MSHREntry[W any] struct {
+	Block   mem.BlockAddr
+	Waiters []W
+	// Issued reports whether a request for this block is in flight to
+	// L2 (set on first send; renewals re-set it).
+	Issued bool
+	// InFlight counts outstanding read/renewal requests for this block
+	// (used by controllers that must know exactly, e.g. G-TSC, where a
+	// response can arrive while the line is locked and a later event
+	// must decide whether to re-request).
+	InFlight int
+	// ReqID correlates the in-flight request with its response.
+	ReqID uint64
+}
+
+// NewMSHR builds a table with capacity max entries (GPGPU-Sim default
+// is 32 per L1).
+func NewMSHR[W any](max int) *MSHR[W] {
+	return &MSHR[W]{entries: make(map[mem.BlockAddr]*MSHREntry[W]), max: max}
+}
+
+// Lookup returns the entry for block b, or nil.
+func (m *MSHR[W]) Lookup(b mem.BlockAddr) *MSHREntry[W] { return m.entries[b] }
+
+// Full reports whether no new entry can be allocated.
+func (m *MSHR[W]) Full() bool { return len(m.entries) >= m.max }
+
+// Allocate creates an entry for block b. The caller must have checked
+// Full and Lookup first; allocating a duplicate or overflowing panics,
+// as either indicates a controller bug.
+func (m *MSHR[W]) Allocate(b mem.BlockAddr) *MSHREntry[W] {
+	if m.Full() {
+		panic("mshr: allocate on full table")
+	}
+	if _, ok := m.entries[b]; ok {
+		panic("mshr: duplicate allocate")
+	}
+	e := &MSHREntry[W]{Block: b}
+	m.entries[b] = e
+	return e
+}
+
+// Release frees the entry for block b.
+func (m *MSHR[W]) Release(b mem.BlockAddr) { delete(m.entries, b) }
+
+// Len returns the number of live entries.
+func (m *MSHR[W]) Len() int { return len(m.entries) }
+
+// ForEach visits every live entry.
+func (m *MSHR[W]) ForEach(fn func(*MSHREntry[W])) {
+	for _, e := range m.entries {
+		fn(e)
+	}
+}

@@ -1,0 +1,219 @@
+// Package check verifies protocol correctness from a global log of
+// performed memory operations.
+//
+// The central invariant is the paper's timestamp ordering (§III-A):
+//
+//	Op1 -> Op2  <=>  Op1 <ts Op2, or Op1 =ts Op2 and Op1 <time Op2
+//
+// i.e. the value every load returns must be the value written by the
+// last store ordered before it under (timestamp, physical time). The
+// simulator reports each operation's timestamp and an observation
+// sequence consistent with simulated causality, so the checker can
+// replay the order and compare values word by word.
+//
+// For protocols ordered purely in physical time (TC-Strong, BL), the
+// corresponding invariant is per-location linearizability in
+// observation order, which CheckPhysical verifies.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// Record is one logged operation plus its observation sequence number.
+type Record struct {
+	coherence.Op
+	Seq uint64
+}
+
+// Recorder collects every performed operation. It implements
+// coherence.Observer. A mutex keeps it safe if runs are ever driven
+// from multiple goroutines (e.g. parallel tests each with their own
+// simulator share nothing, but belt and braces).
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Record
+	seq uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Observe implements coherence.Observer.
+func (r *Recorder) Observe(op coherence.Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.ops = append(r.ops, Record{Op: op, Seq: r.seq})
+}
+
+// Ops returns the log in observation order.
+func (r *Recorder) Ops() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ops
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Reset clears the log.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = nil
+	r.seq = 0
+}
+
+// wordKey identifies one word of global memory.
+type wordKey struct {
+	block mem.BlockAddr
+	word  int
+}
+
+// Violation describes one failed check.
+type Violation struct {
+	Load     Record
+	Word     int
+	Got      uint32
+	Want     uint32
+	LastStTS uint64
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: load (sm %d warp %d ts %d seq %d cycle %d) of %v word %d returned %#x, want %#x (last store ts %d)",
+		v.Load.SM, v.Load.Warp, v.Load.TS, v.Load.Seq, v.Load.Cycle,
+		v.Load.Block, v.Word, v.Got, v.Want, v.LastStTS)
+}
+
+// CheckTimestampOrder verifies the timestamp-ordering invariant over
+// the log: per word, with operations sorted by (TS, Seq), every load
+// returns the value of the latest preceding store (memory reads as
+// zero before the first store). It returns every violation found, up
+// to max (0 = unlimited).
+func CheckTimestampOrder(ops []Record, max int) []Violation {
+	perWord := splitByWord(ops)
+	var out []Violation
+	for _, list := range perWord {
+		sort.SliceStable(list, func(i, j int) bool {
+			if list[i].rec.TS != list[j].rec.TS {
+				return list[i].rec.TS < list[j].rec.TS
+			}
+			return list[i].rec.Seq < list[j].rec.Seq
+		})
+		out = append(out, scanList(list, max-len(out))...)
+		if max > 0 && len(out) >= max {
+			return out
+		}
+	}
+	return out
+}
+
+// CheckPhysical verifies per-location linearizability in observation
+// order: per word, every load returns the value of the latest store
+// observed before it. Valid for protocols whose global memory order is
+// physical time (TC-Strong, the no-L1 baseline, the non-coherent L1 on
+// private data).
+func CheckPhysical(ops []Record, max int) []Violation {
+	perWord := splitByWord(ops)
+	var out []Violation
+	for _, list := range perWord {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].rec.Seq < list[j].rec.Seq })
+		out = append(out, scanList(list, max-len(out))...)
+		if max > 0 && len(out) >= max {
+			return out
+		}
+	}
+	return out
+}
+
+type wordOp struct {
+	rec  Record
+	word int
+}
+
+func splitByWord(ops []Record) map[wordKey][]wordOp {
+	perWord := make(map[wordKey][]wordOp)
+	for _, r := range ops {
+		for w := 0; w < mem.WordsPerBlock; w++ {
+			if r.Mask.Has(w) {
+				k := wordKey{block: r.Block, word: w}
+				perWord[k] = append(perWord[k], wordOp{rec: r, word: w})
+			}
+		}
+	}
+	return perWord
+}
+
+func scanList(list []wordOp, budget int) []Violation {
+	var out []Violation
+	var cur uint32
+	var lastTS uint64
+	// Kernel Init writes bypass the observer, so a word's initial
+	// value is unknown: it is inferred from the first ordered load.
+	// Every further load before the first store must agree with it.
+	initKnown, stored := false, false
+	for _, o := range list {
+		v := o.rec.Data.Words[o.word]
+		if o.rec.Op.Store {
+			cur = v
+			lastTS = o.rec.TS
+			stored = true
+			continue
+		}
+		if !stored && !initKnown {
+			cur = v
+			initKnown = true
+			continue
+		}
+		if v != cur {
+			out = append(out, Violation{Load: o.rec, Word: o.word, Got: v, Want: cur, LastStTS: lastTS})
+			if budget > 0 && len(out) >= budget {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// CheckWarpMonotonic verifies that each warp's operations carry
+// non-decreasing timestamps in completion order — which equals program
+// order under SC (one outstanding reference per warp), where Tardis
+// guarantees monotonic warp timestamps.
+func CheckWarpMonotonic(ops []Record) []error {
+	type warpKey struct{ sm, warp int }
+	last := make(map[warpKey]Record)
+	var errs []error
+	for _, r := range ops {
+		k := warpKey{r.SM, r.Warp}
+		if prev, ok := last[k]; ok && r.TS < prev.TS {
+			errs = append(errs, fmt.Errorf(
+				"check: warp (sm %d, warp %d) timestamp went backwards: %d (seq %d) after %d (seq %d)",
+				r.SM, r.Warp, r.TS, r.Seq, prev.TS, prev.Seq))
+		}
+		last[k] = r
+	}
+	return errs
+}
+
+// Summary counts loads and stores in a log (test diagnostics).
+func Summary(ops []Record) (loads, stores int) {
+	for _, r := range ops {
+		if r.Op.Store {
+			stores++
+		} else {
+			loads++
+		}
+	}
+	return loads, stores
+}

@@ -1,0 +1,119 @@
+// Package coherence defines the contract every coherence protocol in
+// this repository implements: a per-SM L1 controller and a per-bank L2
+// controller, connected by the NoC, plus the request/completion types
+// the GPU core's load-store unit uses to talk to the L1.
+//
+// Four protocol families implement these interfaces:
+//
+//   - internal/core: G-TSC, the paper's contribution (timestamp ordering)
+//   - internal/tc:   Temporal Coherence (TC-Strong and TC-Weak leases)
+//   - internal/nocoh: the no-L1 baseline (BL) and the non-coherent L1
+//
+// The GPU core is protocol-agnostic: it presents coalesced accesses and
+// receives completions; consistency (SC vs RC) is enforced above this
+// interface in the SM, except for TC-Weak's GWCT which rides back on
+// the completion.
+package coherence
+
+import (
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Request is one coalesced memory access presented by an SM's LDST
+// unit to its L1 controller.
+type Request struct {
+	Block mem.BlockAddr
+	Store bool
+	// Atomic marks a read-modify-write performed at the L2 (global
+	// atomic); Atom gives the operation. Data carries the combined
+	// per-word operands; the completion returns the pre-update values.
+	Atomic bool
+	Atom   mem.AtomicOp
+	Mask   mem.WordMask // words touched by the access
+	Data   *mem.Block   // store/atomic payload (masked words valid); nil for loads
+	Warp   int          // issuing warp index within the SM
+
+	// Done is invoked exactly once when the access completes. Loads
+	// receive the block contents; stores receive nil data. It must not
+	// be nil.
+	Done func(c Completion)
+}
+
+// Completion reports the result of an access back to the LDST unit.
+type Completion struct {
+	Data *mem.Block // loaded block (nil for stores)
+	// TS is the logical timestamp the operation was performed at
+	// (G-TSC: load ts or assigned store wts). Zero for protocols
+	// without timestamps.
+	TS uint64
+	// GWCT is TC-Weak's global write completion time for stores; a
+	// fence must stall the warp until the global clock passes the
+	// maximum GWCT of its prior stores. Zero elsewhere.
+	GWCT uint64
+}
+
+// AccessResult is the immediate outcome of presenting a Request.
+type AccessResult uint8
+
+// Access outcomes.
+const (
+	// Hit: the access completed synchronously; Done was already called.
+	Hit AccessResult = iota
+	// Pending: the access was accepted and Done will be called later.
+	Pending
+	// Reject: the controller is out of resources (MSHR full, port
+	// busy); the LDST unit must retry the same access next cycle.
+	Reject
+)
+
+// L1 is a per-SM private cache controller.
+type L1 interface {
+	// Access presents one coalesced access. See AccessResult.
+	Access(req *Request) AccessResult
+	// Deliver hands the controller a message that arrived from the NoC.
+	Deliver(msg *mem.Msg)
+	// Tick advances internal state one cycle (retries, timeouts).
+	Tick(now uint64)
+	// Flush invalidates the whole cache, e.g. at a kernel boundary.
+	// Outstanding misses are allowed to complete normally.
+	Flush()
+	// Pending reports the number of outstanding accesses not yet
+	// completed (the simulator drains these before ending a kernel).
+	Pending() int
+	// Stats exposes the controller's counters.
+	Stats() *stats.L1Stats
+}
+
+// L2 is a shared cache bank controller.
+type L2 interface {
+	// Deliver hands the bank a request that arrived from the NoC.
+	Deliver(msg *mem.Msg)
+	// DRAMFill hands the bank a completed memory read.
+	DRAMFill(msg *mem.Msg)
+	// Tick advances internal state one cycle (TC write stalls,
+	// replayed fills, overflow resets).
+	Tick(now uint64)
+	// Pending reports in-flight work (stalled writes, DRAM waits).
+	Pending() int
+	// Peek returns the bank's current copy of a block, if cached —
+	// a zero-cost debug/verification hook, not a protocol action.
+	Peek(b mem.BlockAddr) (*mem.Block, bool)
+	// Stats exposes the bank's counters.
+	Stats() *stats.L2Stats
+}
+
+// Sender abstracts the transport a controller injects messages into.
+// The memsys package wires L1 senders to the NoC's SM ports, L2
+// senders to bank ports and the DRAM channel.
+type Sender interface {
+	// TrySend attempts to inject msg; it returns false if the port's
+	// injection queue is full this cycle and the caller must retry.
+	TrySend(msg *mem.Msg) bool
+}
+
+// SenderFunc adapts a function to the Sender interface.
+type SenderFunc func(msg *mem.Msg) bool
+
+// TrySend implements Sender.
+func (f SenderFunc) TrySend(msg *mem.Msg) bool { return f(msg) }

@@ -1,0 +1,37 @@
+package coherence
+
+import "github.com/gtsc-sim/gtsc/internal/mem"
+
+// Op is one globally performed memory operation, reported to an
+// Observer for invariant checking (internal/check). Loads are observed
+// where their value binds (the L1 that services them); stores are
+// observed at the L2 bank that performs them. The single-threaded
+// simulator guarantees observation order is consistent with simulated
+// causality, which the checkers use as the physical-time tiebreak of
+// the paper's timestamp-ordering rule (Section III-A).
+type Op struct {
+	SM    int
+	Warp  int
+	Store bool
+	Block mem.BlockAddr
+	Mask  mem.WordMask
+	Data  mem.Block // masked words hold the loaded/stored values
+	// TS is the operation's logical timestamp, unrolled across
+	// overflow resets (epoch*(tsMax+1)+ts) so it is monotonic for the
+	// whole run. Zero for protocols without timestamps.
+	TS uint64
+	// Cycle is the global cycle the operation performed at.
+	Cycle uint64
+}
+
+// Observer receives every performed memory operation. Implementations
+// must not retain the Op's Data pointer semantics (Data is by value).
+type Observer interface {
+	Observe(op Op)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(op Op)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(op Op) { f(op) }

@@ -1,0 +1,113 @@
+// Package core implements G-TSC, the paper's contribution: a
+// timestamp-ordering cache coherence protocol for GPUs built on the
+// ideas of Tardis (Yu & Devadas, PACT'15) and adapted to the GPU's
+// massive thread parallelism (Sections III–V of the paper).
+//
+// Every cache block carries a write timestamp (wts) and read timestamp
+// (rts); the half-open logical interval [wts, rts] is the block's
+// lease, during which its data is valid. Each warp carries warp_ts,
+// the timestamp of its last memory operation. Coherence transactions
+// execute in logical time: a store can be ordered "in the future"
+// (wts' = max(rts+1, warp_ts+1)) instead of stalling for lease expiry
+// as Temporal Coherence must, which eliminates TC's lease-induced
+// stalls, permits a non-inclusive L2, and needs no synchronized
+// global clocks.
+//
+// GPU-specific mechanisms implemented here, mirroring Section V:
+//
+//   - Update visibility (V-A): a stored-to L1 line is locked until the
+//     store's BusWrAck returns; intervening readers wait in the MSHR
+//     (option 1), or read a preserved old copy (option 2, configurable).
+//   - Request combining (V-B): only the first reader of a block sends a
+//     BusRd; merged readers whose warp_ts exceeds the filled lease
+//     trigger dataless renewals (forward-all is available for ablation).
+//   - Non-inclusive L2 (V-C): evictions fold the victim's rts into a
+//     single per-bank mem_ts; later fills/stores order after it.
+//   - Timestamp overflow (V-D): width-limited timestamps (16-bit by
+//     default) with the paper's L2-driven epoch reset protocol.
+package core
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// Config holds G-TSC protocol parameters.
+type Config struct {
+	// Lease is the logical lease length added to a reader's warp_ts
+	// when granting or renewing read access (paper sweeps 8–20,
+	// default 10; Fig 14 shows insensitivity in that range).
+	Lease uint64
+	// TSBits is the timestamp width; timestamps wrapping past
+	// (1<<TSBits)-1 trigger the overflow reset protocol (default 16).
+	TSBits int
+	// ForwardAll, when true, forwards every reader's BusRd to L2
+	// instead of combining them in the MSHR — the Section V-B
+	// ablation (raises traffic 12–35%).
+	ForwardAll bool
+	// KeepOldCopy selects update-visibility option 2 (Section V-A):
+	// a stored-to line preserves its old data and lease so readers
+	// whose warp_ts falls in the old lease proceed without waiting.
+	// Default (false) is option 1: readers wait for the BusWrAck.
+	KeepOldCopy bool
+	// AdaptiveLease enables per-block lease prediction in the spirit
+	// of Tardis 2.0's lease policies (an extension beyond the paper):
+	// a block renewed without an intervening write doubles its lease
+	// (up to MaxLease); a written block halves it (down to Lease).
+	// Read-mostly blocks thus survive the warp-timestamp advances
+	// that stores cause, cutting renewal traffic.
+	AdaptiveLease bool
+	// MaxLease caps adaptive leases (default 8*Lease).
+	MaxLease uint64
+}
+
+// DefaultConfig returns the configuration the paper evaluates.
+func DefaultConfig() Config { return Config{Lease: 10, TSBits: 16} }
+
+func (c *Config) fillDefaults() {
+	if c.Lease == 0 {
+		c.Lease = 10
+	}
+	if c.TSBits == 0 {
+		c.TSBits = 16
+	}
+	if c.MaxLease == 0 {
+		c.MaxLease = 8 * c.Lease
+	}
+	if c.MaxLease < c.Lease {
+		c.MaxLease = c.Lease
+	}
+	// The overflow reset must leave room for at least one full
+	// store+lease computation in the fresh epoch, or resets cannot
+	// make progress (worst post-reset value is 2*leaseCeil + 3).
+	if worst := c.leaseCeil(); 2*worst+3 > c.tsMax() {
+		panic(fmt.Sprintf("gtsc: lease %d too large for %d-bit timestamps", worst, c.TSBits))
+	}
+}
+
+// leaseCeil is the largest lease the configuration can grant.
+func (c *Config) leaseCeil() uint64 {
+	if c.AdaptiveLease {
+		return c.MaxLease
+	}
+	return c.Lease
+}
+
+// tsMax returns the largest representable timestamp.
+func (c *Config) tsMax() uint64 { return (uint64(1) << uint(c.TSBits)) - 1 }
+
+// initialTS is the power-on value of warp_ts and mem_ts (paper §III-B:
+// "All mem_ts and warp_ts are initially set to 1").
+const initialTS = 1
+
+// bankOf maps a block to its L2 bank / memory partition by low-order
+// block address interleaving.
+func bankOf(b mem.BlockAddr, nBanks int) int { return int(uint64(b) % uint64(nBanks)) }
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,676 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// l1Meta is the per-line G-TSC metadata in the private cache.
+type l1Meta struct {
+	wts uint64
+	rts uint64
+	// lockCount counts stores to this line whose BusWrAck has not yet
+	// returned; while nonzero the line's new data must not be read
+	// (update-visibility option 1, Fig 10 of the paper).
+	lockCount int
+	// Option 2 (KeepOldCopy): the pre-store data and lease, readable
+	// by warps whose warp_ts falls within the old lease while the
+	// store is pending.
+	oldValid bool
+	oldData  mem.Block
+	oldWTS   uint64
+	oldRTS   uint64
+}
+
+// waiter is a load parked in the MSHR: either merged behind an
+// outstanding read (request combining, §V-B) or blocked on a locked
+// line (update visibility, §V-A).
+type waiter struct {
+	req *coherence.Request
+}
+
+// pendingStore tracks one write-through store between BusWr and
+// BusWrAck.
+type pendingStore struct {
+	reqID uint64
+	block mem.BlockAddr
+	warp  int
+	mask  mem.WordMask
+	data  mem.Block // the store's words (masked), re-applied over fills
+	req   *coherence.Request
+	// lineHit records whether the store updated a local line (and so
+	// contributes to its lockCount).
+	lineHit bool
+}
+
+// L1 is the G-TSC private cache controller of one SM. It implements
+// coherence.L1.
+//
+// It is a write-through, write-no-allocate cache. Loads hit when the
+// tag matches, the line is not locked by a pending store, and the
+// issuing warp's warp_ts lies within the line's lease (warp_ts <= rts).
+type L1 struct {
+	cfg    Config
+	smID   int
+	nBanks int
+	now    uint64
+
+	array *cache.Array[l1Meta]
+	mshr  *cache.MSHR[waiter]
+
+	warpTS []uint64
+
+	send  coherence.Sender
+	outQ  []*mem.Msg // messages awaiting NoC injection (backpressure)
+	stats stats.L1Stats
+	obs   coherence.Observer
+
+	// stores in flight, by ReqID, plus per-block send-ordered lists so
+	// fills arriving under a locked line can be patched (see
+	// applyPendingStores).
+	storesByID    map[uint64]*pendingStore
+	storesByBlock map[mem.BlockAddr][]*pendingStore
+	nextReqID     uint64
+
+	// atomics in flight, by ReqID (performed wholly at the L2).
+	atomicsByID map[uint64]*coherence.Request
+
+	epoch   uint64 // timestamp overflow epoch learned from L2 responses
+	pending int    // outstanding Done callbacks
+}
+
+// L1Geometry describes the cache organization.
+type L1Geometry struct {
+	Sets  int
+	Ways  int
+	MSHRs int
+	Warps int // warps per SM, sizing the warp_ts table
+}
+
+// NewL1 builds the controller for SM smID, sending through send to
+// nBanks L2 banks. obs may be nil.
+func NewL1(cfg Config, smID, nBanks int, geo L1Geometry, send coherence.Sender, obs coherence.Observer) *L1 {
+	cfg.fillDefaults()
+	l := &L1{
+		cfg:           cfg,
+		smID:          smID,
+		nBanks:        nBanks,
+		array:         cache.NewArray[l1Meta](geo.Sets, geo.Ways),
+		mshr:          cache.NewMSHR[waiter](geo.MSHRs),
+		warpTS:        make([]uint64, geo.Warps),
+		send:          send,
+		obs:           obs,
+		storesByID:    make(map[uint64]*pendingStore),
+		storesByBlock: make(map[mem.BlockAddr][]*pendingStore),
+		atomicsByID:   make(map[uint64]*coherence.Request),
+	}
+	for i := range l.warpTS {
+		l.warpTS[i] = initialTS
+	}
+	return l
+}
+
+// Stats implements coherence.L1.
+func (l *L1) Stats() *stats.L1Stats { return &l.stats }
+
+// Pending implements coherence.L1.
+func (l *L1) Pending() int { return l.pending }
+
+// WarpTS exposes a warp's current timestamp (tests, trace tooling).
+func (l *L1) WarpTS(warp int) uint64 { return l.warpTS[warp] }
+
+// Access implements coherence.L1.
+func (l *L1) Access(req *coherence.Request) coherence.AccessResult {
+	if req.Atomic {
+		return l.accessAtomic(req)
+	}
+	if req.Store {
+		return l.accessStore(req)
+	}
+	return l.accessLoad(req)
+}
+
+// accessAtomic forwards a read-modify-write to the L2, where it is
+// performed as an indivisible load+store at one timestamp. The local
+// copy (if any) is left in place: it remains a valid *older* version
+// under timestamp ordering, readable by warps whose warp_ts its lease
+// still covers.
+func (l *L1) accessAtomic(req *coherence.Request) coherence.AccessResult {
+	l.stats.Atomics++
+	l.nextReqID++
+	l.atomicsByID[l.nextReqID] = req
+	l.pending++
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type:   mem.BusAtom,
+		Block:  req.Block,
+		Src:    l.smID,
+		Dst:    bankOf(req.Block, l.nBanks),
+		WarpTS: l.warpTS[req.Warp],
+		Data:   data,
+		Mask:   req.Mask,
+		Atom:   req.Atom,
+		ReqID:  l.nextReqID,
+		Warp:   req.Warp,
+		Epoch:  l.epoch,
+	})
+	return coherence.Pending
+}
+
+func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
+	l.stats.Loads++
+	l.stats.TagProbes++
+	line := l.array.Lookup(req.Block)
+	wts := l.warpTS[req.Warp]
+
+	if line != nil && line.Meta.lockCount > 0 {
+		// Update visibility: a store to this line is in flight.
+		if l.cfg.KeepOldCopy && line.Meta.oldValid && wts <= line.Meta.oldRTS {
+			// Option 2: serve the preserved old version; the load is
+			// logically ordered before the pending store.
+			l.stats.Hits++
+			l.stats.DataAccesses++
+			l.pending++ // completeLoad decrements
+			l.completeLoad(req, &line.Meta.oldData, line.Meta.oldWTS)
+			return coherence.Hit
+		}
+		// Option 1 (default): park the load until the BusWrAck.
+		if l.mshr.Lookup(req.Block) == nil && l.mshr.Full() {
+			l.stats.MSHRStalls++
+			return coherence.Reject
+		}
+		l.stats.MissLocked++
+		e := l.mshr.Lookup(req.Block)
+		if e == nil {
+			e = l.mshr.Allocate(req.Block)
+		} else {
+			l.stats.MSHRMerges++
+		}
+		e.Waiters = append(e.Waiters, waiter{req: req})
+		l.pending++
+		return coherence.Pending
+	}
+
+	if line != nil && wts <= line.Meta.rts {
+		// L1 hit: tag match and warp_ts within the lease (§IV-A-1).
+		l.stats.Hits++
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+		l.pending++ // completeLoad decrements
+		l.completeLoad(req, &line.Data, line.Meta.wts)
+		return coherence.Hit
+	}
+
+	// Miss: cold (no tag) or expired (lease behind warp_ts).
+	e := l.mshr.Lookup(req.Block)
+	if e == nil && l.mshr.Full() {
+		l.stats.MSHRStalls++
+		return coherence.Reject
+	}
+	if line != nil {
+		l.stats.MissExpired++
+	} else {
+		l.stats.MissCold++
+	}
+	if e != nil {
+		// Request combining (§V-B): merge behind the in-flight read.
+		l.stats.MSHRMerges++
+		e.Waiters = append(e.Waiters, waiter{req: req})
+		l.pending++
+		if l.cfg.ForwardAll {
+			l.sendRead(e, line, wts)
+		}
+		return coherence.Pending
+	}
+	e = l.mshr.Allocate(req.Block)
+	e.Waiters = append(e.Waiters, waiter{req: req})
+	l.pending++
+	l.sendRead(e, line, wts)
+	return coherence.Pending
+}
+
+// sendRead issues a read/renewal on behalf of an MSHR entry, tracking
+// it so later events know whether a response is still owed.
+func (l *L1) sendRead(e *cache.MSHREntry[waiter], line *cache.Line[l1Meta], warpTS uint64) {
+	e.Issued = true
+	e.InFlight++
+	l.sendBusRd(e.Block, line, warpTS)
+}
+
+// noteResponse records that one in-flight read for the block answered.
+func (l *L1) noteResponse(b mem.BlockAddr) {
+	if e := l.mshr.Lookup(b); e != nil && e.InFlight > 0 {
+		e.InFlight--
+	}
+}
+
+// sendBusRd issues a read/renewal request. A renewal (expired tag hit)
+// carries the line's wts so L2 can answer without data when the L1's
+// copy is still current (§IV-B-1).
+func (l *L1) sendBusRd(b mem.BlockAddr, line *cache.Line[l1Meta], warpTS uint64) {
+	var wts uint64
+	if line != nil {
+		wts = line.Meta.wts
+		l.stats.Renewals++
+	}
+	l.nextReqID++
+	l.post(&mem.Msg{
+		Type:   mem.BusRd,
+		Block:  b,
+		Src:    l.smID,
+		Dst:    bankOf(b, l.nBanks),
+		WTS:    wts,
+		WarpTS: warpTS,
+		ReqID:  l.nextReqID,
+		Epoch:  l.epoch,
+	})
+}
+
+func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
+	l.stats.Stores++
+	l.stats.TagProbes++
+	line := l.array.Lookup(req.Block)
+
+	l.nextReqID++
+	ps := &pendingStore{
+		reqID: l.nextReqID,
+		block: req.Block,
+		warp:  req.Warp,
+		mask:  req.Mask,
+		req:   req,
+	}
+	mem.Merge(&ps.data, req.Data, req.Mask)
+
+	baseWTS := mem.NoWTS
+	if line != nil {
+		// Write-through with local update: the line's data is updated
+		// now but locked until the ack returns (§IV-A-2, §V-A).
+		if l.cfg.KeepOldCopy && line.Meta.lockCount == 0 {
+			line.Meta.oldValid = true
+			line.Meta.oldData = line.Data
+			line.Meta.oldWTS = line.Meta.wts
+			line.Meta.oldRTS = line.Meta.rts
+		}
+		baseWTS = line.Meta.wts
+		mem.Merge(&line.Data, req.Data, req.Mask)
+		line.Meta.lockCount++
+		ps.lineHit = true
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+	}
+
+	l.storesByID[ps.reqID] = ps
+	l.storesByBlock[req.Block] = append(l.storesByBlock[req.Block], ps)
+	l.pending++
+
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type:   mem.BusWr,
+		Block:  req.Block,
+		Src:    l.smID,
+		Dst:    bankOf(req.Block, l.nBanks),
+		WTS:    baseWTS,
+		WarpTS: l.warpTS[req.Warp],
+		Data:   data,
+		Mask:   req.Mask,
+		ReqID:  ps.reqID,
+		Warp:   req.Warp,
+		Epoch:  l.epoch,
+	})
+	return coherence.Pending
+}
+
+// completeLoad binds a load's value and timestamp and fires Done.
+// The load's logical timestamp is max(warp_ts, wts) (Tardis rule);
+// warp_ts advances to it.
+func (l *L1) completeLoad(req *coherence.Request, data *mem.Block, wts uint64) {
+	ts := maxu(l.warpTS[req.Warp], wts)
+	if ts != l.warpTS[req.Warp] {
+		l.stats.TSUpdates++
+	}
+	l.warpTS[req.Warp] = ts
+	out := &mem.Block{}
+	mem.Merge(out, data, req.Mask)
+	if l.obs != nil {
+		l.obs.Observe(coherence.Op{
+			SM: l.smID, Warp: req.Warp, Block: req.Block, Mask: req.Mask,
+			Data: *out, TS: l.unrolled(ts), Cycle: l.now,
+		})
+	}
+	l.pending--
+	req.Done(coherence.Completion{Data: out, TS: ts})
+}
+
+// unrolled maps a wire timestamp into the monotonically increasing
+// epoch-unrolled domain the invariant checker consumes.
+func (l *L1) unrolled(ts uint64) uint64 { return l.epoch*(l.cfg.tsMax()+1) + ts }
+
+// Deliver implements coherence.L1.
+func (l *L1) Deliver(msg *mem.Msg) {
+	if msg.Epoch > l.epoch {
+		// The L2 reset its timestamps since we sent the request
+		// (§V-D): flush everything and adopt the new epoch before
+		// processing the response.
+		l.timestampReset(msg.Epoch)
+	}
+	switch msg.Type {
+	case mem.BusFill:
+		l.onFill(msg)
+	case mem.BusRnw:
+		l.onRenew(msg)
+	case mem.BusWrAck:
+		l.onWriteAck(msg)
+	case mem.BusAtomAck:
+		l.onAtomAck(msg)
+	default:
+		panic(fmt.Sprintf("gtsc l1: unexpected message %v", msg.Type))
+	}
+}
+
+// onFill installs new data + lease and completes eligible waiters
+// (Fig 8).
+func (l *L1) onFill(msg *mem.Msg) {
+	l.stats.Fills++
+	l.noteResponse(msg.Block)
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		// Allocate; locked lines are not evictable (their pending
+		// stores still need the line). If the set is entirely locked,
+		// serve the waiters straight from the message without caching.
+		victim := l.array.Victim(msg.Block, func(c *cache.Line[l1Meta]) bool {
+			return c.Meta.lockCount == 0
+		})
+		if victim != nil {
+			if victim.Valid {
+				l.stats.SelfInval++
+			}
+			l.array.Install(victim, msg.Block, msg.Data, l.now)
+			line = victim
+		}
+	} else {
+		line.Data = *msg.Data
+		l.array.Touch(line, l.now)
+	}
+	if line != nil {
+		line.Meta.wts = msg.WTS
+		line.Meta.rts = msg.RTS
+		l.stats.TSUpdates++
+		// If stores to this block are still in flight, their words
+		// must stay visible in the local copy (they are ordered after
+		// this fill's version at L2); re-apply them in send order.
+		l.applyPendingStores(msg.Block, line)
+		l.stats.DataAccesses++
+		l.serviceWaiters(msg.Block, line)
+		return
+	}
+	// Bypass path: no allocatable way; complete every waiter whose
+	// warp_ts the granted lease covers, renew for the rest.
+	l.serviceWaitersBypass(msg)
+}
+
+// onRenew extends the lease of data the L1 already holds (Fig 7a).
+func (l *L1) onRenew(msg *mem.Msg) {
+	l.stats.RenewalHits++
+	l.noteResponse(msg.Block)
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		// The line was evicted or flushed while the renewal was in
+		// flight; the dataless response cannot complete the waiters.
+		// Refetch on their behalf.
+		if e := l.mshr.Lookup(msg.Block); e != nil && len(e.Waiters) > 0 && e.InFlight == 0 {
+			l.sendRead(e, nil, l.maxWaiterTS(e))
+		}
+		return
+	}
+	if msg.RTS > line.Meta.rts {
+		line.Meta.rts = msg.RTS
+		l.stats.TSUpdates++
+	}
+	l.serviceWaiters(msg.Block, line)
+}
+
+// onWriteAck finishes a store: adopt the assigned timestamps, unlock
+// the line, and wake parked readers (Fig 7b).
+func (l *L1) onWriteAck(msg *mem.Msg) {
+	l.stats.WriteAcks++
+	ps, ok := l.storesByID[msg.ReqID]
+	if !ok {
+		panic("gtsc l1: write ack for unknown store")
+	}
+	delete(l.storesByID, msg.ReqID)
+	l.removeBlockStore(ps)
+
+	// The writing warp's timestamp jumps to the store's wts (§IV-D).
+	if msg.WTS > l.warpTS[ps.warp] {
+		l.warpTS[ps.warp] = msg.WTS
+		l.stats.TSUpdates++
+	}
+
+	line := l.array.Lookup(ps.block)
+	if line != nil && ps.lineHit {
+		line.Meta.lockCount--
+		if line.Meta.lockCount < 0 {
+			panic("gtsc l1: lock underflow")
+		}
+		if msg.WTS >= line.Meta.wts {
+			line.Meta.wts = msg.WTS
+			line.Meta.rts = msg.RTS
+			l.stats.TSUpdates++
+		}
+		if msg.Data != nil {
+			// The L2 detected our base version was stale and returned
+			// the authoritative merged block; later local stores (not
+			// yet acked) are re-applied on top.
+			line.Data = *msg.Data
+			l.applyPendingStores(ps.block, line)
+		}
+		if line.Meta.lockCount == 0 {
+			line.Meta.oldValid = false
+		}
+	}
+	l.pending--
+	ps.req.Done(coherence.Completion{TS: msg.WTS})
+
+	if line != nil {
+		if line.Meta.lockCount == 0 {
+			l.serviceWaiters(ps.block, line)
+		}
+		return
+	}
+	// The line vanished while the store was in flight (overflow reset
+	// flush): readers parked behind the lock would strand without a
+	// line to service them from — refetch on their behalf.
+	if e := l.mshr.Lookup(ps.block); e != nil && len(e.Waiters) > 0 && e.InFlight == 0 {
+		l.sendRead(e, nil, l.maxWaiterTS(e))
+	}
+}
+
+// onAtomAck completes an atomic: the warp's timestamp jumps to the
+// operation's wts and the pre-update values return to the lanes.
+func (l *L1) onAtomAck(msg *mem.Msg) {
+	req, ok := l.atomicsByID[msg.ReqID]
+	if !ok {
+		panic("gtsc l1: atomic ack for unknown request")
+	}
+	delete(l.atomicsByID, msg.ReqID)
+	if msg.WTS > l.warpTS[req.Warp] {
+		l.warpTS[req.Warp] = msg.WTS
+		l.stats.TSUpdates++
+	}
+	l.pending--
+	req.Done(coherence.Completion{Data: msg.Data, TS: msg.WTS})
+}
+
+// applyPendingStores merges the words of this SM's in-flight stores to
+// block into line.Data, in the order they were sent (their L2 ordering).
+func (l *L1) applyPendingStores(block mem.BlockAddr, line *cache.Line[l1Meta]) {
+	for _, ps := range l.storesByBlock[block] {
+		if ps.lineHit {
+			mem.Merge(&line.Data, &ps.data, ps.mask)
+		}
+	}
+}
+
+func (l *L1) removeBlockStore(ps *pendingStore) {
+	list := l.storesByBlock[ps.block]
+	for i, p := range list {
+		if p == ps {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(l.storesByBlock, ps.block)
+	} else {
+		l.storesByBlock[ps.block] = list
+	}
+}
+
+// serviceWaiters completes every MSHR waiter the line's lease now
+// covers. Remaining waiters (warp_ts beyond rts) trigger one renewal
+// carrying the maximum outstanding warp_ts (§V-B). A locked line
+// services nobody; the pending ack will retry.
+func (l *L1) serviceWaiters(block mem.BlockAddr, line *cache.Line[l1Meta]) {
+	e := l.mshr.Lookup(block)
+	if e == nil {
+		return
+	}
+	if line.Meta.lockCount > 0 {
+		return
+	}
+	kept := e.Waiters[:0]
+	for _, w := range e.Waiters {
+		if l.warpTS[w.req.Warp] <= line.Meta.rts {
+			l.stats.DataAccesses++
+			l.completeLoad(w.req, &line.Data, line.Meta.wts)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	e.Waiters = kept
+	if len(e.Waiters) == 0 {
+		l.mshr.Release(block)
+		return
+	}
+	if e.InFlight == 0 {
+		l.sendRead(e, line, l.maxWaiterTS(e))
+	}
+}
+
+// serviceWaitersBypass handles the rare fill that found no allocatable
+// way: complete covered waiters from the message payload.
+func (l *L1) serviceWaitersBypass(msg *mem.Msg) {
+	e := l.mshr.Lookup(msg.Block)
+	if e == nil {
+		return
+	}
+	kept := e.Waiters[:0]
+	for _, w := range e.Waiters {
+		if l.warpTS[w.req.Warp] <= msg.RTS {
+			l.completeLoad(w.req, msg.Data, msg.WTS)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	e.Waiters = kept
+	if len(e.Waiters) == 0 {
+		l.mshr.Release(msg.Block)
+		return
+	}
+	if e.InFlight == 0 {
+		l.sendRead(e, nil, l.maxWaiterTS(e))
+	}
+}
+
+func (l *L1) maxWaiterTS(e *cache.MSHREntry[waiter]) uint64 {
+	var ts uint64
+	for _, w := range e.Waiters {
+		ts = maxu(ts, l.warpTS[w.req.Warp])
+	}
+	return ts
+}
+
+// timestampReset implements the L1 side of the overflow protocol
+// (§V-D): flush every line and restart warp timestamps; in-flight
+// requests will be answered with reset-flagged fills by the L2.
+func (l *L1) timestampReset(epoch uint64) {
+	l.epoch = epoch
+	l.stats.Flushes++
+	l.array.ForEach(func(c *cache.Line[l1Meta]) {
+		l.stats.SelfInval++
+		l.array.Invalidate(c)
+	})
+	for i := range l.warpTS {
+		l.warpTS[i] = initialTS
+	}
+	// Pending stores keep their contexts: their acks arrive with
+	// new-epoch timestamps and complete normally (lineHit no longer
+	// finds a line, which is handled).
+	for _, ps := range l.storesByID {
+		ps.lineHit = false
+	}
+	l.storesByBlock = make(map[mem.BlockAddr][]*pendingStore)
+}
+
+// Flush implements coherence.L1: kernel-boundary invalidation
+// ("the L1 cache is flushed after each kernel and all timestamps are
+// reset", §V-D). The simulator drains outstanding accesses first.
+func (l *L1) Flush() {
+	if l.pending != 0 {
+		panic("gtsc l1: flush with outstanding accesses")
+	}
+	l.stats.Flushes++
+	l.array.ForEach(func(c *cache.Line[l1Meta]) { l.array.Invalidate(c) })
+	for i := range l.warpTS {
+		l.warpTS[i] = initialTS
+	}
+}
+
+// post sends a message, queueing it when the NoC port is full.
+func (l *L1) post(msg *mem.Msg) {
+	if len(l.outQ) == 0 && l.send.TrySend(msg) {
+		return
+	}
+	l.outQ = append(l.outQ, msg)
+}
+
+// Tick implements coherence.L1: drain backpressured sends in order.
+func (l *L1) Tick(now uint64) {
+	l.now = now
+	for len(l.outQ) > 0 {
+		if !l.send.TrySend(l.outQ[0]) {
+			return
+		}
+		l.outQ = l.outQ[1:]
+	}
+}
+
+// DebugString renders the controller's transient state (MSHR entries,
+// pending stores, warp timestamps of interest) for deadlock diagnosis
+// and the gtsctrace tool.
+func (l *L1) DebugString() string {
+	s := fmt.Sprintf("L1[sm%d] epoch=%d pending=%d outQ=%d\n", l.smID, l.epoch, l.pending, len(l.outQ))
+	l.mshr.ForEach(func(e *cache.MSHREntry[waiter]) {
+		s += fmt.Sprintf("  mshr %v issued=%t waiters=%d:", e.Block, e.Issued, len(e.Waiters))
+		for _, w := range e.Waiters {
+			s += fmt.Sprintf(" (warp %d ts %d)", w.req.Warp, l.warpTS[w.req.Warp])
+		}
+		line := l.array.Lookup(e.Block)
+		if line != nil {
+			s += fmt.Sprintf(" line[wts=%d rts=%d lock=%d]", line.Meta.wts, line.Meta.rts, line.Meta.lockCount)
+		} else {
+			s += " line=nil"
+		}
+		s += "\n"
+	})
+	for id, ps := range l.storesByID {
+		s += fmt.Sprintf("  store req=%d block=%v warp=%d lineHit=%t\n", id, ps.block, ps.warp, ps.lineHit)
+	}
+	return s
+}

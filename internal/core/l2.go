@@ -1,0 +1,522 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// l2Meta is the per-line G-TSC metadata in the shared cache.
+type l2Meta struct {
+	wts uint64
+	rts uint64
+	// lease is the block's current lease length (== cfg.Lease unless
+	// AdaptiveLease adjusts it per access history).
+	lease uint64
+}
+
+// l2Miss tracks one outstanding DRAM read and the requests (reads and
+// writes) that arrived for the block while it was in flight; they are
+// replayed in order when the fill lands, preserving the bank's
+// serialization of the block.
+type l2Miss struct {
+	block   mem.BlockAddr
+	waiting []*mem.Msg
+}
+
+// L2 is one G-TSC shared cache bank. It implements coherence.L2.
+//
+// The L2 is non-inclusive (§V-C): evictions never stall; the victim's
+// rts folds into the bank's single mem_ts, and later stores to a
+// refetched block order after mem_ts by timestamp assignment rather
+// than by waiting.
+type L2 struct {
+	cfg    Config
+	bankID int
+	now    uint64
+
+	array *cache.Array[l2Meta]
+	memTS uint64
+	miss  map[mem.BlockAddr]*l2Miss
+
+	inQ      []*mem.Msg
+	perCycle int
+
+	sendNoC  coherence.Sender
+	sendDRAM coherence.Sender
+	outNoC   []*mem.Msg
+	outDRAM  []*mem.Msg
+
+	stats stats.L2Stats
+	obs   coherence.Observer
+
+	// renewDist records how far each renewal pushed a block's rts —
+	// the "lease extension distance" characterization (§VI-E flavour).
+	renewDist *stats.Histogram
+
+	resets *ResetController
+	epoch  uint64
+}
+
+// L2Geometry describes one bank's organization.
+type L2Geometry struct {
+	Sets int
+	Ways int
+	// PerCycle is the bank's request service rate (default 1).
+	PerCycle int
+}
+
+// NewL2 builds bank bankID. sendNoC injects responses toward SMs;
+// sendDRAM feeds the bank's memory partition. obs may be nil.
+func NewL2(cfg Config, bankID int, geo L2Geometry, sendNoC, sendDRAM coherence.Sender, obs coherence.Observer) *L2 {
+	cfg.fillDefaults()
+	if geo.PerCycle == 0 {
+		geo.PerCycle = 1
+	}
+	return &L2{
+		cfg:       cfg,
+		bankID:    bankID,
+		array:     cache.NewArray[l2Meta](geo.Sets, geo.Ways),
+		memTS:     initialTS,
+		miss:      make(map[mem.BlockAddr]*l2Miss),
+		perCycle:  geo.PerCycle,
+		sendNoC:   sendNoC,
+		sendDRAM:  sendDRAM,
+		obs:       obs,
+		renewDist: stats.NewHistogram(),
+	}
+}
+
+// AttachResets wires the bank into the chip-wide overflow reset
+// controller (§V-D). Optional; without it timestamps are assumed wide
+// enough not to wrap (the controller panics if they do).
+func (l *L2) AttachResets(rc *ResetController) {
+	l.resets = rc
+	rc.banks = append(rc.banks, l)
+}
+
+// Stats implements coherence.L2.
+func (l *L2) Stats() *stats.L2Stats { return &l.stats }
+
+// Pending implements coherence.L2.
+func (l *L2) Pending() int {
+	n := len(l.inQ) + len(l.outNoC) + len(l.outDRAM)
+	for _, m := range l.miss {
+		n += len(m.waiting) + 1
+	}
+	return n
+}
+
+// MemTS exposes the bank's memory timestamp (tests, trace tooling).
+func (l *L2) MemTS() uint64 { return l.memTS }
+
+// RenewalDistances returns the histogram of rts extension distances —
+// how far each read pushed a block's lease forward. Large values mean
+// the reader's warp_ts had advanced far past the block (store-heavy
+// phases); values near the lease length mean steady renewal.
+func (l *L2) RenewalDistances() *stats.Histogram { return l.renewDist }
+
+// Deliver implements coherence.L2: requests queue and are serviced at
+// the bank's port rate in Tick, modeling shared-cache input contention.
+func (l *L2) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+
+// DRAMFill implements coherence.L2.
+func (l *L2) DRAMFill(msg *mem.Msg) {
+	m, ok := l.miss[msg.Block]
+	if !ok {
+		panic("gtsc l2: DRAM fill without outstanding miss")
+	}
+	delete(l.miss, msg.Block)
+
+	line := l.installFill(msg.Block, msg.Data)
+	for _, waiting := range m.waiting {
+		// Replay in arrival order. The line cannot be evicted between
+		// replays within this call, so re-lookup is unnecessary.
+		l.process(waiting, line)
+	}
+}
+
+// installFill allocates a line for a block arriving from DRAM, evicting
+// any victim (non-inclusive: no constraint, never a stall), and assigns
+// the lease [mem_ts, mem_ts+lease] (Fig 6).
+func (l *L2) installFill(b mem.BlockAddr, data *mem.Block) *cache.Line[l2Meta] {
+	victim := l.array.Victim(b, nil)
+	if victim.Valid {
+		l.evict(victim)
+	}
+	l.ensureRoom(l.memTS + l.cfg.Lease)
+	l.array.Install(victim, b, data, l.now)
+	victim.Meta.wts = l.memTS
+	victim.Meta.rts = l.checked(l.memTS + l.cfg.Lease)
+	victim.Meta.lease = l.cfg.Lease
+	l.stats.DataAccesses++
+	return victim
+}
+
+// evict writes back a dirty victim and folds its rts into mem_ts so
+// future stores to the block order after every outstanding lease.
+func (l *L2) evict(victim *cache.Line[l2Meta]) {
+	l.stats.Evictions++
+	l.memTS = maxu(l.memTS, victim.Meta.rts)
+	if victim.Dirty {
+		l.stats.WritebackDRAM++
+		data := &mem.Block{}
+		*data = victim.Data
+		l.postDRAM(&mem.Msg{
+			Type: mem.DRAMWr, Block: victim.Addr, Src: l.bankID, Dst: l.bankID,
+			Data: data, Mask: mem.MaskAll,
+		})
+	}
+	l.array.Invalidate(victim)
+}
+
+// process serves one request against a present line.
+func (l *L2) process(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	switch msg.Type {
+	case mem.BusRd:
+		l.processRead(msg, line)
+	case mem.BusWr:
+		l.processWrite(msg, line)
+	case mem.BusAtom:
+		l.processAtomic(msg, line)
+	default:
+		panic(fmt.Sprintf("gtsc l2: unexpected message %v", msg.Type))
+	}
+}
+
+// processAtomic performs a read-modify-write as an indivisible
+// load+store at a single timestamp wts' = max(rts+1, warp_ts+1): the
+// read half returns the value current at wts', the write half creates
+// the new version — no stall, like every G-TSC write.
+func (l *L2) processAtomic(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	if l.cfg.AdaptiveLease && line.Meta.lease > l.cfg.Lease {
+		line.Meta.lease /= 2
+		if line.Meta.lease < l.cfg.Lease {
+			line.Meta.lease = l.cfg.Lease
+		}
+	}
+	lease := l.lineLease(line)
+	l.ensureRoom(maxu(line.Meta.rts+1, l.reqWarpTS(msg)+1) + lease)
+	warpTS := l.reqWarpTS(msg)
+	wts := l.checked(maxu(line.Meta.rts+1, warpTS+1))
+	rts := l.checked(wts + lease)
+
+	old := &mem.Block{}
+	mem.Merge(old, &line.Data, msg.Mask)
+	for i := 0; i < mem.WordsPerBlock; i++ {
+		if msg.Mask.Has(i) {
+			line.Data.Words[i] = msg.Atom.Apply(line.Data.Words[i], msg.Data.Words[i])
+		}
+	}
+	line.Dirty = true
+	line.Meta.wts = wts
+	line.Meta.rts = rts
+	l.array.Touch(line, l.now)
+	l.stats.DataAccesses++
+
+	if l.obs != nil {
+		// The read half observes the pre-update values, ordered just
+		// before the write half at the same timestamp (same ts,
+		// earlier physical sequence).
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Block: msg.Block,
+			Mask: msg.Mask, Data: *old, TS: l.unrolled(wts), Cycle: l.now,
+		})
+		var stored mem.Block
+		mem.Merge(&stored, &line.Data, msg.Mask)
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Store: true, Block: msg.Block,
+			Mask: msg.Mask, Data: stored, TS: l.unrolled(wts), Cycle: l.now,
+		})
+	}
+
+	l.postNoC(&mem.Msg{
+		Type: mem.BusAtomAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		WTS: wts, RTS: rts, Data: old, Mask: msg.Mask,
+		ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.epoch,
+		Reset: msg.Epoch < l.epoch,
+	})
+}
+
+// reqWarpTS interprets the request's warp timestamp, discarding
+// timestamps from a previous epoch (the requester will be told to
+// reset via the response's Epoch/Reset fields).
+func (l *L2) reqWarpTS(msg *mem.Msg) uint64 {
+	if msg.Epoch < l.epoch {
+		return initialTS
+	}
+	return msg.WarpTS
+}
+
+// processRead implements Fig 4: renewal when the requester's version
+// matches (dataless BusRnw), fill otherwise.
+func (l *L2) processRead(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	// A same-version re-request means the fixed lease ran out while
+	// the data stayed current: under the adaptive policy the block
+	// earns a longer lease (Tardis-2.0-style prediction).
+	if l.cfg.AdaptiveLease && msg.Epoch == l.epoch && msg.WTS == line.Meta.wts && line.Meta.lease < l.cfg.MaxLease {
+		line.Meta.lease *= 2
+		if line.Meta.lease > l.cfg.MaxLease {
+			line.Meta.lease = l.cfg.MaxLease
+		}
+	}
+	lease := l.lineLease(line)
+	// A lease extension past the timestamp width triggers the
+	// chip-wide reset first; afterwards every input is re-read in the
+	// new epoch (the request's warp_ts is discarded as stale).
+	l.ensureRoom(l.reqWarpTS(msg) + lease)
+	warpTS := l.reqWarpTS(msg)
+	newRTS := maxu(line.Meta.rts, warpTS+lease)
+	if newRTS > line.Meta.rts {
+		l.renewDist.Observe(newRTS - line.Meta.rts)
+	}
+	line.Meta.rts = newRTS
+	l.array.Touch(line, l.now)
+
+	stale := msg.Epoch < l.epoch
+	if !stale && msg.WTS == line.Meta.wts {
+		// Same version at the requester: renew the lease without data.
+		l.stats.RenewalsSent++
+		l.postNoC(&mem.Msg{
+			Type: mem.BusRnw, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+			RTS: newRTS, ReqID: msg.ReqID, Epoch: l.epoch,
+		})
+		return
+	}
+	l.stats.FillsSent++
+	l.stats.DataAccesses++
+	data := &mem.Block{}
+	*data = line.Data
+	l.postNoC(&mem.Msg{
+		Type: mem.BusFill, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		WTS: line.Meta.wts, RTS: newRTS, Data: data, ReqID: msg.ReqID,
+		Epoch: l.epoch, Reset: stale,
+	})
+}
+
+// processWrite implements Fig 5: the store is logically scheduled
+// strictly after every granted lease and after the writing warp's past
+// (wts' = max(rts+1, warp_ts+1)) — no stall, ever.
+func (l *L2) processWrite(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	// A write demotes an adaptive lease: the block is not read-only.
+	if l.cfg.AdaptiveLease && line.Meta.lease > l.cfg.Lease {
+		line.Meta.lease /= 2
+		if line.Meta.lease < l.cfg.Lease {
+			line.Meta.lease = l.cfg.Lease
+		}
+	}
+	lease := l.lineLease(line)
+	// Trigger the overflow reset before computing anything, then
+	// recompute all inputs in the (possibly new) epoch.
+	l.ensureRoom(maxu(line.Meta.rts+1, l.reqWarpTS(msg)+1) + lease)
+	warpTS := l.reqWarpTS(msg)
+	prevWTS := line.Meta.wts
+	wts := l.checked(maxu(line.Meta.rts+1, warpTS+1))
+	rts := l.checked(wts + lease)
+
+	mem.Merge(&line.Data, msg.Data, msg.Mask)
+	line.Dirty = true
+	line.Meta.wts = wts
+	line.Meta.rts = rts
+	l.array.Touch(line, l.now)
+	l.stats.DataAccesses++
+
+	if l.obs != nil {
+		var stored mem.Block
+		mem.Merge(&stored, msg.Data, msg.Mask)
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Store: true, Block: msg.Block,
+			Mask: msg.Mask, Data: stored, TS: l.unrolled(wts), Cycle: l.now,
+		})
+	}
+
+	ack := &mem.Msg{
+		Type: mem.BusWrAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		WTS: wts, RTS: rts, ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.epoch,
+		Reset: msg.Epoch < l.epoch,
+	}
+	if msg.WTS != mem.NoWTS && (msg.WTS != prevWTS || msg.Epoch < l.epoch) {
+		// The writer's cached base version was stale: return the
+		// authoritative merged block so its L1 copy is coherent.
+		data := &mem.Block{}
+		*data = line.Data
+		ack.Data = data
+	}
+	l.postNoC(ack)
+}
+
+func (l *L2) unrolled(ts uint64) uint64 { return l.epoch*(l.cfg.tsMax()+1) + ts }
+
+// lineLease returns the lease to grant on a line (per-block under the
+// adaptive policy, the fixed config lease otherwise).
+func (l *L2) lineLease(line *cache.Line[l2Meta]) uint64 {
+	if line.Meta.lease == 0 {
+		line.Meta.lease = l.cfg.Lease
+	}
+	return line.Meta.lease
+}
+
+// ensureRoom triggers the chip-wide overflow reset (§V-D) when the
+// worst-case timestamp a pending computation will produce does not fit
+// in the configured width. Callers must re-read every timestamp input
+// after calling it: the reset rewrites line metadata, mem_ts and the
+// epoch (which in turn invalidates the request's stale warp_ts).
+func (l *L2) ensureRoom(worst uint64) {
+	if worst <= l.cfg.tsMax() {
+		return
+	}
+	if l.resets == nil {
+		panic(fmt.Sprintf("gtsc l2: timestamp overflow (%d > %d) with no reset controller", worst, l.cfg.tsMax()))
+	}
+	l.resets.trigger()
+}
+
+// checked asserts a computed timestamp fits the width; ensureRoom must
+// have created space beforehand, so a failure is a protocol bug.
+func (l *L2) checked(ts uint64) uint64 {
+	if ts > l.cfg.tsMax() {
+		panic(fmt.Sprintf("gtsc l2: timestamp %d exceeds width after reset (lease too large for TSBits?)", ts))
+	}
+	return ts
+}
+
+// reset is invoked by the ResetController on every bank: wts of all
+// blocks restarts at 1, rts at lease, mem_ts at 1 (§V-D). Data is
+// up-to-date in L2, so nothing flushes here; L1s learn of the new
+// epoch from response messages and flush themselves.
+func (l *L2) reset(epoch uint64) {
+	l.epoch = epoch
+	l.stats.TSResets++
+	l.array.ForEach(func(c *cache.Line[l2Meta]) {
+		c.Meta.wts = initialTS
+		c.Meta.rts = initialTS + l.cfg.Lease
+		c.Meta.lease = l.cfg.Lease
+	})
+	l.memTS = initialTS
+}
+
+// Tick implements coherence.L2: drain output backpressure first, then
+// service up to perCycle queued requests.
+func (l *L2) Tick(now uint64) {
+	l.now = now
+	l.drainOut()
+	if len(l.outNoC) > 0 || len(l.outDRAM) > 0 {
+		return // head-of-line: do not accept new work while blocked
+	}
+	for i := 0; i < l.perCycle && len(l.inQ) > 0; i++ {
+		msg := l.inQ[0]
+		l.inQ = l.inQ[1:]
+		l.service(msg)
+	}
+}
+
+// service handles one request from the NoC.
+func (l *L2) service(msg *mem.Msg) {
+	switch msg.Type {
+	case mem.BusRd:
+		l.stats.Reads++
+	case mem.BusWr:
+		l.stats.Writes++
+	case mem.BusAtom:
+		l.stats.Atomics++
+	default:
+		panic(fmt.Sprintf("gtsc l2: unexpected request %v", msg.Type))
+	}
+	l.stats.TagProbes++
+
+	if m, ok := l.miss[msg.Block]; ok {
+		// A fill for this block is in flight; preserve order behind it.
+		m.waiting = append(m.waiting, msg)
+		return
+	}
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		l.stats.Misses++
+		m := &l2Miss{block: msg.Block, waiting: []*mem.Msg{msg}}
+		l.miss[msg.Block] = m
+		l.postDRAM(&mem.Msg{Type: mem.DRAMRd, Block: msg.Block, Src: l.bankID, Dst: l.bankID})
+		return
+	}
+	l.stats.Hits++
+	l.process(msg, line)
+}
+
+func (l *L2) postNoC(msg *mem.Msg) {
+	if len(l.outNoC) == 0 && l.sendNoC.TrySend(msg) {
+		return
+	}
+	l.outNoC = append(l.outNoC, msg)
+}
+
+func (l *L2) postDRAM(msg *mem.Msg) {
+	if len(l.outDRAM) == 0 && l.sendDRAM.TrySend(msg) {
+		return
+	}
+	l.outDRAM = append(l.outDRAM, msg)
+}
+
+func (l *L2) drainOut() {
+	for len(l.outNoC) > 0 {
+		if !l.sendNoC.TrySend(l.outNoC[0]) {
+			break
+		}
+		l.outNoC = l.outNoC[1:]
+	}
+	for len(l.outDRAM) > 0 {
+		if !l.sendDRAM.TrySend(l.outDRAM[0]) {
+			break
+		}
+		l.outDRAM = l.outDRAM[1:]
+	}
+}
+
+// ResetController coordinates the chip-wide timestamp overflow reset:
+// the overflowing bank "sends a reset signal to all L2 cache banks"
+// (§V-D) and every bank restarts its timestamps in a new epoch.
+type ResetController struct {
+	banks []*L2
+	epoch uint64
+	count uint64
+}
+
+// NewResetController returns an empty controller; banks join via
+// (*L2).AttachResets.
+func NewResetController() *ResetController { return &ResetController{} }
+
+// Resets reports how many overflow resets occurred.
+func (rc *ResetController) Resets() uint64 { return rc.count }
+
+// Epoch reports the current timestamp epoch.
+func (rc *ResetController) Epoch() uint64 { return rc.epoch }
+
+func (rc *ResetController) trigger() {
+	rc.epoch++
+	rc.count++
+	for _, b := range rc.banks {
+		b.reset(rc.epoch)
+	}
+}
+
+// Peek implements coherence.L2 (verification hook).
+func (l *L2) Peek(b mem.BlockAddr) (*mem.Block, bool) {
+	line := l.array.Lookup(b)
+	if line == nil {
+		return nil, false
+	}
+	data := line.Data
+	return &data, true
+}
+
+// DebugString renders the bank's transient state for deadlock
+// diagnosis and the gtsctrace tool.
+func (l *L2) DebugString() string {
+	s := fmt.Sprintf("L2[bank%d] epoch=%d memTS=%d inQ=%d outNoC=%d outDRAM=%d\n",
+		l.bankID, l.epoch, l.memTS, len(l.inQ), len(l.outNoC), len(l.outDRAM))
+	for b, m := range l.miss {
+		s += fmt.Sprintf("  miss %v waiting=%d\n", b, len(m.waiting))
+	}
+	return s
+}

@@ -1,0 +1,385 @@
+package dir
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// l1State is an L1 line's MESI-style state (I is an invalid line).
+type l1State uint8
+
+const (
+	stateS l1State = iota + 1
+	stateE
+	stateM
+)
+
+type l1Meta struct {
+	state l1State
+}
+
+type waiter struct {
+	req *coherence.Request
+}
+
+// pendingM tracks a block's outstanding GetM and the stores waiting on
+// the grant.
+type pendingM struct {
+	block  mem.BlockAddr
+	stores []*coherence.Request
+}
+
+// pendingAtomic tracks one atomic forwarded to the L2.
+type pendingAtomic struct {
+	req *coherence.Request
+}
+
+// L1 is the directory protocol's private cache: write-back,
+// write-allocate, invalidated on demand by the directory. It
+// implements coherence.L1.
+type L1 struct {
+	cfg    Config
+	smID   int
+	nBanks int
+	now    uint64
+
+	array *cache.Array[l1Meta]
+	mshr  *cache.MSHR[waiter]
+
+	send  coherence.Sender
+	outQ  []*mem.Msg
+	stats stats.L1Stats
+	obs   coherence.Observer
+
+	// getm holds blocks with an outstanding GetM (at most one each).
+	getm map[mem.BlockAddr]*pendingM
+	// wbInFlight marks blocks whose dirty eviction writeback has been
+	// sent but (as far as this L1 knows) not yet consumed; an
+	// invalidation for such a block acknowledges with the flag so the
+	// directory waits for the writeback's data.
+	wbInFlight map[mem.BlockAddr]bool
+
+	atomics   map[uint64]*pendingAtomic
+	nextReqID uint64
+	pending   int
+}
+
+// Geometry describes the cache organization.
+type Geometry struct {
+	Sets  int
+	Ways  int
+	MSHRs int
+}
+
+// NewL1 builds the directory-protocol L1 for SM smID.
+func NewL1(cfg Config, smID, nBanks int, geo Geometry, send coherence.Sender, obs coherence.Observer) *L1 {
+	cfg.fillDefaults()
+	return &L1{
+		cfg:        cfg,
+		smID:       smID,
+		nBanks:     nBanks,
+		array:      cache.NewArray[l1Meta](geo.Sets, geo.Ways),
+		mshr:       cache.NewMSHR[waiter](geo.MSHRs),
+		send:       send,
+		obs:        obs,
+		getm:       make(map[mem.BlockAddr]*pendingM),
+		wbInFlight: make(map[mem.BlockAddr]bool),
+		atomics:    make(map[uint64]*pendingAtomic),
+	}
+}
+
+// Stats implements coherence.L1.
+func (l *L1) Stats() *stats.L1Stats { return &l.stats }
+
+// Pending implements coherence.L1.
+func (l *L1) Pending() int { return l.pending }
+
+// Access implements coherence.L1.
+func (l *L1) Access(req *coherence.Request) coherence.AccessResult {
+	switch {
+	case req.Atomic:
+		return l.accessAtomic(req)
+	case req.Store:
+		return l.accessStore(req)
+	default:
+		return l.accessLoad(req)
+	}
+}
+
+func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
+	l.stats.Loads++
+	l.stats.TagProbes++
+	line := l.array.Lookup(req.Block)
+	if line != nil && l.getm[req.Block] == nil {
+		// Any valid state serves loads (single-writer holds: if some
+		// other SM had M, this line would have been invalidated).
+		l.stats.Hits++
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+		l.pending++ // completeLoad decrements
+		l.completeLoad(req, &line.Data)
+		return coherence.Hit
+	}
+	if line != nil {
+		// A GetM for this block is outstanding: the load is ordered
+		// after the store and waits for the grant.
+		l.stats.MissLocked++
+	} else {
+		l.stats.MissCold++
+	}
+	e := l.mshr.Lookup(req.Block)
+	if e == nil && l.mshr.Full() {
+		l.stats.MSHRStalls++
+		return coherence.Reject
+	}
+	if e != nil {
+		l.stats.MSHRMerges++
+		e.Waiters = append(e.Waiters, waiter{req: req})
+		l.pending++
+		return coherence.Pending
+	}
+	e = l.mshr.Allocate(req.Block)
+	e.Waiters = append(e.Waiters, waiter{req: req})
+	l.pending++
+	if l.getm[req.Block] == nil {
+		// No request in flight yet: send GetS.
+		e.Issued = true
+		l.nextReqID++
+		l.post(&mem.Msg{
+			Type: mem.BusRd, Block: req.Block, Src: l.smID,
+			Dst: bankOf(uint64(req.Block), l.nBanks), ReqID: l.nextReqID,
+		})
+	}
+	return coherence.Pending
+}
+
+func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
+	l.stats.Stores++
+	l.stats.TagProbes++
+	line := l.array.Lookup(req.Block)
+	if line != nil && l.getm[req.Block] == nil &&
+		(line.Meta.state == stateM || line.Meta.state == stateE) {
+		// Exclusive: write locally; E upgrades to M silently.
+		mem.Merge(&line.Data, req.Data, req.Mask)
+		line.Meta.state = stateM
+		line.Dirty = true
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+		l.observeStore(req)
+		req.Done(coherence.Completion{})
+		return coherence.Hit
+	}
+	// S or I (or M-grant already pending): needs M.
+	pm := l.getm[req.Block]
+	if pm == nil {
+		pm = &pendingM{block: req.Block}
+		l.getm[req.Block] = pm
+		l.nextReqID++
+		l.post(&mem.Msg{
+			Type: mem.BusGetM, Block: req.Block, Src: l.smID,
+			Dst: bankOf(uint64(req.Block), l.nBanks), ReqID: l.nextReqID,
+		})
+	}
+	pm.stores = append(pm.stores, req)
+	l.pending++
+	return coherence.Pending
+}
+
+func (l *L1) accessAtomic(req *coherence.Request) coherence.AccessResult {
+	l.stats.Atomics++
+	l.nextReqID++
+	l.atomics[l.nextReqID] = &pendingAtomic{req: req}
+	l.pending++
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type: mem.BusAtom, Block: req.Block, Src: l.smID,
+		Dst: bankOf(uint64(req.Block), l.nBanks), Data: data, Mask: req.Mask,
+		Atom: req.Atom, ReqID: l.nextReqID, Warp: req.Warp,
+	})
+	return coherence.Pending
+}
+
+func (l *L1) completeLoad(req *coherence.Request, data *mem.Block) {
+	out := &mem.Block{}
+	mem.Merge(out, data, req.Mask)
+	if l.obs != nil {
+		l.obs.Observe(coherence.Op{
+			SM: l.smID, Warp: req.Warp, Block: req.Block, Mask: req.Mask,
+			Data: *out, Cycle: l.now,
+		})
+	}
+	l.pending--
+	req.Done(coherence.Completion{Data: out})
+}
+
+func (l *L1) observeStore(req *coherence.Request) {
+	if l.obs == nil {
+		return
+	}
+	var stored mem.Block
+	mem.Merge(&stored, req.Data, req.Mask)
+	l.obs.Observe(coherence.Op{
+		SM: l.smID, Warp: req.Warp, Store: true, Block: req.Block,
+		Mask: req.Mask, Data: stored, Cycle: l.now,
+	})
+}
+
+// Deliver implements coherence.L1.
+func (l *L1) Deliver(msg *mem.Msg) {
+	switch msg.Type {
+	case mem.BusFill:
+		l.onGrant(msg)
+	case mem.BusInv:
+		l.onInv(msg)
+	case mem.BusAtomAck:
+		pa, ok := l.atomics[msg.ReqID]
+		if !ok {
+			panic("dir l1: atomic ack for unknown request")
+		}
+		delete(l.atomics, msg.ReqID)
+		l.pending--
+		pa.req.Done(coherence.Completion{Data: msg.Data})
+	default:
+		panic(fmt.Sprintf("dir l1: unexpected message %v", msg.Type))
+	}
+}
+
+// onGrant installs granted data. GetS grants carry S or E; GetM grants
+// carry M, and the block's pending stores apply on top.
+func (l *L1) onGrant(msg *mem.Msg) {
+	l.stats.Fills++
+	// A fill means every message this L1 sent for the block earlier
+	// (including a writeback) has been consumed by the bank.
+	delete(l.wbInFlight, msg.Block)
+
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		victim := l.array.Victim(msg.Block, nil)
+		if victim.Valid {
+			l.evict(victim)
+		}
+		l.array.Install(victim, msg.Block, msg.Data, l.now)
+		line = victim
+	} else {
+		line.Data = *msg.Data
+		l.array.Touch(line, l.now)
+	}
+	l.stats.DataAccesses++
+
+	switch msg.WTS {
+	case grantS:
+		line.Meta.state = stateS
+	case grantE:
+		line.Meta.state = stateE
+	case grantM:
+		line.Meta.state = stateM
+		line.Dirty = true
+		pm := l.getm[msg.Block]
+		if pm == nil {
+			panic("dir l1: M grant without pending GetM")
+		}
+		delete(l.getm, msg.Block)
+		for _, st := range pm.stores {
+			mem.Merge(&line.Data, st.Data, st.Mask)
+			l.stats.DataAccesses++
+			l.observeStore(st)
+			l.pending--
+			st.Done(coherence.Completion{})
+		}
+	default:
+		panic(fmt.Sprintf("dir l1: unknown grant state %d", msg.WTS))
+	}
+
+	// Wake loads parked on this block.
+	if e := l.mshr.Lookup(msg.Block); e != nil {
+		for _, w := range e.Waiters {
+			l.stats.DataAccesses++
+			l.completeLoad(w.req, &line.Data)
+		}
+		l.mshr.Release(msg.Block)
+	}
+}
+
+// onInv serves a directory invalidation or downgrade: acknowledge,
+// carrying data when our copy is dirty, or the wb-in-flight flag when
+// the dirty copy was already evicted toward the bank.
+func (l *L1) onInv(msg *mem.Msg) {
+	l.stats.InvsReceived++
+	line := l.array.Lookup(msg.Block)
+	ack := &mem.Msg{
+		Type: mem.BusInvAck, Block: msg.Block, Src: l.smID,
+		Dst: bankOf(uint64(msg.Block), l.nBanks), ReqID: msg.ReqID,
+	}
+	if line != nil {
+		if line.Dirty {
+			data := &mem.Block{}
+			*data = line.Data
+			ack.Data = data
+			ack.Mask = mem.MaskAll
+		}
+		if msg.WTS == invDowngrade {
+			line.Meta.state = stateS
+			line.Dirty = false
+		} else {
+			l.stats.SelfInval++
+			l.array.Invalidate(line)
+		}
+	} else if l.wbInFlight[msg.Block] {
+		// Our dirty copy's writeback is racing this invalidation: tell
+		// the directory to wait for it.
+		ack.Reset = true
+	}
+	l.post(ack)
+}
+
+// evict writes back dirty victims; clean victims leave silently (the
+// directory's sharer list goes stale, which later invalidations
+// tolerate).
+func (l *L1) evict(victim *cache.Line[l1Meta]) {
+	if victim.Dirty {
+		l.stats.Writebacks++
+		l.wbInFlight[victim.Addr] = true
+		data := &mem.Block{}
+		*data = victim.Data
+		l.post(&mem.Msg{
+			Type: mem.BusWB, Block: victim.Addr, Src: l.smID,
+			Dst: bankOf(uint64(victim.Addr), l.nBanks), Data: data, Mask: mem.MaskAll,
+		})
+	}
+	l.array.Invalidate(victim)
+}
+
+// Flush implements coherence.L1: write back every dirty line and drop
+// the rest (kernel boundary).
+func (l *L1) Flush() {
+	if l.pending != 0 {
+		panic("dir l1: flush with outstanding accesses")
+	}
+	l.stats.Flushes++
+	l.array.ForEach(func(c *cache.Line[l1Meta]) {
+		l.evict(c)
+	})
+}
+
+func (l *L1) post(msg *mem.Msg) {
+	if len(l.outQ) == 0 && l.send.TrySend(msg) {
+		return
+	}
+	l.outQ = append(l.outQ, msg)
+}
+
+// Tick implements coherence.L1.
+func (l *L1) Tick(now uint64) {
+	l.now = now
+	for len(l.outQ) > 0 {
+		if !l.send.TrySend(l.outQ[0]) {
+			return
+		}
+		l.outQ = l.outQ[1:]
+	}
+}

@@ -1,0 +1,521 @@
+package dir
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// dirMeta is the full-map directory entry of one L2 line.
+type dirMeta struct {
+	sharers uint64 // bit per SM holding S
+	owner   int    // SM holding E/M, or -1
+}
+
+func (d *dirMeta) clearOwner() { d.owner = -1 }
+
+// target tracks one pending invalidation acknowledgment.
+type target struct {
+	done   bool
+	waitWB bool // ack said a dirty writeback is in flight; wait for it
+}
+
+// busyState is an in-progress directory transaction on one block:
+// invalidations/downgrades are outstanding and other requests for the
+// block queue behind it.
+type busyState struct {
+	block   mem.BlockAddr
+	targets map[int]*target
+	// grant, when non-nil, is the request to serve once all targets
+	// acknowledge (GetS with owner, GetM, or an atomic). When nil the
+	// busy is an eviction recall and completion frees the line.
+	grant   *mem.Msg
+	waiting []*mem.Msg
+}
+
+func (b *busyState) remaining() int {
+	n := 0
+	for _, t := range b.targets {
+		if !t.done {
+			n++
+		}
+	}
+	return n
+}
+
+// l2Miss tracks a DRAM fetch in progress.
+type l2Miss struct {
+	block   mem.BlockAddr
+	waiting []*mem.Msg
+	data    *mem.Block // non-nil once DRAM returned but install stalled
+}
+
+// L2 is one directory bank: an inclusive shared cache whose lines
+// carry a full sharer map. It implements coherence.L2.
+type L2 struct {
+	cfg    Config
+	bankID int
+	now    uint64
+
+	array *cache.Array[dirMeta]
+	miss  map[mem.BlockAddr]*l2Miss
+	busy  map[mem.BlockAddr]*busyState
+
+	inQ      []*mem.Msg
+	perCycle int
+
+	sendNoC  coherence.Sender
+	sendDRAM coherence.Sender
+	outNoC   []*mem.Msg
+	outDRAM  []*mem.Msg
+
+	stats stats.L2Stats
+	obs   coherence.Observer
+}
+
+// L2Geometry describes one bank's organization.
+type L2Geometry struct {
+	Sets     int
+	Ways     int
+	PerCycle int
+}
+
+// NewL2 builds directory bank bankID.
+func NewL2(cfg Config, bankID int, geo L2Geometry, sendNoC, sendDRAM coherence.Sender, obs coherence.Observer) *L2 {
+	cfg.fillDefaults()
+	if geo.PerCycle == 0 {
+		geo.PerCycle = 1
+	}
+	return &L2{
+		cfg:      cfg,
+		bankID:   bankID,
+		array:    cache.NewArray[dirMeta](geo.Sets, geo.Ways),
+		miss:     make(map[mem.BlockAddr]*l2Miss),
+		busy:     make(map[mem.BlockAddr]*busyState),
+		perCycle: geo.PerCycle,
+		sendNoC:  sendNoC,
+		sendDRAM: sendDRAM,
+		obs:      obs,
+	}
+}
+
+// Stats implements coherence.L2.
+func (l *L2) Stats() *stats.L2Stats { return &l.stats }
+
+// Pending implements coherence.L2.
+func (l *L2) Pending() int {
+	n := len(l.inQ) + len(l.outNoC) + len(l.outDRAM)
+	for _, m := range l.miss {
+		n += len(m.waiting) + 1
+	}
+	for _, b := range l.busy {
+		n += len(b.waiting) + b.remaining() + 1
+	}
+	return n
+}
+
+// Peek implements coherence.L2 (verification hook). Note the
+// architecturally current data may live in an owner's L1 until the
+// kernel-boundary flush writes it back.
+func (l *L2) Peek(b mem.BlockAddr) (*mem.Block, bool) {
+	line := l.array.Lookup(b)
+	if line == nil {
+		return nil, false
+	}
+	data := line.Data
+	return &data, true
+}
+
+// Deliver implements coherence.L2.
+func (l *L2) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+
+// DRAMFill implements coherence.L2.
+func (l *L2) DRAMFill(msg *mem.Msg) {
+	m, ok := l.miss[msg.Block]
+	if !ok {
+		panic("dir l2: DRAM fill without outstanding miss")
+	}
+	m.data = msg.Data
+	l.tryInstall(m)
+}
+
+// tryInstall places a fetched block. Inclusion: the victim must have
+// no live L1 copies; otherwise a recall (invalidation round) runs
+// first and the install retries.
+func (l *L2) tryInstall(m *l2Miss) {
+	victim := l.array.Victim(m.block, func(c *cache.Line[dirMeta]) bool {
+		return c.Meta.sharers == 0 && c.Meta.owner < 0 && l.busy[c.Addr] == nil
+	})
+	if victim == nil {
+		l.stats.EvictStalls++
+		l.startRecall(m.block)
+		return
+	}
+	if victim.Valid {
+		l.evictClean(victim)
+	}
+	l.array.Install(victim, m.block, m.data, l.now)
+	victim.Meta.clearOwner()
+	l.stats.DataAccesses++
+	delete(l.miss, m.block)
+	waiting := m.waiting
+	l.runQueue(m.block, waiting)
+}
+
+// startRecall begins invalidating the LRU victim's L1 copies so a
+// stalled install can proceed — the §II-C recall traffic.
+func (l *L2) startRecall(forBlock mem.BlockAddr) {
+	victim := l.array.Victim(forBlock, func(c *cache.Line[dirMeta]) bool {
+		return l.busy[c.Addr] == nil
+	})
+	if victim == nil {
+		return // every way is mid-transaction; retry next tick
+	}
+	if victim.Meta.sharers == 0 && victim.Meta.owner < 0 {
+		return // became clean meanwhile; the retry will install over it
+	}
+	l.stats.Recalls++
+	l.beginBusy(victim.Addr, &victim.Meta, -1, nil)
+}
+
+// evictClean evicts a line with no L1 copies, writing dirty data back
+// to memory.
+func (l *L2) evictClean(victim *cache.Line[dirMeta]) {
+	l.stats.Evictions++
+	if victim.Dirty {
+		l.stats.WritebackDRAM++
+		data := &mem.Block{}
+		*data = victim.Data
+		l.postDRAM(&mem.Msg{
+			Type: mem.DRAMWr, Block: victim.Addr, Src: l.bankID, Dst: l.bankID,
+			Data: data, Mask: mem.MaskAll,
+		})
+	}
+	l.array.Invalidate(victim)
+}
+
+// beginBusy sends invalidations (or a downgrade, for GetS-vs-owner) to
+// every live copy except exclude, and parks grant until all targets
+// acknowledge.
+func (l *L2) beginBusy(block mem.BlockAddr, meta *dirMeta, exclude int, grant *mem.Msg) {
+	b := &busyState{block: block, targets: map[int]*target{}, grant: grant}
+	downgrade := grant != nil && grant.Type == mem.BusRd
+	subtype := uint64(invInvalidate)
+	if downgrade {
+		subtype = invDowngrade
+	}
+	for sm := 0; sm < l.cfg.MaxSharers; sm++ {
+		if sm == exclude {
+			continue
+		}
+		hasCopy := meta.sharers&(1<<uint(sm)) != 0 || meta.owner == sm
+		if !hasCopy {
+			continue
+		}
+		b.targets[sm] = &target{}
+		l.stats.Invalidations++
+		l.postNoC(&mem.Msg{
+			Type: mem.BusInv, Block: block, Src: l.bankID, Dst: sm, WTS: subtype,
+		})
+	}
+	if len(b.targets) == 0 {
+		panic("dir l2: busy with no targets")
+	}
+	l.busy[block] = b
+}
+
+// onInvAck processes one acknowledgment.
+func (l *L2) onInvAck(msg *mem.Msg) {
+	b := l.busy[msg.Block]
+	if b == nil {
+		return // stale ack after a completed recall; harmless
+	}
+	t := b.targets[msg.Src]
+	if t == nil || t.done {
+		return
+	}
+	line := l.array.Lookup(msg.Block)
+	if msg.Data != nil && line != nil {
+		mem.Merge(&line.Data, msg.Data, msg.Mask)
+		line.Dirty = true
+	}
+	if msg.Reset {
+		// The dirty copy's writeback is in flight; completion waits
+		// for the BusWB itself.
+		t.waitWB = true
+		l.maybeFinishBusy(b)
+		return
+	}
+	t.done = true
+	l.maybeFinishBusy(b)
+}
+
+// onWB merges a writeback. If a busy transaction was waiting on this
+// owner's data, the writeback completes that target.
+func (l *L2) onWB(msg *mem.Msg) {
+	line := l.array.Lookup(msg.Block)
+	if line != nil {
+		mem.Merge(&line.Data, msg.Data, msg.Mask)
+		line.Dirty = true
+		if line.Meta.owner == msg.Src {
+			line.Meta.clearOwner()
+		}
+		l.stats.DataAccesses++
+	}
+	if b := l.busy[msg.Block]; b != nil {
+		if t := b.targets[msg.Src]; t != nil && t.waitWB && !t.done {
+			t.done = true
+			l.maybeFinishBusy(b)
+		}
+	}
+}
+
+// maybeFinishBusy completes the transaction once every target is done:
+// the directory state collapses and the parked grant (if any) is
+// served, then queued requests replay.
+func (l *L2) maybeFinishBusy(b *busyState) {
+	if b.remaining() != 0 {
+		return
+	}
+	delete(l.busy, b.block)
+	line := l.array.Lookup(b.block)
+	if line == nil {
+		panic("dir l2: busy line vanished")
+	}
+	// All targeted copies are gone (or downgraded).
+	if b.grant != nil && b.grant.Type == mem.BusRd {
+		// Downgrade path: the old owner keeps an S copy.
+		if line.Meta.owner >= 0 {
+			line.Meta.sharers |= 1 << uint(line.Meta.owner)
+		}
+	} else {
+		for sm := range b.targets {
+			line.Meta.sharers &^= 1 << uint(sm)
+		}
+	}
+	if line.Meta.owner >= 0 {
+		line.Meta.clearOwner()
+	}
+
+	if b.grant != nil {
+		l.serve(b.grant, line)
+	}
+	l.runQueue(b.block, b.waiting)
+}
+
+// runQueue replays parked requests in order; a request that starts a
+// new transaction absorbs the rest of the queue.
+func (l *L2) runQueue(block mem.BlockAddr, msgs []*mem.Msg) {
+	for i, msg := range msgs {
+		line := l.array.Lookup(block)
+		if line == nil {
+			// The line was evicted between replays (recall-for-install
+			// completed): refetch through the miss path.
+			l.route(msg)
+			continue
+		}
+		l.serve(msg, line)
+		if nb := l.busy[block]; nb != nil {
+			nb.waiting = append(nb.waiting, msgs[i+1:]...)
+			return
+		}
+	}
+}
+
+// serve handles one request against a present, non-busy line.
+func (l *L2) serve(msg *mem.Msg, line *cache.Line[dirMeta]) {
+	meta := &line.Meta
+	switch msg.Type {
+	case mem.BusRd: // GetS
+		if meta.owner >= 0 && meta.owner != msg.Src {
+			l.beginBusy(msg.Block, meta, msg.Src, msg)
+			return
+		}
+		if meta.owner == msg.Src {
+			// Re-request from the owner itself (lost its copy after a
+			// silent E eviction): keep exclusivity.
+			l.grant(msg, line, grantE)
+			return
+		}
+		if meta.sharers == 0 {
+			meta.owner = msg.Src
+			l.grant(msg, line, grantE)
+			return
+		}
+		meta.sharers |= 1 << uint(msg.Src)
+		l.grant(msg, line, grantS)
+	case mem.BusGetM:
+		others := meta.sharers &^ (1 << uint(msg.Src))
+		if others == 0 && (meta.owner < 0 || meta.owner == msg.Src) {
+			meta.sharers = 0
+			meta.owner = msg.Src
+			l.grant(msg, line, grantM)
+			return
+		}
+		l.beginBusy(msg.Block, meta, msg.Src, msg)
+	case mem.BusAtom:
+		if meta.sharers != 0 || meta.owner >= 0 {
+			// Recall every copy (including the requester's), then
+			// perform at the L2.
+			l.beginBusy(msg.Block, meta, -1, msg)
+			return
+		}
+		l.performAtomic(msg, line)
+	case mem.BusWB:
+		l.onWB(msg)
+	default:
+		panic(fmt.Sprintf("dir l2: unexpected message %v", msg.Type))
+	}
+}
+
+// grant completes a GetS/GetM (state per the grant code). GetM grants
+// re-run through serve's GetM arm; by construction all other copies
+// are gone, so this sends the fill.
+func (l *L2) grant(msg *mem.Msg, line *cache.Line[dirMeta], state uint64) {
+	if msg.Type == mem.BusGetM {
+		line.Meta.sharers = 0
+		line.Meta.owner = msg.Src
+		state = grantM
+	}
+	if msg.Type == mem.BusAtom {
+		l.performAtomic(msg, line)
+		return
+	}
+	l.stats.FillsSent++
+	l.stats.DataAccesses++
+	data := &mem.Block{}
+	*data = line.Data
+	l.array.Touch(line, l.now)
+	l.postNoC(&mem.Msg{
+		Type: mem.BusFill, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		WTS: state, Data: data, ReqID: msg.ReqID,
+	})
+}
+
+func (l *L2) performAtomic(msg *mem.Msg, line *cache.Line[dirMeta]) {
+	old := &mem.Block{}
+	mem.Merge(old, &line.Data, msg.Mask)
+	for i := 0; i < mem.WordsPerBlock; i++ {
+		if msg.Mask.Has(i) {
+			line.Data.Words[i] = msg.Atom.Apply(line.Data.Words[i], msg.Data.Words[i])
+		}
+	}
+	line.Dirty = true
+	l.array.Touch(line, l.now)
+	l.stats.DataAccesses++
+	if l.obs != nil {
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Block: msg.Block,
+			Mask: msg.Mask, Data: *old, Cycle: l.now,
+		})
+		var stored mem.Block
+		mem.Merge(&stored, &line.Data, msg.Mask)
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Store: true, Block: msg.Block,
+			Mask: msg.Mask, Data: stored, Cycle: l.now,
+		})
+	}
+	l.postNoC(&mem.Msg{
+		Type: mem.BusAtomAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		Data: old, Mask: msg.Mask, ReqID: msg.ReqID, Warp: msg.Warp,
+	})
+}
+
+// route dispatches a request when the line may be absent or busy.
+func (l *L2) route(msg *mem.Msg) {
+	if b, ok := l.busy[msg.Block]; ok {
+		if msg.Type == mem.BusInvAck {
+			l.onInvAck(msg)
+			return
+		}
+		if msg.Type == mem.BusWB {
+			l.onWB(msg)
+			return
+		}
+		b.waiting = append(b.waiting, msg)
+		return
+	}
+	switch msg.Type {
+	case mem.BusInvAck:
+		l.onInvAck(msg)
+		return
+	case mem.BusWB:
+		l.onWB(msg)
+		return
+	}
+	if m, ok := l.miss[msg.Block]; ok {
+		m.waiting = append(m.waiting, msg)
+		return
+	}
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		l.stats.Misses++
+		m := &l2Miss{block: msg.Block, waiting: []*mem.Msg{msg}}
+		l.miss[msg.Block] = m
+		l.postDRAM(&mem.Msg{Type: mem.DRAMRd, Block: msg.Block, Src: l.bankID, Dst: l.bankID})
+		return
+	}
+	l.stats.Hits++
+	l.serve(msg, line)
+}
+
+// Tick implements coherence.L2.
+func (l *L2) Tick(now uint64) {
+	l.now = now
+	l.drainOut()
+	// Retry stalled installs (their recalls may have completed).
+	for _, m := range l.miss {
+		if m.data != nil && l.busy[m.block] == nil {
+			l.tryInstall(m)
+		}
+	}
+	if len(l.outNoC) > 0 || len(l.outDRAM) > 0 {
+		return
+	}
+	for i := 0; i < l.perCycle && len(l.inQ) > 0; i++ {
+		msg := l.inQ[0]
+		l.inQ = l.inQ[1:]
+		switch msg.Type {
+		case mem.BusRd:
+			l.stats.Reads++
+		case mem.BusGetM:
+			l.stats.Writes++
+		case mem.BusAtom:
+			l.stats.Atomics++
+		}
+		l.stats.TagProbes++
+		l.route(msg)
+	}
+}
+
+func (l *L2) postNoC(msg *mem.Msg) {
+	if len(l.outNoC) == 0 && l.sendNoC.TrySend(msg) {
+		return
+	}
+	l.outNoC = append(l.outNoC, msg)
+}
+
+func (l *L2) postDRAM(msg *mem.Msg) {
+	if len(l.outDRAM) == 0 && l.sendDRAM.TrySend(msg) {
+		return
+	}
+	l.outDRAM = append(l.outDRAM, msg)
+}
+
+func (l *L2) drainOut() {
+	for len(l.outNoC) > 0 {
+		if !l.sendNoC.TrySend(l.outNoC[0]) {
+			break
+		}
+		l.outNoC = l.outNoC[1:]
+	}
+	for len(l.outDRAM) > 0 {
+		if !l.sendDRAM.TrySend(l.outDRAM[0]) {
+			break
+		}
+		l.outDRAM = l.outDRAM[1:]
+	}
+}

@@ -1,0 +1,63 @@
+package dram
+
+import "github.com/gtsc-sim/gtsc/internal/mem"
+
+// Banked row-buffer timing: when Config.Banked is set, the partition
+// models per-bank open rows — a request hitting the open row pays
+// RowHitLatency, anything else pays RowMissLatency (precharge +
+// activate + access) — with first-come-first-served scheduling per
+// bank. This refines the flat-latency mode the paper-scale experiments
+// use, for the DRAM-sensitivity ablation.
+
+// bank is one DRAM bank's state.
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	busyTill uint64
+}
+
+// bankedState holds the per-partition banked-mode machinery.
+type bankedState struct {
+	banks []bank
+}
+
+// bankOf maps a block to a bank within the partition, and rowOf to a
+// row within the bank (rows of RowBlocks consecutive blocks).
+func (p *Partition) bankIndex(b mem.BlockAddr) int {
+	return int((uint64(b) / uint64(p.cfg.RowBlocks)) % uint64(p.cfg.Banks))
+}
+
+func (p *Partition) rowOf(b mem.BlockAddr) uint64 {
+	return uint64(b) / uint64(p.cfg.RowBlocks) / uint64(p.cfg.Banks)
+}
+
+// tickBanked issues at most one request per cycle to a free bank,
+// oldest-first, and delivers due fills. The channel still enforces
+// IssueInterval between issues.
+func (p *Partition) tickBanked(now uint64) {
+	if now >= p.nextIssue {
+		for i, msg := range p.queue {
+			bk := &p.banked.banks[p.bankIndex(msg.Block)]
+			if bk.busyTill > now {
+				continue // bank busy; try a younger request (FR over banks)
+			}
+			row := p.rowOf(msg.Block)
+			lat := p.cfg.RowMissLatency
+			if bk.rowValid && bk.openRow == row {
+				lat = p.cfg.RowHitLatency
+				p.stats.RowHits++
+			} else {
+				p.stats.RowMisses++
+			}
+			bk.openRow = row
+			bk.rowValid = true
+			bk.busyTill = now + lat
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			p.nextIssue = now + p.cfg.IssueInterval
+			p.stats.BusyCycles += p.cfg.IssueInterval
+			p.serve(msg, now, lat)
+			break
+		}
+	}
+	p.deliverDue(now)
+}

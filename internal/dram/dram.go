@@ -1,0 +1,185 @@
+// Package dram models one GDDR memory partition per L2 bank: a request
+// queue, a fixed access latency and a minimum issue interval that
+// bounds bandwidth. It also owns the functional backing store so that
+// data returned by fills is architecturally correct — the workloads'
+// results are verified against sequential references, which requires
+// the memory system to actually move real values.
+package dram
+
+import (
+	"container/heap"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Config sets the partition timing parameters.
+type Config struct {
+	// Latency is the cycles from issue to fill delivery in the flat
+	// model (default 200).
+	Latency uint64
+	// IssueInterval is the minimum cycles between issues on one
+	// partition, bounding bandwidth (default 4: one 128B block per 4
+	// cycles per partition).
+	IssueInterval uint64
+	// QueueCap bounds the request queue (default 64).
+	QueueCap int
+
+	// Banked switches to the per-bank row-buffer model: requests
+	// hitting a bank's open row pay RowHitLatency, others pay
+	// RowMissLatency; banks serve independently, oldest-first.
+	Banked bool
+	// Banks per partition (default 8).
+	Banks int
+	// RowBlocks is the row size in 128-byte blocks (default 16 = 2KB).
+	RowBlocks int
+	// RowHitLatency (default 120) and RowMissLatency (default 280).
+	RowHitLatency  uint64
+	RowMissLatency uint64
+}
+
+// DefaultConfig returns paper-scale partition parameters (flat model).
+func DefaultConfig() Config { return Config{Latency: 200, IssueInterval: 4, QueueCap: 64} }
+
+// DefaultBankedConfig returns the banked row-buffer parameters.
+func DefaultBankedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Banked = true
+	return cfg
+}
+
+// Partition is one memory channel. Reads copy the block from the
+// backing store at issue time; writes merge into it immediately on
+// issue (write completion is not acknowledged — L2 write-backs are
+// fire-and-forget, as in GPGPU-Sim's simple DRAM mode).
+type Partition struct {
+	cfg       Config
+	id        int
+	store     *mem.Store
+	queue     []*mem.Msg
+	fills     fillHeap
+	nextIssue uint64
+	stats     stats.DRAMStats
+	banked    bankedState
+
+	// Deliver hands a completed DRAMFill back to the owning L2 bank.
+	Deliver func(msg *mem.Msg)
+}
+
+// New builds a partition backed by store. The store is shared among
+// partitions (it is the single global memory image); address
+// interleaving is the caller's concern.
+func New(cfg Config, id int, store *mem.Store) *Partition {
+	if cfg.Latency == 0 {
+		cfg.Latency = DefaultConfig().Latency
+	}
+	if cfg.IssueInterval == 0 {
+		cfg.IssueInterval = DefaultConfig().IssueInterval
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultConfig().QueueCap
+	}
+	if cfg.Banks == 0 {
+		cfg.Banks = 8
+	}
+	if cfg.RowBlocks == 0 {
+		cfg.RowBlocks = 16
+	}
+	if cfg.RowHitLatency == 0 {
+		cfg.RowHitLatency = 120
+	}
+	if cfg.RowMissLatency == 0 {
+		cfg.RowMissLatency = 280
+	}
+	p := &Partition{cfg: cfg, id: id, store: store}
+	if cfg.Banked {
+		p.banked.banks = make([]bank, cfg.Banks)
+	}
+	return p
+}
+
+// Stats returns the partition's counters.
+func (p *Partition) Stats() *stats.DRAMStats { return &p.stats }
+
+// Pending reports queued plus in-flight requests.
+func (p *Partition) Pending() int { return len(p.queue) + len(p.fills) }
+
+// Enqueue accepts a DRAMRd or DRAMWr request; it returns false when the
+// queue is full and the L2 bank must retry.
+func (p *Partition) Enqueue(msg *mem.Msg) bool {
+	if len(p.queue) >= p.cfg.QueueCap {
+		return false
+	}
+	p.queue = append(p.queue, msg)
+	return true
+}
+
+// Tick issues requests and delivers due fills. The flat model issues
+// the queue head every IssueInterval with a fixed latency; the banked
+// model schedules per-bank with row-buffer timing.
+func (p *Partition) Tick(now uint64) {
+	if p.cfg.Banked {
+		p.tickBanked(now)
+		return
+	}
+	if len(p.queue) > 0 && now >= p.nextIssue {
+		msg := p.queue[0]
+		p.queue = p.queue[1:]
+		p.nextIssue = now + p.cfg.IssueInterval
+		p.stats.BusyCycles += p.cfg.IssueInterval
+		p.serve(msg, now, p.cfg.Latency)
+	}
+	p.deliverDue(now)
+}
+
+// serve performs one request: reads snapshot and schedule a fill after
+// latency; writes apply immediately.
+func (p *Partition) serve(msg *mem.Msg, now, latency uint64) {
+	switch msg.Type {
+	case mem.DRAMRd:
+		p.stats.Reads++
+		data := &mem.Block{}
+		p.store.ReadBlock(msg.Block, data)
+		fill := &mem.Msg{
+			Type:  mem.DRAMFill,
+			Block: msg.Block,
+			Src:   p.id,
+			Dst:   msg.Src,
+			Data:  data,
+			ReqID: msg.ReqID,
+		}
+		heap.Push(&p.fills, fill2{at: now + latency, msg: fill})
+	case mem.DRAMWr:
+		p.stats.Writes++
+		p.store.WriteBlock(msg.Block, msg.Data, msg.Mask)
+	default:
+		panic("dram: unexpected message type " + msg.Type.String())
+	}
+}
+
+// deliverDue hands completed fills to the L2.
+func (p *Partition) deliverDue(now uint64) {
+	for len(p.fills) > 0 && p.fills[0].at <= now {
+		f := heap.Pop(&p.fills).(fill2)
+		p.Deliver(f.msg)
+	}
+}
+
+type fill2 struct {
+	at  uint64
+	msg *mem.Msg
+}
+
+type fillHeap []fill2
+
+func (h fillHeap) Len() int           { return len(h) }
+func (h fillHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h fillHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *fillHeap) Push(x any)        { *h = append(*h, x.(fill2)) }
+func (h *fillHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+func baseRun() *stats.Run {
+	r := &stats.Run{Cycles: 1000}
+	r.L1.TagProbes = 500
+	r.L1.DataAccesses = 400
+	r.L1.TSUpdates = 100
+	r.L2.TagProbes = 200
+	r.L2.DataAccesses = 150
+	r.NoC.FlitsToL2 = 300
+	r.NoC.FlitsToL1 = 700
+	r.DRAM.Reads = 20
+	r.DRAM.Writes = 5
+	r.SM.InstrIssued = 900
+	return r
+}
+
+func TestApplyProducesPositiveComponents(t *testing.T) {
+	r := baseRun()
+	Default().Apply(r)
+	e := r.EnergyJ
+	for name, v := range map[string]float64{
+		"L1": e.L1, "L2": e.L2, "NoC": e.NoC, "DRAM": e.DRAM, "Core": e.Core,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s energy must be positive, got %g", name, v)
+		}
+	}
+	if e.Total() <= 0 {
+		t.Fatal("total must be positive")
+	}
+}
+
+func TestEnergyScalesWithEvents(t *testing.T) {
+	a := baseRun()
+	b := baseRun()
+	b.NoC.FlitsToL2 *= 10
+	b.NoC.FlitsToL1 *= 10
+	Default().Apply(a)
+	Default().Apply(b)
+	if b.EnergyJ.NoC <= a.EnergyJ.NoC {
+		t.Fatal("NoC energy must grow with flits")
+	}
+	if b.EnergyJ.DRAM != a.EnergyJ.DRAM {
+		t.Fatal("unrelated components must not change")
+	}
+
+	c := baseRun()
+	c.Cycles *= 10
+	Default().Apply(c)
+	if c.EnergyJ.Total() <= a.EnergyJ.Total() {
+		t.Fatal("static energy must grow with cycles")
+	}
+}
+
+func TestDRAMDominatesPerEvent(t *testing.T) {
+	m := Default()
+	// Sanity on the constant hierarchy the analysis relies on: a DRAM
+	// access costs orders of magnitude more than an SRAM access.
+	if m.DRAMAccess < 100*m.L2DataAccess {
+		t.Fatal("DRAM access must dwarf L2 access")
+	}
+	if m.L2DataAccess < m.L1DataAccess {
+		t.Fatal("L2 access must cost at least an L1 access")
+	}
+	// Timestamp updates are cheap metadata writes.
+	if m.L1TSUpdate >= m.L1DataAccess {
+		t.Fatal("timestamp update must be cheaper than a data access")
+	}
+}

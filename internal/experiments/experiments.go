@@ -1,0 +1,184 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section VI) over the simulator: Table II and
+// Figs 12–17, the §VI-E expiry-miss characterization, and the §V
+// ablations. Each driver returns structured results and can print the
+// same rows/series the paper reports.
+//
+// Runs are cached per (workload, protocol, consistency, option)
+// within a Session, since most figures share the same underlying
+// simulations.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// Config parameterizes an experiment session.
+type Config struct {
+	// Scale is the workload scale factor (1 = test size; the default
+	// experiment scale is 2).
+	Scale int
+	// NumSMs/NumBanks describe the machine (paper: 16 and 8).
+	NumSMs   int
+	NumBanks int
+	// GTSCLease is G-TSC's logical lease (paper default 10).
+	GTSCLease uint64
+	// TCLease is TC's physical lease in cycles (default 400).
+	TCLease uint64
+	// MaxCycles guards against non-convergence.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the paper-scale machine at scale 2.
+func DefaultConfig() Config {
+	return Config{Scale: 2, NumSMs: 16, NumBanks: 8, GTSCLease: 10, TCLease: 400}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.Scale == 0 {
+		c.Scale = d.Scale
+	}
+	if c.NumSMs == 0 {
+		c.NumSMs = d.NumSMs
+	}
+	if c.NumBanks == 0 {
+		c.NumBanks = d.NumBanks
+	}
+	if c.GTSCLease == 0 {
+		c.GTSCLease = d.GTSCLease
+	}
+	if c.TCLease == 0 {
+		c.TCLease = d.TCLease
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 500_000_000
+	}
+}
+
+// variant identifies one simulated configuration of a workload.
+type variant struct {
+	proto      memsys.Protocol
+	cons       gpu.Consistency
+	lease      uint64 // 0 = session default
+	forwardAll bool
+	oldCopy    bool
+	adaptive   bool // adaptive lease policy (extension)
+}
+
+// Canonical variants used across figures.
+var (
+	vBL     = variant{proto: memsys.BL, cons: gpu.RC}
+	vGTSCRC = variant{proto: memsys.GTSC, cons: gpu.RC}
+	vGTSCSC = variant{proto: memsys.GTSC, cons: gpu.SC}
+	vTCRC   = variant{proto: memsys.TC, cons: gpu.RC}
+	vTCSC   = variant{proto: memsys.TC, cons: gpu.SC}
+	vL1NC   = variant{proto: memsys.L1NC, cons: gpu.RC}
+)
+
+// Session runs and caches simulations for one Config.
+type Session struct {
+	Cfg   Config
+	cache map[string]*stats.Run
+}
+
+// NewSession builds a session.
+func NewSession(cfg Config) *Session {
+	cfg.fillDefaults()
+	return &Session{Cfg: cfg, cache: make(map[string]*stats.Run)}
+}
+
+func (s *Session) key(wl string, v variant) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%t", wl, v.proto, v.cons, v.lease, v.forwardAll, v.oldCopy, v.adaptive)
+}
+
+// Run simulates workload wl under variant v (cached).
+func (s *Session) run(wl *workload.Workload, v variant) (*stats.Run, error) {
+	k := s.key(wl.Name, v)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mem.Protocol = v.proto
+	cfg.Mem.NumSMs = s.Cfg.NumSMs
+	cfg.Mem.NumBanks = s.Cfg.NumBanks
+	cfg.SM.Consistency = v.cons
+	cfg.MaxCycles = s.Cfg.MaxCycles
+	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+	cfg.Mem.TC.Lease = s.Cfg.TCLease
+	if v.lease != 0 {
+		cfg.Mem.GTSC.Lease = v.lease
+	}
+	cfg.Mem.GTSC.ForwardAll = v.forwardAll
+	cfg.Mem.GTSC.KeepOldCopy = v.oldCopy
+	cfg.Mem.GTSC.AdaptiveLease = v.adaptive
+
+	run, err := wl.Build(s.Cfg.Scale).Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s/%s: %w", wl.Name, v.proto, v.cons, err)
+	}
+	s.cache[k] = run
+	return run, nil
+}
+
+// geomean returns the geometric mean of xs (1.0 for empty input).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// names extracts workload names in order.
+func names(ws []*workload.Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// table is a small helper for aligned text output.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer) *table {
+	return &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		fmt.Fprint(t.w, c)
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() { t.w.Flush() }
+
+// sortedKeys returns map keys in sorted order (deterministic printing).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

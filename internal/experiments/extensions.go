@@ -1,0 +1,617 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gtsc-sim/gtsc/internal/dram"
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/noc"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// The experiments in this file go beyond the paper's evaluation:
+// extensions the paper names but does not measure (TSO, lease
+// policies) and design-space sweeps DESIGN.md calls out (scalability,
+// scheduler choice, microbenchmark characterization).
+
+// AblationLease compares G-TSC's fixed lease against the adaptive
+// per-block policy (Tardis-2.0-style prediction): read-mostly blocks
+// earn long leases and dodge the renewals that warp-timestamp advances
+// cause.
+type AblationLease struct {
+	Workloads []string
+	// Renewal requests and NoC flits under each policy; cycles too.
+	FixedRenewals    map[string]uint64
+	AdaptiveRenewals map[string]uint64
+	FixedFlits       map[string]uint64
+	AdaptiveFlits    map[string]uint64
+	FixedCycles      map[string]uint64
+	AdaptiveCycles   map[string]uint64
+	// RenewalCut is the geomean reduction in renewal requests.
+	RenewalCut float64
+}
+
+// RunAblationLease executes the comparison over the coherence set
+// under G-TSC-RC.
+func (s *Session) RunAblationLease() (*AblationLease, error) {
+	out := &AblationLease{
+		Workloads:        names(workload.CoherenceSet()),
+		FixedRenewals:    map[string]uint64{},
+		AdaptiveRenewals: map[string]uint64{},
+		FixedFlits:       map[string]uint64{},
+		AdaptiveFlits:    map[string]uint64{},
+		FixedCycles:      map[string]uint64{},
+		AdaptiveCycles:   map[string]uint64{},
+	}
+	var ratios []float64
+	for _, wl := range workload.CoherenceSet() {
+		fixed, err := s.run(wl, vGTSCRC)
+		if err != nil {
+			return nil, err
+		}
+		adaptive, err := s.run(wl, variant{proto: memsys.GTSC, cons: gpu.RC, adaptive: true})
+		if err != nil {
+			return nil, err
+		}
+		out.FixedRenewals[wl.Name] = fixed.L1.Renewals
+		out.AdaptiveRenewals[wl.Name] = adaptive.L1.Renewals
+		out.FixedFlits[wl.Name] = fixed.NoC.TotalFlits()
+		out.AdaptiveFlits[wl.Name] = adaptive.NoC.TotalFlits()
+		out.FixedCycles[wl.Name] = fixed.Cycles
+		out.AdaptiveCycles[wl.Name] = adaptive.Cycles
+		ratios = append(ratios, float64(adaptive.L1.Renewals+1)/float64(fixed.L1.Renewals+1))
+	}
+	out.RenewalCut = 1 - geomean(ratios)
+	return out, nil
+}
+
+// Print renders the ablation.
+func (r *AblationLease) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: fixed vs adaptive (Tardis-2.0-style) lease policy, G-TSC-RC")
+	t := newTable(w)
+	t.row("Benchmark", "renewals fixed", "renewals adaptive", "flits fixed", "flits adaptive", "cycles fixed", "cycles adaptive")
+	for _, n := range r.Workloads {
+		t.row(n,
+			fmt.Sprintf("%d", r.FixedRenewals[n]),
+			fmt.Sprintf("%d", r.AdaptiveRenewals[n]),
+			fmt.Sprintf("%d", r.FixedFlits[n]),
+			fmt.Sprintf("%d", r.AdaptiveFlits[n]),
+			fmt.Sprintf("%d", r.FixedCycles[n]),
+			fmt.Sprintf("%d", r.AdaptiveCycles[n]))
+	}
+	t.flush()
+	fmt.Fprintf(w, "geomean renewal-request reduction from adaptive leases: %.0f%%\n", 100*r.RenewalCut)
+}
+
+// ConsistencySpectrum places TSO between SC and RC for G-TSC — the
+// intermediate point the paper mentions (§II-B) but does not measure.
+type ConsistencySpectrum struct {
+	Workloads []string
+	// Norm[workload][model] = cycles(SC) / cycles(model): speedup over
+	// SC (SC row is 1.0 by construction).
+	Norm map[string]map[string]float64
+	// Geomean speedups over SC.
+	TSOoverSC float64
+	RCoverSC  float64
+}
+
+// RunConsistencySpectrum executes the comparison over the coherence
+// set under G-TSC.
+func (s *Session) RunConsistencySpectrum() (*ConsistencySpectrum, error) {
+	out := &ConsistencySpectrum{
+		Workloads: names(workload.CoherenceSet()),
+		Norm:      map[string]map[string]float64{},
+	}
+	var tso, rc []float64
+	for _, wl := range workload.CoherenceSet() {
+		sc, err := s.run(wl, vGTSCSC)
+		if err != nil {
+			return nil, err
+		}
+		tsoRun, err := s.run(wl, variant{proto: memsys.GTSC, cons: gpu.TSO})
+		if err != nil {
+			return nil, err
+		}
+		rcRun, err := s.run(wl, vGTSCRC)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{
+			"SC":  1.0,
+			"TSO": float64(sc.Cycles) / float64(tsoRun.Cycles),
+			"RC":  float64(sc.Cycles) / float64(rcRun.Cycles),
+		}
+		out.Norm[wl.Name] = row
+		tso = append(tso, row["TSO"])
+		rc = append(rc, row["RC"])
+	}
+	out.TSOoverSC = geomean(tso)
+	out.RCoverSC = geomean(rc)
+	return out, nil
+}
+
+// Print renders the spectrum.
+func (r *ConsistencySpectrum) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: consistency spectrum under G-TSC (speedup over SC)")
+	t := newTable(w)
+	t.row("Benchmark", "SC", "TSO", "RC")
+	for _, n := range r.Workloads {
+		t.row(n,
+			fmt.Sprintf("%.2f", r.Norm[n]["SC"]),
+			fmt.Sprintf("%.2f", r.Norm[n]["TSO"]),
+			fmt.Sprintf("%.2f", r.Norm[n]["RC"]))
+	}
+	t.flush()
+	fmt.Fprintf(w, "geomean: TSO %.2fx over SC, RC %.2fx over SC (TSO sits between, as expected)\n",
+		r.TSOoverSC, r.RCoverSC)
+}
+
+// Scalability sweeps the SM count and reports how the G-TSC/TC gap
+// evolves — the motivation of the paper's introduction (coherence
+// traffic grows with thread count).
+type Scalability struct {
+	SMCounts []int
+	// Speedup[sms] = geomean over the coherence set of
+	// cycles(TC-RC)/cycles(G-TSC-RC) at that machine size.
+	Speedup map[int]float64
+	// GTSCFlitsPerSM and TCFlitsPerSM report how per-SM coherence
+	// traffic scales.
+	GTSCFlits map[int]uint64
+	TCFlits   map[int]uint64
+}
+
+// RunScalability executes the sweep. Machine sizes use half as many
+// banks as SMs (the paper's 16/8 ratio).
+func (s *Session) RunScalability() (*Scalability, error) {
+	out := &Scalability{
+		SMCounts:  []int{4, 8, 16, 32},
+		Speedup:   map[int]float64{},
+		GTSCFlits: map[int]uint64{},
+		TCFlits:   map[int]uint64{},
+	}
+	for _, sms := range out.SMCounts {
+		var ratios []float64
+		var gFlits, tFlits uint64
+		for _, wl := range workload.CoherenceSet() {
+			g, err := s.runAt(wl, vGTSCRC, sms)
+			if err != nil {
+				return nil, err
+			}
+			tc, err := s.runAt(wl, vTCRC, sms)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(tc.Cycles)/float64(g.Cycles))
+			gFlits += g.NoC.TotalFlits()
+			tFlits += tc.NoC.TotalFlits()
+		}
+		out.Speedup[sms] = geomean(ratios)
+		out.GTSCFlits[sms] = gFlits
+		out.TCFlits[sms] = tFlits
+	}
+	return out, nil
+}
+
+// runAt runs a variant on a machine with the given SM count (banks =
+// SMs/2, min 2), growing the workload with the machine so every size
+// is fully occupied. Cached separately from the session's main machine.
+func (s *Session) runAt(wl *workload.Workload, v variant, sms int) (*stats.Run, error) {
+	k := fmt.Sprintf("%s@%d", s.key(wl.Name, v), sms)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mem.Protocol = v.proto
+	cfg.Mem.NumSMs = sms
+	cfg.Mem.NumBanks = maxi(sms/2, 2)
+	cfg.SM.Consistency = v.cons
+	cfg.MaxCycles = s.Cfg.MaxCycles
+	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+	cfg.Mem.TC.Lease = s.Cfg.TCLease
+	scale := maxi(s.Cfg.Scale, sms/8)
+	run, err := wl.Build(scale).Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s at %d SMs: %w", wl.Name, sms, err)
+	}
+	s.cache[k] = run
+	return run, nil
+}
+
+// Print renders the sweep.
+func (r *Scalability) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: G-TSC advantage vs machine size (coherence set, RC)")
+	t := newTable(w)
+	t.row("SMs", "G-TSC speedup over TC", "G-TSC flits", "TC flits")
+	for _, sms := range r.SMCounts {
+		t.row(fmt.Sprintf("%d", sms),
+			fmt.Sprintf("%.2fx", r.Speedup[sms]),
+			fmt.Sprintf("%d", r.GTSCFlits[sms]),
+			fmt.Sprintf("%d", r.TCFlits[sms]))
+	}
+	t.flush()
+}
+
+// MicroTable characterizes the protocols on the microbenchmark suite
+// (atomics, false sharing, broadcast, streaming, hot-word contention).
+type MicroTable struct {
+	Micros []string
+	// Cycles[micro][protocol label].
+	Cycles map[string]map[string]uint64
+	// Key stat per micro/protocol: renewals for G-TSC, self-
+	// invalidations for TC (rough proxies for coherence work).
+	Renewals  map[string]uint64
+	SelfInval map[string]uint64
+	Atomics   map[string]uint64
+}
+
+// RunMicroTable executes the characterization.
+func (s *Session) RunMicroTable() (*MicroTable, error) {
+	out := &MicroTable{
+		Cycles:    map[string]map[string]uint64{},
+		Renewals:  map[string]uint64{},
+		SelfInval: map[string]uint64{},
+		Atomics:   map[string]uint64{},
+	}
+	for _, m := range workload.Micro() {
+		out.Micros = append(out.Micros, m.Name)
+		row := map[string]uint64{}
+		for label, v := range map[string]variant{
+			"G-TSC-RC": vGTSCRC, "TC-RC": vTCRC, "BL": vBL,
+		} {
+			run, err := s.runMicro(m, v)
+			if err != nil {
+				return nil, err
+			}
+			row[label] = run.Cycles
+			switch label {
+			case "G-TSC-RC":
+				out.Renewals[m.Name] = run.L1.Renewals
+				out.Atomics[m.Name] = run.L2.Atomics
+			case "TC-RC":
+				out.SelfInval[m.Name] = run.L1.SelfInval
+			}
+		}
+		out.Cycles[m.Name] = row
+	}
+	return out, nil
+}
+
+func (s *Session) runMicro(m *workload.Workload, v variant) (*stats.Run, error) {
+	k := "micro/" + s.key(m.Name, v)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mem.Protocol = v.proto
+	cfg.Mem.NumSMs = s.Cfg.NumSMs
+	cfg.Mem.NumBanks = s.Cfg.NumBanks
+	cfg.SM.Consistency = v.cons
+	cfg.MaxCycles = s.Cfg.MaxCycles
+	run, err := m.Build(s.Cfg.Scale).Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("micro %s: %w", m.Name, err)
+	}
+	s.cache[k] = run
+	return run, nil
+}
+
+// Print renders the characterization.
+func (r *MicroTable) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: microbenchmark characterization (cycles; G-TSC renewals / TC self-invalidations / atomics)")
+	t := newTable(w)
+	t.row("Micro", "G-TSC-RC", "TC-RC", "BL", "renewals", "selfinval", "atomics")
+	for _, n := range r.Micros {
+		t.row(n,
+			fmt.Sprintf("%d", r.Cycles[n]["G-TSC-RC"]),
+			fmt.Sprintf("%d", r.Cycles[n]["TC-RC"]),
+			fmt.Sprintf("%d", r.Cycles[n]["BL"]),
+			fmt.Sprintf("%d", r.Renewals[n]),
+			fmt.Sprintf("%d", r.SelfInval[n]),
+			fmt.Sprintf("%d", r.Atomics[n]))
+	}
+	t.flush()
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Platform sweeps substrate fidelity knobs: crossbar vs 2D mesh NoC,
+// flat vs banked row-buffer DRAM — checking the protocol conclusions
+// are not artifacts of the idealized substrate.
+type Platform struct {
+	Configs []string
+	// Speedup[config] = geomean cycles(TC-RC)/cycles(G-TSC-RC) on the
+	// coherence set under that substrate.
+	Speedup map[string]float64
+	// Cycles[config] = total G-TSC-RC cycles (substrate cost itself).
+	Cycles map[string]uint64
+}
+
+// RunPlatform executes the sweep.
+func (s *Session) RunPlatform() (*Platform, error) {
+	out := &Platform{
+		Configs: []string{"xbar+flat", "mesh+flat", "xbar+banked", "mesh+banked"},
+		Speedup: map[string]float64{},
+		Cycles:  map[string]uint64{},
+	}
+	for _, pc := range out.Configs {
+		mesh := pc == "mesh+flat" || pc == "mesh+banked"
+		banked := pc == "xbar+banked" || pc == "mesh+banked"
+		var ratios []float64
+		var cyc uint64
+		for _, wl := range workload.CoherenceSet() {
+			g, err := s.runPlatform(wl, vGTSCRC, mesh, banked)
+			if err != nil {
+				return nil, err
+			}
+			tc, err := s.runPlatform(wl, vTCRC, mesh, banked)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(tc.Cycles)/float64(g.Cycles))
+			cyc += g.Cycles
+		}
+		out.Speedup[pc] = geomean(ratios)
+		out.Cycles[pc] = cyc
+	}
+	return out, nil
+}
+
+func (s *Session) runPlatform(wl *workload.Workload, v variant, mesh, banked bool) (*stats.Run, error) {
+	k := fmt.Sprintf("%s/plat/%t/%t", s.key(wl.Name, v), mesh, banked)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mem.Protocol = v.proto
+	cfg.Mem.NumSMs = s.Cfg.NumSMs
+	cfg.Mem.NumBanks = s.Cfg.NumBanks
+	cfg.SM.Consistency = v.cons
+	cfg.MaxCycles = s.Cfg.MaxCycles
+	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+	cfg.Mem.TC.Lease = s.Cfg.TCLease
+	if mesh {
+		cfg.Mem.NoC = noc.DefaultMeshConfig()
+	}
+	if banked {
+		cfg.Mem.DRAM = dram.DefaultBankedConfig()
+	}
+	run, err := wl.Build(s.Cfg.Scale).Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %t/%t: %w", wl.Name, mesh, banked, err)
+	}
+	s.cache[k] = run
+	return run, nil
+}
+
+// Print renders the sweep.
+func (r *Platform) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: substrate sweep — NoC topology x DRAM model (coherence set, RC)")
+	t := newTable(w)
+	t.row("Substrate", "G-TSC speedup over TC", "G-TSC total cycles")
+	for _, pc := range r.Configs {
+		t.row(pc, fmt.Sprintf("%.2fx", r.Speedup[pc]), fmt.Sprintf("%d", r.Cycles[pc]))
+	}
+	t.flush()
+}
+
+// CacheSweep varies the L1 geometry (size and MSHR count), checking
+// how sensitive G-TSC's advantage is to private-cache provisioning.
+type CacheSweep struct {
+	Points []string
+	// Speedup[point] = geomean cycles(TC-RC)/cycles(G-TSC-RC).
+	Speedup map[string]float64
+	// HitRate[point] = aggregate G-TSC L1 load hit rate.
+	HitRate map[string]float64
+}
+
+// RunCacheSweep executes the sweep over the coherence set.
+func (s *Session) RunCacheSweep() (*CacheSweep, error) {
+	points := []struct {
+		name  string
+		sets  int
+		mshrs int
+	}{
+		{"8KB/16mshr", 16, 16},
+		{"16KB/32mshr", 32, 32}, // the paper's configuration
+		{"32KB/32mshr", 64, 32},
+		{"64KB/64mshr", 128, 64},
+	}
+	out := &CacheSweep{Speedup: map[string]float64{}, HitRate: map[string]float64{}}
+	for _, pt := range points {
+		out.Points = append(out.Points, pt.name)
+		var ratios []float64
+		var hits, loads uint64
+		for _, wl := range workload.CoherenceSet() {
+			g, err := s.runCache(wl, vGTSCRC, pt.sets, pt.mshrs)
+			if err != nil {
+				return nil, err
+			}
+			tc, err := s.runCache(wl, vTCRC, pt.sets, pt.mshrs)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, float64(tc.Cycles)/float64(g.Cycles))
+			hits += g.L1.Hits
+			loads += g.L1.Loads
+		}
+		out.Speedup[pt.name] = geomean(ratios)
+		out.HitRate[pt.name] = float64(hits) / float64(loads)
+	}
+	return out, nil
+}
+
+func (s *Session) runCache(wl *workload.Workload, v variant, sets, mshrs int) (*stats.Run, error) {
+	k := fmt.Sprintf("%s/cache/%d/%d", s.key(wl.Name, v), sets, mshrs)
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Mem.Protocol = v.proto
+	cfg.Mem.NumSMs = s.Cfg.NumSMs
+	cfg.Mem.NumBanks = s.Cfg.NumBanks
+	cfg.Mem.L1Sets = sets
+	cfg.Mem.L1MSHRs = mshrs
+	cfg.SM.Consistency = v.cons
+	cfg.MaxCycles = s.Cfg.MaxCycles
+	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+	cfg.Mem.TC.Lease = s.Cfg.TCLease
+	run, err := wl.Build(s.Cfg.Scale).Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s at %d sets: %w", wl.Name, sets, err)
+	}
+	s.cache[k] = run
+	return run, nil
+}
+
+// Print renders the sweep.
+func (r *CacheSweep) Print(w io.Writer) {
+	fmt.Fprintln(w, "Extension: L1 geometry sweep (coherence set, RC)")
+	t := newTable(w)
+	t.row("L1 config", "G-TSC speedup over TC", "G-TSC L1 hit rate")
+	for _, pt := range r.Points {
+		t.row(pt, fmt.Sprintf("%.2fx", r.Speedup[pt]), fmt.Sprintf("%.0f%%", 100*r.HitRate[pt]))
+	}
+	t.flush()
+}
+
+// DirectoryCompare quantifies §II-C: conventional invalidation-based
+// directory coherence versus G-TSC on the same machine — the
+// invalidation/recall traffic, the write-latency cost of collecting
+// acknowledgments, and the directory storage that grows with SM count
+// while G-TSC's timestamps do not.
+type DirectoryCompare struct {
+	Workloads []string
+	// Cycles and flits per workload for each protocol.
+	DirCycles  map[string]uint64
+	GTSCCycles map[string]uint64
+	DirFlits   map[string]uint64
+	GTSCFlits  map[string]uint64
+	// Directory-only event counts.
+	Invalidations map[string]uint64
+	Recalls       map[string]uint64
+	Writebacks    map[string]uint64
+	// GTSCSpeedup is the geomean cycles(DIR)/cycles(G-TSC) over the
+	// coherence set.
+	GTSCSpeedup float64
+	// Storage overhead per L2 line, in bits.
+	DirBitsPerLine  int
+	GTSCBitsPerLine int
+	// Scaling: how the directory's costs grow with the SM count.
+	SMCounts  []int
+	SpeedupAt map[int]float64 // geomean cycles(DIR)/cycles(G-TSC)
+	InvsAt    map[int]uint64  // total invalidations
+	DirBitsAt map[int]int     // directory bits per L2 line
+}
+
+// RunDirectoryCompare executes the comparison (RC both sides).
+func (s *Session) RunDirectoryCompare() (*DirectoryCompare, error) {
+	out := &DirectoryCompare{
+		Workloads:     names(workload.CoherenceSet()),
+		DirCycles:     map[string]uint64{},
+		GTSCCycles:    map[string]uint64{},
+		DirFlits:      map[string]uint64{},
+		GTSCFlits:     map[string]uint64{},
+		Invalidations: map[string]uint64{},
+		Recalls:       map[string]uint64{},
+		Writebacks:    map[string]uint64{},
+	}
+	var ratios []float64
+	for _, wl := range workload.CoherenceSet() {
+		d, err := s.run(wl, variant{proto: memsys.DIR, cons: gpu.RC})
+		if err != nil {
+			return nil, err
+		}
+		g, err := s.run(wl, vGTSCRC)
+		if err != nil {
+			return nil, err
+		}
+		out.DirCycles[wl.Name] = d.Cycles
+		out.GTSCCycles[wl.Name] = g.Cycles
+		out.DirFlits[wl.Name] = d.NoC.TotalFlits()
+		out.GTSCFlits[wl.Name] = g.NoC.TotalFlits()
+		out.Invalidations[wl.Name] = d.L2.Invalidations
+		out.Recalls[wl.Name] = d.L2.Recalls
+		out.Writebacks[wl.Name] = d.L1.Writebacks
+		ratios = append(ratios, float64(d.Cycles)/float64(g.Cycles))
+	}
+	out.GTSCSpeedup = geomean(ratios)
+	// Full-map directory: one sharer bit per SM plus an owner id and a
+	// valid bit. G-TSC: two 16-bit timestamps per line, independent of
+	// the SM count.
+	dirBits := func(sms int) int {
+		ownerBits := 1
+		for 1<<ownerBits < sms {
+			ownerBits++
+		}
+		return sms + ownerBits + 1
+	}
+	out.DirBitsPerLine = dirBits(s.Cfg.NumSMs)
+	out.GTSCBitsPerLine = 32
+
+	// Scaling sweep: the paper's argument is that invalidation costs
+	// grow with the thread count; measure it.
+	out.SMCounts = []int{4, 8, 16, 32}
+	out.SpeedupAt = map[int]float64{}
+	out.InvsAt = map[int]uint64{}
+	out.DirBitsAt = map[int]int{}
+	for _, sms := range out.SMCounts {
+		var sweep []float64
+		var invs uint64
+		for _, wl := range workload.CoherenceSet() {
+			d, err := s.runAt(wl, variant{proto: memsys.DIR, cons: gpu.RC}, sms)
+			if err != nil {
+				return nil, err
+			}
+			g, err := s.runAt(wl, vGTSCRC, sms)
+			if err != nil {
+				return nil, err
+			}
+			sweep = append(sweep, float64(d.Cycles)/float64(g.Cycles))
+			invs += d.L2.Invalidations
+		}
+		out.SpeedupAt[sms] = geomean(sweep)
+		out.InvsAt[sms] = invs
+		out.DirBitsAt[sms] = dirBits(sms)
+	}
+	return out, nil
+}
+
+// Print renders the comparison.
+func (r *DirectoryCompare) Print(w io.Writer) {
+	fmt.Fprintln(w, "SecII-C characterization: invalidation-based directory (MESI-dir) vs G-TSC, RC")
+	t := newTable(w)
+	t.row("Benchmark", "dir cycles", "gtsc cycles", "dir flits", "gtsc flits", "invs", "recalls", "writebacks")
+	for _, n := range r.Workloads {
+		t.row(n,
+			fmt.Sprintf("%d", r.DirCycles[n]),
+			fmt.Sprintf("%d", r.GTSCCycles[n]),
+			fmt.Sprintf("%d", r.DirFlits[n]),
+			fmt.Sprintf("%d", r.GTSCFlits[n]),
+			fmt.Sprintf("%d", r.Invalidations[n]),
+			fmt.Sprintf("%d", r.Recalls[n]),
+			fmt.Sprintf("%d", r.Writebacks[n]))
+	}
+	t.flush()
+	fmt.Fprintf(w, "G-TSC speedup over the directory: %.2fx geomean (coherence set)\n", r.GTSCSpeedup)
+	fmt.Fprintf(w, "directory storage: %d bits/L2 line (grows with SM count) vs G-TSC %d bits/line (constant)\n",
+		r.DirBitsPerLine, r.GTSCBitsPerLine)
+	fmt.Fprintln(w, "scaling with SM count:")
+	t2 := newTable(w)
+	t2.row("SMs", "G-TSC speedup over dir", "invalidations", "dir bits/line")
+	for _, sms := range r.SMCounts {
+		t2.row(fmt.Sprintf("%d", sms),
+			fmt.Sprintf("%.2fx", r.SpeedupAt[sms]),
+			fmt.Sprintf("%d", r.InvsAt[sms]),
+			fmt.Sprintf("%d", r.DirBitsAt[sms]))
+	}
+	t2.flush()
+}

@@ -1,0 +1,584 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// TableII reproduces Table II: absolute execution cycles (in millions)
+// of the no-L1 baseline (BL) and TC on every benchmark, on this
+// simulator. (The paper's extra columns compare against the original
+// TC simulator, which we do not have; EXPERIMENTS.md records the
+// paper's numbers next to ours.)
+type TableII struct {
+	Workloads []string
+	BLCycles  map[string]uint64
+	TCCycles  map[string]uint64
+}
+
+// RunTableII executes the Table II matrix.
+func (s *Session) RunTableII() (*TableII, error) {
+	out := &TableII{
+		Workloads: names(workload.All()),
+		BLCycles:  map[string]uint64{},
+		TCCycles:  map[string]uint64{},
+	}
+	for _, wl := range workload.All() {
+		bl, err := s.run(wl, vBL)
+		if err != nil {
+			return nil, err
+		}
+		// The paper pairs plain TC with each model; its Table II column
+		// is TC under the protocol's natural (RC/TC-Weak) setting.
+		tc, err := s.run(wl, vTCRC)
+		if err != nil {
+			return nil, err
+		}
+		out.BLCycles[wl.Name] = bl.Cycles
+		out.TCCycles[wl.Name] = tc.Cycles
+	}
+	return out, nil
+}
+
+// Print renders the table.
+func (r *TableII) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table II: absolute execution cycles of BL and TC (this simulator)")
+	t := newTable(w)
+	t.row("Benchmark", "BL (cycles)", "TC (cycles)", "TC/BL")
+	for _, n := range r.Workloads {
+		t.row(n,
+			fmt.Sprintf("%d", r.BLCycles[n]),
+			fmt.Sprintf("%d", r.TCCycles[n]),
+			fmt.Sprintf("%.2f", float64(r.TCCycles[n])/float64(r.BLCycles[n])))
+	}
+	t.flush()
+}
+
+// Fig12 reproduces Figure 12: performance of G-TSC and TC under RC and
+// SC, normalized to the no-L1 baseline (higher is better). The
+// non-coherent set adds the Baseline-w/L1 bar.
+type Fig12 struct {
+	Coherent    []string
+	NonCoherent []string
+	// Norm[workload][series] = BL cycles / series cycles.
+	Norm map[string]map[string]float64
+
+	// Headline ratios over the coherence-requiring set (geomean):
+	GTSCRCoverTCRC float64 // paper: ~1.38
+	GTSCSCoverTCRC float64 // paper: ~1.26
+	GTSCRCoverTCSC float64 // paper: ~1.84
+	// Overhead of G-TSC-RC vs the non-coherent L1 on the second set
+	// (paper: ~11%).
+	GTSCvsL1NCOverhead float64
+	// RC/SC speedup for G-TSC on the coherence set (paper: ~12%).
+	GTSCRCoverSC float64
+}
+
+// Fig12Series lists the bar order of the figure.
+var Fig12Series = []string{"Baseline-w/L1", "G-TSC-RC", "G-TSC-SC", "TC-RC", "TC-SC"}
+
+// RunFig12 executes the Fig 12 matrix.
+func (s *Session) RunFig12() (*Fig12, error) {
+	out := &Fig12{
+		Coherent:    names(workload.CoherenceSet()),
+		NonCoherent: names(workload.NonCoherenceSet()),
+		Norm:        map[string]map[string]float64{},
+	}
+	var rcOverTCRC, scOverTCRC, rcOverTCSC, rcOverSC, overhead []float64
+	for _, wl := range workload.All() {
+		bl, err := s.run(wl, vBL)
+		if err != nil {
+			return nil, err
+		}
+		row := map[string]float64{}
+		runs := map[string]variant{
+			"G-TSC-RC": vGTSCRC, "G-TSC-SC": vGTSCSC,
+			"TC-RC": vTCRC, "TC-SC": vTCSC,
+		}
+		if !wl.NeedsCoherence {
+			runs["Baseline-w/L1"] = vL1NC
+		}
+		res := map[string]float64{}
+		for label, v := range runs {
+			r, err := s.run(wl, v)
+			if err != nil {
+				return nil, err
+			}
+			res[label] = float64(r.Cycles)
+			row[label] = float64(bl.Cycles) / float64(r.Cycles)
+		}
+		out.Norm[wl.Name] = row
+		if wl.NeedsCoherence {
+			rcOverTCRC = append(rcOverTCRC, res["TC-RC"]/res["G-TSC-RC"])
+			scOverTCRC = append(scOverTCRC, res["TC-RC"]/res["G-TSC-SC"])
+			rcOverTCSC = append(rcOverTCSC, res["TC-SC"]/res["G-TSC-RC"])
+			rcOverSC = append(rcOverSC, res["G-TSC-SC"]/res["G-TSC-RC"])
+		} else {
+			overhead = append(overhead, res["G-TSC-RC"]/res["Baseline-w/L1"])
+		}
+	}
+	out.GTSCRCoverTCRC = geomean(rcOverTCRC)
+	out.GTSCSCoverTCRC = geomean(scOverTCRC)
+	out.GTSCRCoverTCSC = geomean(rcOverTCSC)
+	out.GTSCRCoverSC = geomean(rcOverSC)
+	out.GTSCvsL1NCOverhead = geomean(overhead) - 1
+	return out, nil
+}
+
+// Print renders the figure as a table of normalized bars.
+func (r *Fig12) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 12: performance normalized to no-L1 baseline (higher is better)")
+	t := newTable(w)
+	t.row(append([]string{"Benchmark"}, Fig12Series...)...)
+	rows := func(group []string) {
+		for _, n := range group {
+			cells := []string{n}
+			for _, series := range Fig12Series {
+				if v, ok := r.Norm[n][series]; ok {
+					cells = append(cells, fmt.Sprintf("%.2f", v))
+				} else {
+					cells = append(cells, "-")
+				}
+			}
+			t.row(cells...)
+		}
+	}
+	rows(r.Coherent)
+	t.row("--")
+	rows(r.NonCoherent)
+	t.flush()
+	fmt.Fprintf(w, "geomean over coherence set: G-TSC-RC/TC-RC = %.2fx (paper ~1.38x)\n", r.GTSCRCoverTCRC)
+	fmt.Fprintf(w, "geomean over coherence set: G-TSC-SC/TC-RC = %.2fx (paper ~1.26x)\n", r.GTSCSCoverTCRC)
+	fmt.Fprintf(w, "geomean over coherence set: G-TSC-RC/TC-SC = %.2fx (paper ~1.84x)\n", r.GTSCRCoverTCSC)
+	fmt.Fprintf(w, "geomean G-TSC RC-over-SC speedup = %.2fx (paper ~1.12x)\n", r.GTSCRCoverSC)
+	fmt.Fprintf(w, "G-TSC overhead vs non-coherent L1 (second set) = %.0f%% (paper ~11%%)\n", 100*r.GTSCvsL1NCOverhead)
+}
+
+// Fig13 reproduces Figure 13: pipeline stalls due to memory delay,
+// normalized to the no-L1 baseline.
+type Fig13 struct {
+	Coherent    []string
+	NonCoherent []string
+	Norm        map[string]map[string]float64 // workload -> series -> stalls/BLstalls
+	// TCOverGTSC is TC-RC stalls / G-TSC-RC stalls, geomean per set
+	// (paper: ~1.45x on set 1, >2.4x on set 2).
+	TCOverGTSCSet1 float64
+	TCOverGTSCSet2 float64
+}
+
+// Fig13Series lists the series of the figure.
+var Fig13Series = []string{"G-TSC-RC", "G-TSC-SC", "TC-RC", "TC-SC"}
+
+// RunFig13 executes the Fig 13 matrix.
+func (s *Session) RunFig13() (*Fig13, error) {
+	out := &Fig13{
+		Coherent:    names(workload.CoherenceSet()),
+		NonCoherent: names(workload.NonCoherenceSet()),
+		Norm:        map[string]map[string]float64{},
+	}
+	var set1, set2 []float64
+	for _, wl := range workload.All() {
+		bl, err := s.run(wl, vBL)
+		if err != nil {
+			return nil, err
+		}
+		blStalls := float64(bl.SM.MemStallCycles)
+		if blStalls == 0 {
+			blStalls = 1
+		}
+		row := map[string]float64{}
+		stalls := map[string]float64{}
+		for label, v := range map[string]variant{
+			"G-TSC-RC": vGTSCRC, "G-TSC-SC": vGTSCSC,
+			"TC-RC": vTCRC, "TC-SC": vTCSC,
+		} {
+			r, err := s.run(wl, v)
+			if err != nil {
+				return nil, err
+			}
+			st := float64(r.SM.MemStallCycles)
+			stalls[label] = st
+			row[label] = st / blStalls
+		}
+		out.Norm[wl.Name] = row
+		ratio := stalls["TC-RC"] / maxf(stalls["G-TSC-RC"], 1)
+		if wl.NeedsCoherence {
+			set1 = append(set1, ratio)
+		} else {
+			set2 = append(set2, ratio)
+		}
+	}
+	out.TCOverGTSCSet1 = geomean(set1)
+	out.TCOverGTSCSet2 = geomean(set2)
+	return out, nil
+}
+
+// Print renders the figure.
+func (r *Fig13) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 13: pipeline stalls due to memory delay, normalized to no-L1 baseline")
+	t := newTable(w)
+	t.row(append([]string{"Benchmark"}, Fig13Series...)...)
+	rows := func(group []string) {
+		for _, n := range group {
+			cells := []string{n}
+			for _, series := range Fig13Series {
+				cells = append(cells, fmt.Sprintf("%.2f", r.Norm[n][series]))
+			}
+			t.row(cells...)
+		}
+	}
+	rows(r.Coherent)
+	t.row("--")
+	rows(r.NonCoherent)
+	t.flush()
+	fmt.Fprintf(w, "TC-RC/G-TSC-RC stalls: set1 %.2fx (paper ~1.45x), set2 %.2fx (paper >1.4x)\n",
+		r.TCOverGTSCSet1, r.TCOverGTSCSet2)
+}
+
+// Fig14 reproduces Figure 14: G-TSC-RC performance across lease values
+// (paper sweeps 8–20 and finds the protocol insensitive).
+type Fig14 struct {
+	Leases    []uint64
+	Workloads []string
+	// Norm[workload][lease] = cycles(lease=10) / cycles(lease).
+	Norm map[string]map[uint64]float64
+	// MaxSpread is the largest relative deviation from 1.0 observed
+	// anywhere (paper: negligible).
+	MaxSpread float64
+}
+
+// RunFig14 executes the lease sweep over the coherence set.
+func (s *Session) RunFig14() (*Fig14, error) {
+	out := &Fig14{
+		Leases:    []uint64{8, 10, 12, 14, 16, 18, 20},
+		Workloads: names(workload.CoherenceSet()),
+		Norm:      map[string]map[uint64]float64{},
+	}
+	for _, wl := range workload.CoherenceSet() {
+		base, err := s.run(wl, variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, lease: 10})
+		if err != nil {
+			return nil, err
+		}
+		row := map[uint64]float64{}
+		for _, lease := range out.Leases {
+			r, err := s.run(wl, variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, lease: lease})
+			if err != nil {
+				return nil, err
+			}
+			v := float64(base.Cycles) / float64(r.Cycles)
+			row[lease] = v
+			if d := absf(v - 1); d > out.MaxSpread {
+				out.MaxSpread = d
+			}
+		}
+		out.Norm[wl.Name] = row
+	}
+	return out, nil
+}
+
+// Print renders the sweep.
+func (r *Fig14) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 14: G-TSC-RC performance vs lease value, normalized to lease=10")
+	t := newTable(w)
+	head := []string{"Benchmark"}
+	for _, l := range r.Leases {
+		head = append(head, fmt.Sprintf("L=%d", l))
+	}
+	t.row(head...)
+	for _, n := range r.Workloads {
+		cells := []string{n}
+		for _, l := range r.Leases {
+			cells = append(cells, fmt.Sprintf("%.3f", r.Norm[n][l]))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	fmt.Fprintf(w, "max deviation from 1.0 anywhere: %.1f%% (paper: insensitive in 8-20)\n", 100*r.MaxSpread)
+}
+
+// Fig15 reproduces Figure 15: NoC traffic (flits) normalized to the
+// no-L1 baseline.
+type Fig15 struct {
+	Coherent    []string
+	NonCoherent []string
+	Norm        map[string]map[string]float64
+	// Traffic reduction of G-TSC vs TC on the coherence set
+	// (paper: ~20% under RC, ~15.7% under SC).
+	ReductionRC float64
+	ReductionSC float64
+}
+
+// RunFig15 executes the Fig 15 matrix.
+func (s *Session) RunFig15() (*Fig15, error) {
+	out := &Fig15{
+		Coherent:    names(workload.CoherenceSet()),
+		NonCoherent: names(workload.NonCoherenceSet()),
+		Norm:        map[string]map[string]float64{},
+	}
+	var redRC, redSC []float64
+	for _, wl := range workload.All() {
+		bl, err := s.run(wl, vBL)
+		if err != nil {
+			return nil, err
+		}
+		blFlits := float64(bl.NoC.TotalFlits())
+		row := map[string]float64{}
+		flits := map[string]float64{}
+		for label, v := range map[string]variant{
+			"G-TSC-RC": vGTSCRC, "G-TSC-SC": vGTSCSC,
+			"TC-RC": vTCRC, "TC-SC": vTCSC,
+		} {
+			r, err := s.run(wl, v)
+			if err != nil {
+				return nil, err
+			}
+			f := float64(r.NoC.TotalFlits())
+			flits[label] = f
+			row[label] = f / blFlits
+		}
+		out.Norm[wl.Name] = row
+		if wl.NeedsCoherence {
+			redRC = append(redRC, flits["G-TSC-RC"]/flits["TC-RC"])
+			redSC = append(redSC, flits["G-TSC-SC"]/flits["TC-SC"])
+		}
+	}
+	out.ReductionRC = 1 - geomean(redRC)
+	out.ReductionSC = 1 - geomean(redSC)
+	return out, nil
+}
+
+// Print renders the figure.
+func (r *Fig15) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 15: NoC traffic (flits) normalized to no-L1 baseline (lower is better)")
+	t := newTable(w)
+	t.row(append([]string{"Benchmark"}, Fig13Series...)...)
+	rows := func(group []string) {
+		for _, n := range group {
+			cells := []string{n}
+			for _, series := range Fig13Series {
+				cells = append(cells, fmt.Sprintf("%.2f", r.Norm[n][series]))
+			}
+			t.row(cells...)
+		}
+	}
+	rows(r.Coherent)
+	t.row("--")
+	rows(r.NonCoherent)
+	t.flush()
+	fmt.Fprintf(w, "G-TSC traffic reduction vs TC (coherence set): RC %.0f%% (paper ~20%%), SC %.0f%% (paper ~15.7%%)\n",
+		100*r.ReductionRC, 100*r.ReductionSC)
+}
+
+// Fig16 reproduces Figure 16: total GPU energy normalized to the
+// no-L1 baseline.
+type Fig16 struct {
+	Coherent    []string
+	NonCoherent []string
+	Norm        map[string]map[string]float64
+	// GTSCSavingVsTC is G-TSC-RC's energy saving relative to TC-RC on
+	// the coherence set (paper: ~11%).
+	GTSCSavingVsTC float64
+	// GTSCSavingVsBL is the saving vs the no-L1 baseline (paper: ~11%).
+	GTSCSavingVsBL float64
+}
+
+// RunFig16 executes the Fig 16 matrix.
+func (s *Session) RunFig16() (*Fig16, error) {
+	out := &Fig16{
+		Coherent:    names(workload.CoherenceSet()),
+		NonCoherent: names(workload.NonCoherenceSet()),
+		Norm:        map[string]map[string]float64{},
+	}
+	var vsTC, vsBL []float64
+	for _, wl := range workload.All() {
+		bl, err := s.run(wl, vBL)
+		if err != nil {
+			return nil, err
+		}
+		blE := bl.EnergyJ.Total()
+		row := map[string]float64{}
+		energy := map[string]float64{}
+		for label, v := range map[string]variant{
+			"G-TSC-RC": vGTSCRC, "G-TSC-SC": vGTSCSC,
+			"TC-RC": vTCRC, "TC-SC": vTCSC,
+		} {
+			r, err := s.run(wl, v)
+			if err != nil {
+				return nil, err
+			}
+			e := r.EnergyJ.Total()
+			energy[label] = e
+			row[label] = e / blE
+		}
+		out.Norm[wl.Name] = row
+		if wl.NeedsCoherence {
+			vsTC = append(vsTC, energy["G-TSC-RC"]/energy["TC-RC"])
+			vsBL = append(vsBL, energy["G-TSC-RC"]/blE)
+		}
+	}
+	out.GTSCSavingVsTC = 1 - geomean(vsTC)
+	out.GTSCSavingVsBL = 1 - geomean(vsBL)
+	return out, nil
+}
+
+// Print renders the figure.
+func (r *Fig16) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 16: total energy normalized to no-L1 baseline (lower is better)")
+	t := newTable(w)
+	t.row(append([]string{"Benchmark"}, Fig13Series...)...)
+	rows := func(group []string) {
+		for _, n := range group {
+			cells := []string{n}
+			for _, series := range Fig13Series {
+				cells = append(cells, fmt.Sprintf("%.2f", r.Norm[n][series]))
+			}
+			t.row(cells...)
+		}
+	}
+	rows(r.Coherent)
+	t.row("--")
+	rows(r.NonCoherent)
+	t.flush()
+	fmt.Fprintf(w, "G-TSC-RC energy saving (coherence set): vs TC-RC %.0f%% (paper ~9-11%%), vs BL %.0f%% (paper ~11%%)\n",
+		100*r.GTSCSavingVsTC, 100*r.GTSCSavingVsBL)
+}
+
+// Fig17 reproduces Figure 17: absolute L1 cache energy in joules.
+type Fig17 struct {
+	Coherent    []string
+	NonCoherent []string
+	// Joules[workload][series] = L1 energy in joules.
+	Joules map[string]map[string]float64
+	// TCUnderGTSC reports whether TC spends slightly less L1 energy
+	// than G-TSC (the paper's observation: G-TSC pays for warp_ts and
+	// timestamp updates).
+	TCUnderGTSC bool
+}
+
+// RunFig17 executes the Fig 17 matrix.
+func (s *Session) RunFig17() (*Fig17, error) {
+	out := &Fig17{
+		Coherent:    names(workload.CoherenceSet()),
+		NonCoherent: names(workload.NonCoherenceSet()),
+		Joules:      map[string]map[string]float64{},
+	}
+	var gtscSum, tcSum float64
+	for _, wl := range workload.All() {
+		row := map[string]float64{}
+		for label, v := range map[string]variant{
+			"G-TSC-RC": vGTSCRC, "G-TSC-SC": vGTSCSC,
+			"TC-RC": vTCRC, "TC-SC": vTCSC,
+		} {
+			r, err := s.run(wl, v)
+			if err != nil {
+				return nil, err
+			}
+			row[label] = r.EnergyJ.L1
+		}
+		out.Joules[wl.Name] = row
+		gtscSum += row["G-TSC-RC"]
+		tcSum += row["TC-RC"]
+	}
+	out.TCUnderGTSC = tcSum < gtscSum
+	return out, nil
+}
+
+// Print renders the figure.
+func (r *Fig17) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 17: L1 cache energy (joules)")
+	t := newTable(w)
+	t.row(append([]string{"Benchmark"}, Fig13Series...)...)
+	rows := func(group []string) {
+		for _, n := range group {
+			cells := []string{n}
+			for _, series := range Fig13Series {
+				cells = append(cells, fmt.Sprintf("%.3g", r.Joules[n][series]))
+			}
+			t.row(cells...)
+		}
+	}
+	rows(r.Coherent)
+	t.row("--")
+	rows(r.NonCoherent)
+	t.flush()
+	fmt.Fprintf(w, "TC L1 energy slightly below G-TSC (paper's observation): %v\n", r.TCUnderGTSC)
+}
+
+// ExpiryMiss reproduces the §VI-E characterization: misses caused by
+// lease expiration drop under G-TSC because logical time rolls slower
+// than physical time (paper: ~48% fewer). An expired G-TSC access
+// whose data is still current is answered by a dataless renewal and
+// the block stays live in the L1 — only expirations forcing a data
+// refetch are coherence misses in the sense TC suffers them (TC
+// self-invalidates the whole block either way and always refetches).
+type ExpiryMiss struct {
+	Workloads []string
+	// GTSCExpired counts all lease-expired accesses; GTSCRefetch the
+	// subset needing data; TC's self-invalidations all need data.
+	GTSCExpired map[string]uint64
+	GTSCRefetch map[string]uint64
+	TC          map[string]uint64
+	// Reduction is the geomean cut in data-refetching expiry misses
+	// vs TC.
+	Reduction float64
+}
+
+// RunExpiryMiss executes the comparison over the coherence set.
+func (s *Session) RunExpiryMiss() (*ExpiryMiss, error) {
+	out := &ExpiryMiss{
+		Workloads:   names(workload.CoherenceSet()),
+		GTSCExpired: map[string]uint64{},
+		GTSCRefetch: map[string]uint64{},
+		TC:          map[string]uint64{},
+	}
+	var ratios []float64
+	for _, wl := range workload.CoherenceSet() {
+		g, err := s.run(wl, vGTSCRC)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := s.run(wl, vTCRC)
+		if err != nil {
+			return nil, err
+		}
+		out.GTSCExpired[wl.Name] = g.L1.MissExpired
+		refetch := uint64(0)
+		if g.L1.MissExpired > g.L1.RenewalHits {
+			refetch = g.L1.MissExpired - g.L1.RenewalHits
+		}
+		out.GTSCRefetch[wl.Name] = refetch
+		out.TC[wl.Name] = tc.L1.MissExpired
+		ratios = append(ratios, float64(refetch+1)/float64(tc.L1.MissExpired+1))
+	}
+	out.Reduction = 1 - geomean(ratios)
+	return out, nil
+}
+
+// Print renders the comparison.
+func (r *ExpiryMiss) Print(w io.Writer) {
+	fmt.Fprintln(w, "SecVI-E: L1 misses due to lease expiration (RC)")
+	t := newTable(w)
+	t.row("Benchmark", "G-TSC expired", "G-TSC refetched", "TC self-invalidated")
+	for _, n := range r.Workloads {
+		t.row(n, fmt.Sprintf("%d", r.GTSCExpired[n]),
+			fmt.Sprintf("%d", r.GTSCRefetch[n]), fmt.Sprintf("%d", r.TC[n]))
+	}
+	t.flush()
+	fmt.Fprintf(w, "expiry-miss (data refetch) reduction vs TC: %.0f%% (paper ~48%%)\n", 100*r.Reduction)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absf(a float64) float64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

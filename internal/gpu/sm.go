@@ -1,0 +1,566 @@
+package gpu
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Consistency selects the memory consistency model the SM enforces
+// (§II-B of the paper).
+type Consistency uint8
+
+// Consistency models.
+const (
+	// SC: sequential consistency — each warp has at most one
+	// outstanding memory request and issues nothing past an
+	// incomplete memory operation.
+	SC Consistency = iota
+	// RC: release consistency — loads are scoreboarded, stores are
+	// fire-and-forget, and only fences order memory (draining the
+	// warp's accesses and, under TC-Weak, waiting out its GWCT).
+	RC
+	// TSO: total store order, the intermediate model the paper points
+	// at (§II-B). Loads retire in program order among themselves and
+	// stores among themselves, but loads bypass older stores. This is
+	// an extension beyond the paper's SC/RC evaluation.
+	TSO
+)
+
+// String names the model.
+func (c Consistency) String() string {
+	switch c {
+	case SC:
+		return "SC"
+	case TSO:
+		return "TSO"
+	default:
+		return "RC"
+	}
+}
+
+// Scheduler selects the warp scheduling policy.
+type Scheduler uint8
+
+// Warp schedulers.
+const (
+	// LRR: loose round-robin (default; what the evaluation uses).
+	LRR Scheduler = iota
+	// GTO: greedy-then-oldest — stay on the last issuing warp until
+	// it stalls, then fall back to the oldest ready warp. The
+	// standard alternative in GPGPU-Sim; exposed for ablations.
+	GTO
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	if s == GTO {
+		return "GTO"
+	}
+	return "LRR"
+}
+
+// SMConfig sets per-SM pipeline parameters.
+type SMConfig struct {
+	MaxWarps   int // resident warp contexts (paper: 48)
+	IssueWidth int // instructions issued per cycle (default 1)
+	// MaxPendingLoads bounds a warp's in-flight load accesses under RC
+	// (default 8; SC is inherently 1).
+	MaxPendingLoads int
+	// LDSTQueue is the depth of the memory-instruction queue feeding
+	// the coalescer/L1, one access dispatched per cycle (default 4).
+	LDSTQueue   int
+	Consistency Consistency
+	Scheduler   Scheduler
+}
+
+func (c *SMConfig) fillDefaults() {
+	if c.MaxWarps == 0 {
+		c.MaxWarps = 48
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 1
+	}
+	if c.MaxPendingLoads == 0 {
+		c.MaxPendingLoads = 8
+	}
+	if c.LDSTQueue == 0 {
+		c.LDSTQueue = 4
+	}
+}
+
+// memJob is one memory instruction streaming its coalesced accesses
+// through the LDST unit, one per cycle.
+type memJob struct {
+	warp  *Warp
+	instr *Instr
+	accs  []*coalesced
+	next  int
+}
+
+// SM is one streaming multiprocessor: a loose-round-robin scheduler
+// over resident warps, a single-issue pipeline, and an LDST unit that
+// coalesces and dispatches memory accesses to the private L1.
+type SM struct {
+	id     int
+	cfg    SMConfig
+	l1     coherence.L1
+	kernel *Kernel
+	disp   *Dispatcher
+	now    uint64
+
+	warps        []*Warp // resident warps (live and recently finished)
+	freeIDs      []int   // free warp context slots (L1 warp_ts indices)
+	liveWarps    int
+	residentCTAs int
+
+	ldst       []*memJob
+	rr         int
+	lastIssued *Warp // GTO greediness
+
+	stats stats.SMStats
+}
+
+// NewSM builds SM id over the given L1 controller.
+func NewSM(id int, cfg SMConfig, l1 coherence.L1) *SM {
+	cfg.fillDefaults()
+	s := &SM{id: id, cfg: cfg, l1: l1}
+	for i := 0; i < cfg.MaxWarps; i++ {
+		s.freeIDs = append(s.freeIDs, i)
+	}
+	return s
+}
+
+// ID returns the SM index.
+func (s *SM) ID() int { return s.id }
+
+// Stats returns the SM's counters.
+func (s *SM) Stats() *stats.SMStats { return &s.stats }
+
+// L1 returns the SM's private cache controller.
+func (s *SM) L1() coherence.L1 { return s.l1 }
+
+// Launch binds the SM to a kernel and its CTA dispatcher. The
+// simulator fills SMs round-robin afterwards (FillOne) so CTAs spread
+// across the chip as real GPUs schedule them.
+func (s *SM) Launch(kernel *Kernel, disp *Dispatcher) {
+	s.kernel = kernel
+	s.disp = disp
+}
+
+// FillOne pulls at most one CTA from the dispatcher, respecting warp
+// contexts and the kernel's per-SM CTA occupancy limit. It reports
+// whether a CTA was assigned.
+func (s *SM) FillOne() bool {
+	if s.kernel == nil || len(s.freeIDs) < s.kernel.WarpsPerCTA {
+		return false
+	}
+	if limit := s.kernel.MaxCTAsPerSM; limit > 0 && s.residentCTAs >= limit {
+		return false
+	}
+	cta := s.disp.next(s)
+	if cta == nil {
+		return false
+	}
+	s.residentCTAs++
+	for _, w := range cta.Warps {
+		id := s.freeIDs[len(s.freeIDs)-1]
+		s.freeIDs = s.freeIDs[:len(s.freeIDs)-1]
+		w.ID = id
+		s.warps = append(s.warps, w)
+		s.liveWarps++
+	}
+	return true
+}
+
+// fill greedily refills freed contexts when a CTA retires.
+func (s *SM) fill() {
+	for s.FillOne() {
+	}
+}
+
+// Done reports whether the SM has retired all its work: no live warps,
+// no queued memory instructions, and no more CTAs to fetch.
+func (s *SM) Done() bool {
+	return s.liveWarps == 0 && len(s.ldst) == 0 && s.disp.exhausted()
+}
+
+// Tick advances the SM one cycle: pump the LDST unit, then issue.
+func (s *SM) Tick(now uint64) {
+	s.now = now
+	s.stats.Cycles++
+	s.pumpLDST()
+	s.issue()
+}
+
+// pumpLDST dispatches the head job's next coalesced access to the L1.
+func (s *SM) pumpLDST() {
+	if len(s.ldst) == 0 {
+		return
+	}
+	job := s.ldst[0]
+	acc := job.accs[job.next]
+	res := s.dispatchAccess(job.warp, job.instr, acc)
+	if res == coherence.Reject {
+		return // retry next cycle
+	}
+	job.next++
+	if job.next == len(job.accs) {
+		job.warp.dispatching = false
+		s.ldst = s.ldst[1:]
+	}
+}
+
+// dispatchAccess hands one coalesced access to the L1 with the
+// completion callback that scatters data and releases trackers.
+func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.AccessResult {
+	req := &coherence.Request{
+		Block: acc.block,
+		Store: instr.Op == OpStore,
+		Mask:  acc.mask,
+		Warp:  w.ID,
+	}
+	if instr.Op == OpAtomic {
+		req.Atomic = true
+		req.Atom = instr.Atom
+		data := acc.data
+		req.Data = &data
+		dst := instr.Dst
+		lanes := acc.lanes
+		kind := instr.Atom
+		req.Done = func(c coherence.Completion) {
+			for _, lt := range lanes {
+				old := c.Data.Words[lt.word]
+				if kind == mem.AtomAdd {
+					old += lt.prefix
+				}
+				w.Threads[lt.lane].Regs[dst] = old
+			}
+			w.pendingAcc--
+			w.pendingRegs[dst]--
+			if c.GWCT > w.gwct {
+				w.gwct = c.GWCT
+			}
+		}
+		return s.l1.Access(req)
+	}
+	if instr.Op == OpStore {
+		data := acc.data
+		req.Data = &data
+		req.Done = func(c coherence.Completion) {
+			w.pendingStores--
+			if c.GWCT > w.gwct {
+				w.gwct = c.GWCT
+			}
+		}
+	} else {
+		dst := instr.Dst
+		lanes := acc.lanes
+		req.Done = func(c coherence.Completion) {
+			for _, lt := range lanes {
+				w.Threads[lt.lane].Regs[dst] = c.Data.Words[lt.word]
+			}
+			w.pendingAcc--
+			w.pendingRegs[dst]--
+		}
+	}
+	return s.l1.Access(req)
+}
+
+// blockReason classifies why a warp could not issue (for the Fig 13
+// stall breakdown).
+type blockReason uint8
+
+const (
+	notBlocked blockReason = iota
+	blockedMem
+	blockedBarrier
+	blockedComp
+)
+
+// issue scans warps in loose round-robin order and issues up to
+// IssueWidth instructions; if nothing issues while live warps remain,
+// the cycle is a stall, classified by the strongest reason seen.
+func (s *SM) issue() {
+	if s.liveWarps == 0 {
+		return
+	}
+	issued := 0
+	sawMem, sawBarrier := false, false
+	for _, w := range s.scanOrder() {
+		if issued >= s.cfg.IssueWidth {
+			break
+		}
+		if w.finished {
+			continue
+		}
+		ok, reason := s.tryIssue(w)
+		if ok {
+			issued++
+			s.lastIssued = w
+			if s.cfg.Scheduler == LRR {
+				s.advanceRR(w)
+			}
+		} else {
+			switch reason {
+			case blockedMem:
+				sawMem = true
+			case blockedBarrier:
+				sawBarrier = true
+			}
+		}
+	}
+	s.reapFinished()
+	if issued > 0 {
+		s.stats.ActiveCycles++
+		s.stats.InstrIssued += uint64(issued)
+		return
+	}
+	if s.liveWarps == 0 {
+		return
+	}
+	if sawMem {
+		s.stats.MemStallCycles++
+	} else if sawBarrier {
+		s.stats.BarrierStallCycles++
+	}
+}
+
+// scanOrder yields warps in scheduler priority order. LRR starts
+// after the last issuer; GTO tries the last issuer first and then the
+// oldest resident warps (resident order approximates age: CTAs are
+// appended at launch).
+func (s *SM) scanOrder() []*Warp {
+	n := len(s.warps)
+	if n == 0 {
+		return nil
+	}
+	out := make([]*Warp, 0, n)
+	if s.cfg.Scheduler == GTO {
+		if s.lastIssued != nil && !s.lastIssued.finished {
+			out = append(out, s.lastIssued)
+		}
+		for _, w := range s.warps {
+			if w != s.lastIssued {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.warps[(s.rr+i)%n])
+	}
+	return out
+}
+
+// advanceRR moves the round-robin pointer past the warp that issued.
+func (s *SM) advanceRR(issued *Warp) {
+	for i, w := range s.warps {
+		if w == issued {
+			s.rr = (i + 1) % maxi(len(s.warps), 1)
+			return
+		}
+	}
+}
+
+// tryIssue attempts to issue one instruction from warp w.
+func (s *SM) tryIssue(w *Warp) (bool, blockReason) {
+	if w.atBarrier {
+		return false, blockedBarrier
+	}
+	if s.now < w.busyUntil {
+		return false, blockedComp
+	}
+	if w.dispatching {
+		return false, blockedMem
+	}
+	if s.cfg.Consistency == SC && (w.pendingAcc > 0 || w.pendingStores > 0) {
+		// One outstanding memory request per warp (§VI-B).
+		return false, blockedMem
+	}
+	if w.cur == nil {
+		instr, ready := w.prog.Next(w)
+		if !ready {
+			return false, blockedMem // waiting on loaded data to fetch
+		}
+		if instr == nil {
+			s.finishWarp(w)
+			return false, notBlocked
+		}
+		w.cur = instr
+	}
+	instr := w.cur
+	if s.cfg.Consistency == RC || s.cfg.Consistency == TSO {
+		if !w.RegsReady(instr.SrcRegs...) {
+			return false, blockedMem
+		}
+		if (instr.Op == OpLoad || instr.Op == OpAtomic) && w.pendingRegs[instr.Dst] > 0 {
+			return false, blockedMem // WAW on the destination register
+		}
+	}
+	if s.cfg.Consistency == TSO {
+		// Program order within each stream: loads retire before the
+		// next load issues; stores acknowledge before the next store
+		// issues. Loads bypass older stores (the TSO relaxation).
+		if instr.Op != OpStore && w.pendingAcc > 0 {
+			return false, blockedMem
+		}
+		if instr.Op != OpLoad && w.pendingStores > 0 {
+			return false, blockedMem
+		}
+	}
+	switch instr.Op {
+	case OpComp:
+		w.busyUntil = s.now + uint64(instr.Cycles)
+		w.cur = nil
+		return true, notBlocked
+	case OpALU:
+		for lane := 0; lane < WarpWidth; lane++ {
+			if w.Threads[lane] != nil {
+				instr.Exec(w.Threads[lane])
+			}
+		}
+		w.busyUntil = s.now + uint64(instr.Cycles)
+		w.cur = nil
+		return true, notBlocked
+	case OpLoad, OpStore, OpAtomic:
+		return s.issueMem(w, instr)
+	case OpFence:
+		if w.pendingAcc > 0 || w.pendingStores > 0 || s.now < w.gwct {
+			s.stats.FenceStallCycles++
+			return false, blockedMem
+		}
+		w.cur = nil
+		s.stats.FencesIssued++
+		return true, notBlocked
+	case OpBarrier:
+		w.atBarrier = true
+		w.CTA.atBarrier++
+		w.CTA.barrierRelease()
+		// Reaching the barrier consumes an issue slot; the warp then
+		// waits (cur is cleared by barrierRelease).
+		return true, notBlocked
+	default:
+		panic(fmt.Sprintf("gpu: unknown opcode %d", instr.Op))
+	}
+}
+
+func (s *SM) issueMem(w *Warp, instr *Instr) (bool, blockReason) {
+	if len(s.ldst) >= s.cfg.LDSTQueue {
+		return false, blockedMem
+	}
+	if s.cfg.Consistency == RC && instr.Op != OpStore && w.pendingAcc >= s.cfg.MaxPendingLoads {
+		return false, blockedMem
+	}
+	accs := coalesce(w, instr)
+	w.cur = nil
+	if len(accs) == 0 {
+		return true, notBlocked // fully divergent-off instruction
+	}
+	n := len(accs)
+	switch instr.Op {
+	case OpLoad:
+		w.pendingAcc += n
+		w.pendingRegs[instr.Dst] += n
+		s.stats.LoadsIssued++
+	case OpAtomic:
+		// An atomic returns data (like a load) and writes (ordered
+		// like a store); it counts against the load tracking so SC,
+		// TSO and fences all wait for it.
+		w.pendingAcc += n
+		w.pendingRegs[instr.Dst] += n
+		s.stats.AtomicsIssued++
+	default:
+		w.pendingStores += n
+		s.stats.StoresIssued++
+	}
+	w.dispatching = true
+	s.ldst = append(s.ldst, &memJob{warp: w, instr: instr, accs: accs})
+	return true, notBlocked
+}
+
+// finishWarp retires a warp; when its CTA fully retires, the SM pulls
+// more work from the dispatcher.
+func (s *SM) finishWarp(w *Warp) {
+	w.finished = true
+	s.liveWarps--
+	s.stats.WarpsRetired++
+	cta := w.CTA
+	cta.finished++
+	cta.barrierRelease() // finished warps drop out of barriers
+	if cta.finished == len(cta.Warps) {
+		s.stats.CTAsRetired++
+		s.residentCTAs--
+		for _, cw := range cta.Warps {
+			s.freeIDs = append(s.freeIDs, cw.ID)
+		}
+		s.fill()
+	}
+}
+
+// reapFinished compacts the resident warp list.
+func (s *SM) reapFinished() {
+	kept := s.warps[:0]
+	for _, w := range s.warps {
+		if !w.finished || w.CTA.finished != len(w.CTA.Warps) {
+			kept = append(kept, w)
+		}
+	}
+	if len(kept) != len(s.warps) {
+		s.rr = 0
+	}
+	if s.lastIssued != nil && s.lastIssued.finished {
+		s.lastIssued = nil
+	}
+	s.warps = kept
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Dispatcher hands out the kernel's CTAs to SMs in launch order.
+type Dispatcher struct {
+	kernel  *Kernel
+	nextCTA int
+}
+
+// NewDispatcher builds a dispatcher over kernel's grid.
+func NewDispatcher(kernel *Kernel) *Dispatcher { return &Dispatcher{kernel: kernel} }
+
+func (d *Dispatcher) exhausted() bool { return d.nextCTA >= d.kernel.CTAs }
+
+// next constructs the next CTA's warps, threads and programs for SM s.
+func (d *Dispatcher) next(s *SM) *CTA {
+	if d.exhausted() {
+		return nil
+	}
+	id := d.nextCTA
+	d.nextCTA++
+	k := d.kernel
+	regs := k.Regs
+	if regs == 0 {
+		regs = 8
+	}
+	cta := &CTA{ID: id}
+	ctaSize := k.WarpsPerCTA * WarpWidth
+	for wi := 0; wi < k.WarpsPerCTA; wi++ {
+		w := &Warp{CTA: cta, InCTA: wi, pendingRegs: make(map[int]int)}
+		for lane := 0; lane < WarpWidth; lane++ {
+			tid := wi*WarpWidth + lane
+			w.Threads[lane] = &Thread{
+				CTA: id, Warp: wi, Lane: lane, TIDInCTA: tid,
+				GTID: id*ctaSize + tid,
+				Regs: make([]uint32, regs),
+			}
+		}
+		w.prog = k.ProgramFor(w)
+		cta.Warps = append(cta.Warps, w)
+	}
+	return cta
+}

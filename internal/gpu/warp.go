@@ -1,0 +1,71 @@
+package gpu
+
+// Warp is one SIMT execution context resident on an SM.
+type Warp struct {
+	ID    int // warp slot within the SM
+	CTA   *CTA
+	InCTA int // warp index within the CTA
+
+	Threads [WarpWidth]*Thread
+
+	prog Program
+	cur  *Instr // fetched, not yet completed/consumed
+
+	finished  bool
+	atBarrier bool
+	busyUntil uint64 // OpComp completion time
+
+	// Memory tracking.
+	pendingAcc    int         // in-flight accesses of blocking ops (loads under SC/RC)
+	pendingStores int         // stores issued but not yet acknowledged
+	pendingRegs   map[int]int // register -> in-flight load count (RC scoreboard)
+	gwct          uint64      // max GWCT of this warp's stores (TC-Weak)
+
+	// dispatching marks a memory instruction currently streaming its
+	// coalesced accesses through the LDST unit.
+	dispatching bool
+}
+
+// Reg returns lane's register idx (helper for data-dependent programs).
+func (w *Warp) Reg(lane, idx int) uint32 { return w.Threads[lane].Regs[idx] }
+
+// RegsReady reports whether no in-flight load targets any of regs —
+// programs use it from Next to decide whether a data-dependent branch
+// can be resolved yet.
+func (w *Warp) RegsReady(regs ...int) bool {
+	for _, r := range regs {
+		if w.pendingRegs[r] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Finished reports whether the warp has retired.
+func (w *Warp) Finished() bool { return w.finished }
+
+// CTA is one resident thread block.
+type CTA struct {
+	ID        int
+	Warps     []*Warp
+	atBarrier int
+	finished  int
+}
+
+// barrierRelease checks whether every live warp of the CTA reached the
+// barrier and, if so, releases them. Finished warps do not count
+// toward the barrier (as in CUDA, exited threads drop out of
+// __syncthreads).
+func (c *CTA) barrierRelease() bool {
+	if c.atBarrier+c.finished < len(c.Warps) {
+		return false
+	}
+	for _, w := range c.Warps {
+		if w.atBarrier {
+			w.atBarrier = false
+			w.cur = nil // barrier consumed
+		}
+	}
+	c.atBarrier = 0
+	return true
+}

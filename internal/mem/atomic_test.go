@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicApply(t *testing.T) {
+	cases := []struct {
+		op       AtomicOp
+		old, arg uint32
+		want     uint32
+	}{
+		{AtomAdd, 10, 5, 15},
+		{AtomAdd, ^uint32(0), 1, 0}, // wraps
+		{AtomMin, 10, 5, 5},
+		{AtomMin, 5, 10, 5},
+		{AtomMax, 10, 5, 10},
+		{AtomMax, 5, 10, 10},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.old, c.arg); got != c.want {
+			t.Errorf("%v.Apply(%d,%d) = %d, want %d", c.op, c.old, c.arg, got, c.want)
+		}
+	}
+}
+
+// TestAtomicCombineConsistent: applying combined operands must equal
+// applying them one at a time — the property warp aggregation relies on.
+func TestAtomicCombineConsistent(t *testing.T) {
+	for _, op := range []AtomicOp{AtomAdd, AtomMin, AtomMax} {
+		op := op
+		f := func(old, a, b uint32) bool {
+			serial := op.Apply(op.Apply(old, a), b)
+			combined := op.Apply(old, op.Combine(a, b))
+			return serial == combined
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+	}
+}
+
+// TestAtomicAddPrefixReconstruction: lane i's hardware return value is
+// old + sum of preceding operands — the coalescer's prefix rule.
+func TestAtomicAddPrefixReconstruction(t *testing.T) {
+	f := func(old uint32, operands []uint32) bool {
+		if len(operands) > 8 {
+			operands = operands[:8]
+		}
+		cur := old
+		var prefix uint32
+		for _, arg := range operands {
+			want := cur         // serial old value
+			got := old + prefix // reconstruction
+			if want != got {
+				return false
+			}
+			cur = AtomAdd.Apply(cur, arg)
+			prefix += arg
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicStrings(t *testing.T) {
+	if AtomAdd.String() != "add" || AtomMin.String() != "min" || AtomMax.String() != "max" {
+		t.Fatal("names wrong")
+	}
+	if AtomicOp(9).String() != "atom?" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestAtomicUnknownPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { AtomicOp(9).Apply(1, 2) },
+		func() { AtomicOp(9).Combine(1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAtomMsgWireSizes(t *testing.T) {
+	at := &Msg{Type: BusAtom, Data: &Block{}, Mask: WordMask(0).Set(0)}
+	ack := &Msg{Type: BusAtomAck, Data: &Block{}, Mask: WordMask(0).Set(0)}
+	if at.WireBytes() <= ctrlBytes || ack.WireBytes() <= ctrlBytes {
+		t.Fatal("atomic messages must carry payload bytes")
+	}
+	// Masked payloads: one word only.
+	if at.WireBytes() > ctrlBytes+tsFieldBytes+1+4 {
+		t.Fatalf("BusAtom too large: %d", at.WireBytes())
+	}
+	if BusAtom.String() != "BusAtom" || BusAtomAck.String() != "BusAtomAck" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,132 @@
+// Package mem defines the memory primitives shared by every level of
+// the simulated hierarchy: byte/block addressing, cache-block payloads
+// at word granularity, the backing store that models DRAM contents, and
+// the coherence messages exchanged between the private L1 caches and
+// the shared L2 banks (Table I of the paper plus the DRAM-side
+// messages of Fig 1).
+package mem
+
+import "fmt"
+
+// Geometry of the simulated memory system. The paper's setup uses
+// 128-byte cache lines (GPGPU-Sim default); lanes access 4-byte words.
+const (
+	BlockBytes    = 128
+	WordBytes     = 4
+	WordsPerBlock = BlockBytes / WordBytes // 32, one word per lane
+	blockShift    = 7
+)
+
+// Addr is a byte address in the simulated global memory space.
+type Addr uint64
+
+// Block returns the block-aligned address containing a.
+func (a Addr) Block() BlockAddr { return BlockAddr(a >> blockShift) }
+
+// WordIndex returns the index of a's word within its block.
+func (a Addr) WordIndex() int { return int(a>>2) & (WordsPerBlock - 1) }
+
+// BlockAddr identifies one cache block (the byte address >> 7).
+type BlockAddr uint64
+
+// Addr returns the first byte address of the block.
+func (b BlockAddr) Addr() Addr { return Addr(b) << blockShift }
+
+// WordAddr returns the byte address of word i within the block.
+func (b BlockAddr) WordAddr(i int) Addr { return b.Addr() + Addr(i*WordBytes) }
+
+// String renders the block address in hex.
+func (b BlockAddr) String() string { return fmt.Sprintf("blk:%#x", uint64(b)) }
+
+// Block is the data payload of one cache line, at word granularity so
+// that per-lane stores can be merged and functionally verified.
+type Block struct {
+	Words [WordsPerBlock]uint32
+}
+
+// WordMask selects a subset of the 32 words of a block; bit i covers
+// word i. Coalesced accesses carry the mask of words their lanes touch.
+type WordMask uint32
+
+// MaskAll selects every word of a block.
+const MaskAll WordMask = 0xFFFFFFFF
+
+// Set returns m with word i selected.
+func (m WordMask) Set(i int) WordMask { return m | 1<<uint(i) }
+
+// Has reports whether word i is selected.
+func (m WordMask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Count returns the number of selected words.
+func (m WordMask) Count() int {
+	n := 0
+	for v := uint32(m); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Bytes returns the number of data bytes the mask covers.
+func (m WordMask) Bytes() int { return m.Count() * WordBytes }
+
+// Merge copies the masked words of src into dst.
+func Merge(dst *Block, src *Block, mask WordMask) {
+	for i := 0; i < WordsPerBlock; i++ {
+		if mask.Has(i) {
+			dst.Words[i] = src.Words[i]
+		}
+	}
+}
+
+// Store is the functional backing store: the architected contents of
+// the simulated global memory (what DRAM would hold). It is sparse;
+// unwritten blocks read as zero.
+type Store struct {
+	blocks map[BlockAddr]*Block
+}
+
+// NewStore returns an empty backing store.
+func NewStore() *Store { return &Store{blocks: make(map[BlockAddr]*Block)} }
+
+// ReadBlock copies the current contents of block b into out.
+func (s *Store) ReadBlock(b BlockAddr, out *Block) {
+	if blk, ok := s.blocks[b]; ok {
+		*out = *blk
+	} else {
+		*out = Block{}
+	}
+}
+
+// WriteBlock merges the masked words of data into block b.
+func (s *Store) WriteBlock(b BlockAddr, data *Block, mask WordMask) {
+	blk, ok := s.blocks[b]
+	if !ok {
+		blk = &Block{}
+		s.blocks[b] = blk
+	}
+	Merge(blk, data, mask)
+}
+
+// ReadWord returns the word at byte address a.
+func (s *Store) ReadWord(a Addr) uint32 {
+	blk, ok := s.blocks[a.Block()]
+	if !ok {
+		return 0
+	}
+	return blk.Words[a.WordIndex()]
+}
+
+// WriteWord sets the word at byte address a. Used by workloads to
+// initialize input data before a kernel launch.
+func (s *Store) WriteWord(a Addr, v uint32) {
+	b := a.Block()
+	blk, ok := s.blocks[b]
+	if !ok {
+		blk = &Block{}
+		s.blocks[b] = blk
+	}
+	blk.Words[a.WordIndex()] = v
+}
+
+// Blocks returns the number of blocks ever written.
+func (s *Store) Blocks() int { return len(s.blocks) }

@@ -1,0 +1,287 @@
+// Package memsys assembles the simulated memory hierarchy for a chosen
+// coherence protocol: per-SM L1 controllers, the crossbar NoC, the
+// banked shared L2, and one DRAM partition per bank, all over a single
+// functional backing store.
+package memsys
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/core"
+	"github.com/gtsc-sim/gtsc/internal/dir"
+	"github.com/gtsc-sim/gtsc/internal/dram"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/noc"
+	"github.com/gtsc-sim/gtsc/internal/nocoh"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+	"github.com/gtsc-sim/gtsc/internal/tc"
+)
+
+// Protocol selects the coherence configuration of a run.
+type Protocol uint8
+
+// The four configurations the paper evaluates.
+const (
+	// GTSC is the paper's contribution (internal/core).
+	GTSC Protocol = iota
+	// TC is Temporal Coherence; the Weak flag in the TC config picks
+	// the strong/weak variant (the evaluation pairs TC-Weak with RC
+	// and TC-Strong with SC).
+	TC
+	// BL disables the L1 entirely — the normalization baseline.
+	BL
+	// L1NC is a non-coherent L1 (Baseline-w/L1, Fig 12 right cluster).
+	L1NC
+	// DIR is a conventional invalidation-based full-map directory
+	// protocol (MESI-style) — the class §II-C argues against,
+	// implemented so the argument can be measured.
+	DIR
+)
+
+// String names the protocol as the paper's figures do.
+func (p Protocol) String() string {
+	switch p {
+	case GTSC:
+		return "G-TSC"
+	case TC:
+		return "TC"
+	case BL:
+		return "BL"
+	case L1NC:
+		return "BL-w/L1"
+	case DIR:
+		return "MESI-dir"
+	default:
+		return "?"
+	}
+}
+
+// Config describes the hierarchy geometry and protocol parameters.
+type Config struct {
+	Protocol Protocol
+
+	NumSMs   int // paper: 16
+	NumBanks int // L2 banks = DRAM partitions (paper: 8)
+
+	// L1: 16KB, 128B lines, 4-way -> 32 sets (paper §VI-A).
+	L1Sets  int
+	L1Ways  int
+	L1MSHRs int
+	// MaxWarps sizes the per-warp timestamp table (paper: 48).
+	MaxWarps int
+
+	// L2 per bank: 128KB, 128B lines, 8-way -> 128 sets.
+	L2Sets     int
+	L2Ways     int
+	L2PerCycle int
+
+	NoC  noc.Config
+	DRAM dram.Config
+
+	GTSC core.Config
+	TC   tc.Config
+	DIR  dir.Config
+}
+
+// DefaultConfig returns the paper's simulated machine (§VI-A).
+func DefaultConfig() Config {
+	return Config{
+		Protocol: GTSC,
+		NumSMs:   16,
+		NumBanks: 8,
+		L1Sets:   32, L1Ways: 4, L1MSHRs: 32, MaxWarps: 48,
+		L2Sets: 128, L2Ways: 8, L2PerCycle: 1,
+		NoC:  noc.DefaultConfig(),
+		DRAM: dram.DefaultConfig(),
+		GTSC: core.DefaultConfig(),
+		TC:   tc.DefaultConfig(),
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.NumSMs == 0 {
+		c.NumSMs = d.NumSMs
+	}
+	if c.NumBanks == 0 {
+		c.NumBanks = d.NumBanks
+	}
+	if c.L1Sets == 0 {
+		c.L1Sets = d.L1Sets
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = d.L1Ways
+	}
+	if c.L1MSHRs == 0 {
+		c.L1MSHRs = d.L1MSHRs
+	}
+	if c.MaxWarps == 0 {
+		c.MaxWarps = d.MaxWarps
+	}
+	if c.L2Sets == 0 {
+		c.L2Sets = d.L2Sets
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = d.L2Ways
+	}
+	if c.L2PerCycle == 0 {
+		c.L2PerCycle = d.L2PerCycle
+	}
+}
+
+// System is the assembled memory hierarchy of one run.
+type System struct {
+	Cfg    Config
+	L1s    []coherence.L1
+	L2s    []coherence.L2
+	Net    *noc.Network
+	Parts  []*dram.Partition
+	Store  *mem.Store
+	Resets *core.ResetController // non-nil for G-TSC
+}
+
+// New builds the hierarchy. obs may be nil.
+func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
+	cfg.fillDefaults()
+	s := &System{Cfg: cfg, Store: store}
+	s.Net = noc.New(cfg.NoC, cfg.NumSMs, cfg.NumBanks)
+
+	s.Parts = make([]*dram.Partition, cfg.NumBanks)
+	for i := range s.Parts {
+		s.Parts[i] = dram.New(cfg.DRAM, i, store)
+	}
+
+	s.L2s = make([]coherence.L2, cfg.NumBanks)
+	switch cfg.Protocol {
+	case GTSC:
+		s.Resets = core.NewResetController()
+		for i := range s.L2s {
+			l2 := core.NewL2(cfg.GTSC, i,
+				core.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
+				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+			l2.AttachResets(s.Resets)
+			s.L2s[i] = l2
+		}
+	case TC:
+		for i := range s.L2s {
+			s.L2s[i] = tc.NewL2(cfg.TC, i,
+				tc.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
+				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+		}
+	case DIR:
+		dcfg := cfg.DIR
+		dcfg.MaxSharers = cfg.NumSMs
+		for i := range s.L2s {
+			s.L2s[i] = dir.NewL2(dcfg, i,
+				dir.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
+				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+		}
+	case BL, L1NC:
+		for i := range s.L2s {
+			l2 := nocoh.NewL2Plain(i,
+				nocoh.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
+				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+			// Under BL load values bind at the L2 (there is no L1).
+			l2.SetObserveLoads(cfg.Protocol == BL)
+			s.L2s[i] = l2
+		}
+	default:
+		panic(fmt.Sprintf("memsys: unknown protocol %d", cfg.Protocol))
+	}
+
+	s.L1s = make([]coherence.L1, cfg.NumSMs)
+	for i := range s.L1s {
+		send := coherence.SenderFunc(s.Net.SendToL2)
+		switch cfg.Protocol {
+		case GTSC:
+			s.L1s[i] = core.NewL1(cfg.GTSC, i, cfg.NumBanks,
+				core.L1Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs, Warps: cfg.MaxWarps},
+				send, obs)
+		case TC:
+			s.L1s[i] = tc.NewL1(cfg.TC, i, cfg.NumBanks,
+				tc.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs},
+				send, obs)
+		case BL:
+			s.L1s[i] = nocoh.NewL1Bypass(i, cfg.NumBanks, send, obs)
+		case L1NC:
+			s.L1s[i] = nocoh.NewL1Simple(i, cfg.NumBanks,
+				nocoh.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs},
+				send, obs)
+		case DIR:
+			dcfg := cfg.DIR
+			dcfg.MaxSharers = cfg.NumSMs
+			s.L1s[i] = dir.NewL1(dcfg, i, cfg.NumBanks,
+				dir.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs},
+				send, obs)
+		}
+	}
+
+	s.Net.DeliverL2 = func(bank int, msg *mem.Msg) { s.L2s[bank].Deliver(msg) }
+	s.Net.DeliverL1 = func(sm int, msg *mem.Msg) { s.L1s[sm].Deliver(msg) }
+	for i, p := range s.Parts {
+		bank := i
+		p.Deliver = func(msg *mem.Msg) { s.L2s[bank].DRAMFill(msg) }
+	}
+	return s
+}
+
+func (s *System) dramSender(bank int) coherence.Sender {
+	return coherence.SenderFunc(func(msg *mem.Msg) bool { return s.Parts[bank].Enqueue(msg) })
+}
+
+// Tick advances the hierarchy one cycle in back-to-front order so
+// responses race ahead of new requests deterministically.
+func (s *System) Tick(now uint64) {
+	s.Net.Tick(now)
+	for _, p := range s.Parts {
+		p.Tick(now)
+	}
+	for _, l2 := range s.L2s {
+		l2.Tick(now)
+	}
+	for _, l1 := range s.L1s {
+		l1.Tick(now)
+	}
+}
+
+// Pending reports in-flight work anywhere in the hierarchy.
+func (s *System) Pending() int {
+	n := s.Net.Pending()
+	for _, p := range s.Parts {
+		n += p.Pending()
+	}
+	for _, l2 := range s.L2s {
+		n += l2.Pending()
+	}
+	for _, l1 := range s.L1s {
+		n += l1.Pending()
+	}
+	return n
+}
+
+// ReadWord returns the architected value of the word at addr: the
+// owning L2 bank's copy when cached (dirty lines live there until
+// evicted), else the backing store. Verification hook.
+func (s *System) ReadWord(a mem.Addr) uint32 {
+	b := a.Block()
+	bank := int(uint64(b) % uint64(s.Cfg.NumBanks))
+	if data, ok := s.L2s[bank].Peek(b); ok {
+		return data.Words[a.WordIndex()]
+	}
+	return s.Store.ReadWord(a)
+}
+
+// Collect aggregates every component's counters into run.
+func (s *System) Collect(run *stats.Run) {
+	for _, l1 := range s.L1s {
+		run.L1.Add(l1.Stats())
+	}
+	for _, l2 := range s.L2s {
+		run.L2.Add(l2.Stats())
+	}
+	run.NoC.Add(s.Net.Stats())
+	for _, p := range s.Parts {
+		run.DRAM.Add(p.Stats())
+	}
+}

@@ -1,0 +1,116 @@
+package noc
+
+import "github.com/gtsc-sim/gtsc/internal/mem"
+
+// Topology selects the interconnect model.
+type Topology uint8
+
+// Topologies.
+const (
+	// Crossbar is the paper's assumption: uniform latency between any
+	// SM and any bank (default).
+	Crossbar Topology = iota
+	// Mesh is a 2D mesh with XY routing: latency grows with Manhattan
+	// distance and traffic crossing the horizontal bisection
+	// serializes over its links — the first-order costs a real mesh
+	// adds over a crossbar. Exposed for topology ablations.
+	Mesh
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	if t == Mesh {
+		return "mesh"
+	}
+	return "crossbar"
+}
+
+// meshState holds the placement and bisection bookkeeping for Mesh
+// mode. SM nodes fill the grid row-major from the top-left; bank nodes
+// continue after them, which naturally spreads banks across the lower
+// rows (memory partitions on the die edge).
+type meshState struct {
+	width int
+	nSM   int
+	// bisection serialization: one flit per cycle per vertical link
+	// crossing the mid row.
+	bisFree  uint64
+	bisWidth uint64
+}
+
+func (n *Network) initMesh(nSM, nBank int) {
+	total := nSM + nBank
+	w := 1
+	for w*w < total {
+		w++
+	}
+	n.mesh = meshState{width: w, nSM: nSM, bisWidth: uint64(w)}
+}
+
+// pos returns a node's mesh coordinates. Requests address SMs
+// (id < nSM) and banks (id >= 0 on the bank side); toL2 tells which
+// namespace the id lives in.
+func (m *meshState) pos(id int, isBank bool) (x, y int) {
+	node := id
+	if isBank {
+		node = m.nSM + id
+	}
+	return node % m.width, node / m.width
+}
+
+// hops returns the Manhattan distance between an SM and a bank.
+func (m *meshState) hops(sm, bank int) int {
+	sx, sy := m.pos(sm, false)
+	bx, by := m.pos(bank, true)
+	dx := sx - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := sy - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// crossesBisection reports whether the XY route between an SM and a
+// bank crosses the grid's horizontal mid-line.
+func (m *meshState) crossesBisection(sm, bank int) bool {
+	_, sy := m.pos(sm, false)
+	_, by := m.pos(bank, true)
+	mid := m.width / 2
+	return (sy < mid) != (by < mid)
+}
+
+// meshLatency computes the pipe latency for msg under Mesh: PerHop
+// cycles per hop plus inject/eject overhead.
+func (n *Network) meshLatency(msg *mem.Msg, toL2 bool) uint64 {
+	sm, bank := msg.Src, msg.Dst
+	if !toL2 {
+		sm, bank = msg.Dst, msg.Src
+	}
+	return uint64(n.mesh.hops(sm, bank))*n.cfg.PerHop + 2
+}
+
+// bisectionDelay serializes flits that cross the bisection: each
+// crossing packet occupies one of the width vertical links for its
+// flit count. Returns the additional queueing delay.
+func (n *Network) bisectionDelay(msg *mem.Msg, toL2 bool, depart uint64) uint64 {
+	sm, bank := msg.Src, msg.Dst
+	if !toL2 {
+		sm, bank = msg.Dst, msg.Src
+	}
+	if !n.mesh.crossesBisection(sm, bank) {
+		return 0
+	}
+	flits := uint64(msg.Flits())
+	// The shared links admit bisWidth flits per cycle in aggregate;
+	// model them as one resource running bisWidth times faster.
+	cost := (flits + n.mesh.bisWidth - 1) / n.mesh.bisWidth
+	start := depart
+	if n.mesh.bisFree > start {
+		start = n.mesh.bisFree
+	}
+	n.mesh.bisFree = start + cost
+	return start - depart
+}

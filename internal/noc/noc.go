@@ -1,0 +1,206 @@
+// Package noc models the on-chip interconnect between the SMs' private
+// L1 caches and the shared L2 banks: a crossbar with per-port
+// serialization (one flit per cycle per injection port), a fixed pipe
+// latency, and bounded injection queues that exert backpressure on the
+// cache controllers. NoC bandwidth is the GPU's scarce resource the
+// paper's traffic results (Fig 15) revolve around, so every message's
+// flit count is accounted.
+package noc
+
+import (
+	"container/heap"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Config sets the interconnect parameters.
+type Config struct {
+	// Topology selects crossbar (default, the paper's model) or mesh.
+	Topology Topology
+	// Latency is the crossbar pipe traversal latency in cycles,
+	// applied after serialization (default 16).
+	Latency uint64
+	// PerHop is the mesh per-hop latency in cycles (default 3).
+	PerHop uint64
+	// InjectQueue is the per-port injection queue depth in messages
+	// (default 8). A full queue rejects TrySend.
+	InjectQueue int
+}
+
+// DefaultConfig returns the parameters used by the paper-scale setup.
+func DefaultConfig() Config { return Config{Latency: 16, InjectQueue: 8} }
+
+// DefaultMeshConfig returns a 2D-mesh interconnect configuration.
+func DefaultMeshConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topology = Mesh
+	return cfg
+}
+
+// Network is a crossbar between nSM request ports and nBank response
+// ports. Delivery callbacks hand arrived messages to the receiving
+// controller.
+type Network struct {
+	cfg   Config
+	now   uint64
+	toL2  []*port // one per SM
+	toL1  []*port // one per L2 bank
+	wire  arrivalHeap
+	stats stats.NoCStats
+	mesh  meshState
+
+	// DeliverL2 receives messages addressed to bank Dst.
+	DeliverL2 func(bank int, msg *mem.Msg)
+	// DeliverL1 receives messages addressed to SM Dst.
+	DeliverL1 func(sm int, msg *mem.Msg)
+
+	inFlight int
+}
+
+// New builds a crossbar with nSM SM-side ports and nBank bank-side ports.
+func New(cfg Config, nSM, nBank int) *Network {
+	n := &Network{cfg: cfg}
+	if n.cfg.Latency == 0 {
+		n.cfg.Latency = DefaultConfig().Latency
+	}
+	if n.cfg.InjectQueue == 0 {
+		n.cfg.InjectQueue = DefaultConfig().InjectQueue
+	}
+	if n.cfg.PerHop == 0 {
+		n.cfg.PerHop = 3
+	}
+	if n.cfg.Topology == Mesh {
+		n.initMesh(nSM, nBank)
+	}
+	n.toL2 = make([]*port, nSM)
+	for i := range n.toL2 {
+		n.toL2[i] = &port{cap: n.cfg.InjectQueue}
+	}
+	n.toL1 = make([]*port, nBank)
+	for i := range n.toL1 {
+		n.toL1[i] = &port{cap: n.cfg.InjectQueue}
+	}
+	return n
+}
+
+// Stats returns the accumulated traffic counters.
+func (n *Network) Stats() *stats.NoCStats { return &n.stats }
+
+// Pending reports messages queued or in flight, for drain checks.
+func (n *Network) Pending() int { return n.inFlight }
+
+// SendToL2 injects a request from SM msg.Src toward bank msg.Dst.
+func (n *Network) SendToL2(msg *mem.Msg) bool {
+	p := n.toL2[msg.Src]
+	if !p.push(msg, n.now) {
+		return false
+	}
+	n.inFlight++
+	return true
+}
+
+// SendToL1 injects a response from bank msg.Src toward SM msg.Dst.
+func (n *Network) SendToL1(msg *mem.Msg) bool {
+	p := n.toL1[msg.Src]
+	if !p.push(msg, n.now) {
+		return false
+	}
+	n.inFlight++
+	return true
+}
+
+// Tick serializes queued messages onto the wire and delivers arrivals.
+func (n *Network) Tick(now uint64) {
+	n.now = now
+	for _, p := range n.toL2 {
+		n.drainPort(p, true, now)
+	}
+	for _, p := range n.toL1 {
+		n.drainPort(p, false, now)
+	}
+	for len(n.wire) > 0 && n.wire[0].at <= now {
+		a := heap.Pop(&n.wire).(arrival)
+		n.inFlight--
+		if a.toL2 {
+			n.DeliverL2(a.msg.Dst, a.msg)
+		} else {
+			n.DeliverL1(a.msg.Dst, a.msg)
+		}
+	}
+}
+
+func (n *Network) drainPort(p *port, toL2 bool, now uint64) {
+	for len(p.q) > 0 && p.busyUntil <= now {
+		msg := p.q[0].msg
+		n.stats.QueueDelay += now - p.q[0].enq
+		p.q = p.q[1:]
+		flits := uint64(msg.Flits())
+		p.busyUntil = now + flits
+		bytes := uint64(msg.WireBytes())
+		if toL2 {
+			n.stats.MsgsToL2++
+			n.stats.FlitsToL2 += flits
+			n.stats.BytesToL2 += bytes
+		} else {
+			n.stats.MsgsToL1++
+			n.stats.FlitsToL1 += flits
+			n.stats.BytesToL1 += bytes
+		}
+		lat := n.cfg.Latency
+		if n.cfg.Topology == Mesh {
+			lat = n.meshLatency(msg, toL2)
+			lat += n.bisectionDelay(msg, toL2, now+flits)
+		}
+		heap.Push(&n.wire, arrival{at: now + flits + lat, seq: n.seq(), msg: msg, toL2: toL2})
+	}
+}
+
+var seqCounter uint64
+
+func (n *Network) seq() uint64 { seqCounter++; return seqCounter }
+
+type queued struct {
+	msg *mem.Msg
+	enq uint64
+}
+
+type port struct {
+	q         []queued
+	cap       int
+	busyUntil uint64
+}
+
+func (p *port) push(m *mem.Msg, now uint64) bool {
+	if len(p.q) >= p.cap {
+		return false
+	}
+	p.q = append(p.q, queued{msg: m, enq: now})
+	return true
+}
+
+type arrival struct {
+	at   uint64
+	seq  uint64 // FIFO tiebreak for same-cycle arrivals
+	msg  *mem.Msg
+	toL2 bool
+}
+
+type arrivalHeap []arrival
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(arrival)) }
+func (h *arrivalHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

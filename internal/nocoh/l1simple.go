@@ -1,0 +1,248 @@
+package nocoh
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// L1Simple is the Baseline-w/L1 configuration: a conventional
+// write-through, write-no-allocate L1 with MSHR merging and no
+// coherence whatsoever — cached lines remain valid until evicted. It
+// is only safe for kernels that do not communicate through global
+// memory (the paper's second benchmark set). It implements
+// coherence.L1.
+type L1Simple struct {
+	smID   int
+	nBanks int
+	now    uint64
+
+	array *cache.Array[struct{}]
+	mshr  *cache.MSHR[simpleWaiter]
+
+	send  coherence.Sender
+	outQ  []*mem.Msg
+	stats stats.L1Stats
+	obs   coherence.Observer
+
+	storesByID  map[uint64]*coherence.Request
+	atomicsByID map[uint64]*coherence.Request
+	nextReqID   uint64
+	pending     int
+}
+
+type simpleWaiter struct {
+	req *coherence.Request
+}
+
+// Geometry mirrors the coherent controllers' organization.
+type Geometry struct {
+	Sets  int
+	Ways  int
+	MSHRs int
+}
+
+// NewL1Simple builds the non-coherent L1 for SM smID.
+func NewL1Simple(smID, nBanks int, geo Geometry, send coherence.Sender, obs coherence.Observer) *L1Simple {
+	return &L1Simple{
+		smID:        smID,
+		nBanks:      nBanks,
+		array:       cache.NewArray[struct{}](geo.Sets, geo.Ways),
+		mshr:        cache.NewMSHR[simpleWaiter](geo.MSHRs),
+		send:        send,
+		obs:         obs,
+		storesByID:  make(map[uint64]*coherence.Request),
+		atomicsByID: make(map[uint64]*coherence.Request),
+	}
+}
+
+// Stats implements coherence.L1.
+func (l *L1Simple) Stats() *stats.L1Stats { return &l.stats }
+
+// Pending implements coherence.L1.
+func (l *L1Simple) Pending() int { return l.pending }
+
+// Access implements coherence.L1.
+func (l *L1Simple) Access(req *coherence.Request) coherence.AccessResult {
+	if req.Atomic {
+		return l.accessAtomic(req)
+	}
+	if req.Store {
+		return l.accessStore(req)
+	}
+	return l.accessLoad(req)
+}
+
+// accessAtomic forwards the read-modify-write to the L2 and applies
+// the same update to the local copy (if present), keeping the SM
+// internally consistent — remote updates remain invisible, as
+// everywhere in this non-coherent configuration.
+func (l *L1Simple) accessAtomic(req *coherence.Request) coherence.AccessResult {
+	l.stats.Atomics++
+	l.stats.TagProbes++
+	if line := l.array.Lookup(req.Block); line != nil {
+		for i := 0; i < mem.WordsPerBlock; i++ {
+			if req.Mask.Has(i) {
+				line.Data.Words[i] = req.Atom.Apply(line.Data.Words[i], req.Data.Words[i])
+			}
+		}
+		l.stats.DataAccesses++
+	}
+	l.nextReqID++
+	l.atomicsByID[l.nextReqID] = req
+	l.pending++
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type: mem.BusAtom, Block: req.Block, Src: l.smID,
+		Dst: bankOf(req.Block, l.nBanks), Data: data, Mask: req.Mask,
+		Atom: req.Atom, ReqID: l.nextReqID, Warp: req.Warp,
+	})
+	return coherence.Pending
+}
+
+func (l *L1Simple) accessLoad(req *coherence.Request) coherence.AccessResult {
+	l.stats.Loads++
+	l.stats.TagProbes++
+	if line := l.array.Lookup(req.Block); line != nil {
+		l.stats.Hits++
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+		l.pending++ // completeLoad decrements
+		l.completeLoad(req, &line.Data)
+		return coherence.Hit
+	}
+	e := l.mshr.Lookup(req.Block)
+	if e == nil && l.mshr.Full() {
+		l.stats.MSHRStalls++
+		return coherence.Reject
+	}
+	l.stats.MissCold++
+	if e != nil {
+		l.stats.MSHRMerges++
+		e.Waiters = append(e.Waiters, simpleWaiter{req: req})
+		l.pending++
+		return coherence.Pending
+	}
+	e = l.mshr.Allocate(req.Block)
+	e.Waiters = append(e.Waiters, simpleWaiter{req: req})
+	e.Issued = true
+	l.pending++
+	l.nextReqID++
+	l.post(&mem.Msg{
+		Type: mem.BusRd, Block: req.Block, Src: l.smID,
+		Dst: bankOf(req.Block, l.nBanks), ReqID: l.nextReqID,
+	})
+	return coherence.Pending
+}
+
+func (l *L1Simple) accessStore(req *coherence.Request) coherence.AccessResult {
+	l.stats.Stores++
+	l.stats.TagProbes++
+	if line := l.array.Lookup(req.Block); line != nil {
+		// Write-through with local update and no locking: without
+		// coherence there is no remote writer to race with.
+		mem.Merge(&line.Data, req.Data, req.Mask)
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+	}
+	l.nextReqID++
+	l.storesByID[l.nextReqID] = req
+	l.pending++
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type: mem.BusWr, Block: req.Block, Src: l.smID,
+		Dst: bankOf(req.Block, l.nBanks), Data: data, Mask: req.Mask,
+		ReqID: l.nextReqID, Warp: req.Warp,
+	})
+	return coherence.Pending
+}
+
+func (l *L1Simple) completeLoad(req *coherence.Request, data *mem.Block) {
+	out := &mem.Block{}
+	mem.Merge(out, data, req.Mask)
+	if l.obs != nil {
+		l.obs.Observe(coherence.Op{
+			SM: l.smID, Warp: req.Warp, Block: req.Block, Mask: req.Mask,
+			Data: *out, Cycle: l.now,
+		})
+	}
+	l.pending--
+	req.Done(coherence.Completion{Data: out})
+}
+
+// Deliver implements coherence.L1.
+func (l *L1Simple) Deliver(msg *mem.Msg) {
+	switch msg.Type {
+	case mem.BusFill:
+		l.stats.Fills++
+		line := l.array.Lookup(msg.Block)
+		if line == nil {
+			victim := l.array.Victim(msg.Block, nil)
+			l.array.Install(victim, msg.Block, msg.Data, l.now)
+			line = victim
+		} else {
+			line.Data = *msg.Data
+		}
+		l.stats.DataAccesses++
+		e := l.mshr.Lookup(msg.Block)
+		if e == nil {
+			return
+		}
+		for _, w := range e.Waiters {
+			l.stats.DataAccesses++
+			l.completeLoad(w.req, &line.Data)
+		}
+		l.mshr.Release(msg.Block)
+	case mem.BusWrAck:
+		l.stats.WriteAcks++
+		req, ok := l.storesByID[msg.ReqID]
+		if !ok {
+			panic("nocoh l1: write ack for unknown store")
+		}
+		delete(l.storesByID, msg.ReqID)
+		l.pending--
+		req.Done(coherence.Completion{})
+	case mem.BusAtomAck:
+		req, ok := l.atomicsByID[msg.ReqID]
+		if !ok {
+			panic("nocoh l1: atomic ack for unknown request")
+		}
+		delete(l.atomicsByID, msg.ReqID)
+		l.pending--
+		req.Done(coherence.Completion{Data: msg.Data})
+	default:
+		panic(fmt.Sprintf("nocoh l1: unexpected message %v", msg.Type))
+	}
+}
+
+// Flush implements coherence.L1.
+func (l *L1Simple) Flush() {
+	if l.pending != 0 {
+		panic("nocoh l1: flush with outstanding accesses")
+	}
+	l.stats.Flushes++
+	l.array.ForEach(func(c *cache.Line[struct{}]) { l.array.Invalidate(c) })
+}
+
+func (l *L1Simple) post(msg *mem.Msg) {
+	if len(l.outQ) == 0 && l.send.TrySend(msg) {
+		return
+	}
+	l.outQ = append(l.outQ, msg)
+}
+
+// Tick implements coherence.L1.
+func (l *L1Simple) Tick(now uint64) {
+	l.now = now
+	for len(l.outQ) > 0 {
+		if !l.send.TrySend(l.outQ[0]) {
+			return
+		}
+		l.outQ = l.outQ[1:]
+	}
+}

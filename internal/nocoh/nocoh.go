@@ -1,0 +1,144 @@
+// Package nocoh implements the paper's two non-coherent reference
+// configurations:
+//
+//   - BL ("baseline"): the private L1 is disabled outright and every
+//     coalesced access crosses the NoC to the shared L2 — how current
+//     GPUs provide coherence by construction (§I), and the
+//     configuration every figure normalizes to. Matching the paper's
+//     own BL implementation, there are no L1 tags to check and no L1
+//     MSHRs: each access becomes its own NoC request (§VI-A).
+//   - Baseline-w/L1: a plain non-coherent write-through L1 (lines stay
+//     valid until evicted). Only meaningful for the benchmark set that
+//     does not require coherence (right cluster of Fig 12).
+//
+// Both run over L2Plain, a shared cache with no coherence metadata.
+package nocoh
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+func bankOf(b mem.BlockAddr, nBanks int) int { return int(uint64(b) % uint64(nBanks)) }
+
+// L1Bypass is the BL configuration's "L1": a pass-through shim that
+// turns every access into an L2 request. It implements coherence.L1.
+type L1Bypass struct {
+	smID    int
+	nBanks  int
+	now     uint64
+	send    coherence.Sender
+	outQ    []*mem.Msg
+	stats   stats.L1Stats
+	obs     coherence.Observer
+	reqByID map[uint64]*coherence.Request
+	nextID  uint64
+	pending int
+	// maxOutstanding bounds in-flight accesses so the shim exerts the
+	// same finite buffering a real LDST path would (default 64).
+	maxOutstanding int
+}
+
+// NewL1Bypass builds the BL shim for SM smID.
+func NewL1Bypass(smID, nBanks int, send coherence.Sender, obs coherence.Observer) *L1Bypass {
+	return &L1Bypass{
+		smID: smID, nBanks: nBanks, send: send, obs: obs,
+		reqByID: make(map[uint64]*coherence.Request), maxOutstanding: 64,
+	}
+}
+
+// Stats implements coherence.L1.
+func (l *L1Bypass) Stats() *stats.L1Stats { return &l.stats }
+
+// Pending implements coherence.L1.
+func (l *L1Bypass) Pending() int { return l.pending }
+
+// Flush implements coherence.L1 (nothing cached, nothing to do).
+func (l *L1Bypass) Flush() {}
+
+// Access implements coherence.L1.
+func (l *L1Bypass) Access(req *coherence.Request) coherence.AccessResult {
+	if l.pending >= l.maxOutstanding {
+		l.stats.MSHRStalls++
+		return coherence.Reject
+	}
+	l.nextID++
+	l.reqByID[l.nextID] = req
+	l.pending++
+	msg := &mem.Msg{
+		Block: req.Block, Src: l.smID, Dst: bankOf(req.Block, l.nBanks),
+		ReqID: l.nextID, Warp: req.Warp,
+	}
+	if req.Atomic {
+		l.stats.Atomics++
+		msg.Type = mem.BusAtom
+		msg.Mask = req.Mask
+		msg.Atom = req.Atom
+		data := &mem.Block{}
+		mem.Merge(data, req.Data, req.Mask)
+		msg.Data = data
+	} else if req.Store {
+		l.stats.Stores++
+		msg.Type = mem.BusWr
+		msg.Mask = req.Mask
+		data := &mem.Block{}
+		mem.Merge(data, req.Data, req.Mask)
+		msg.Data = data
+	} else {
+		l.stats.Loads++
+		l.stats.MissCold++ // every access crosses the NoC
+		msg.Type = mem.BusRd
+		// The mask rides along so the L2 can observe the load with the
+		// words it actually returns (value binds at the L2 under BL).
+		msg.Mask = req.Mask
+	}
+	l.post(msg)
+	return coherence.Pending
+}
+
+// Deliver implements coherence.L1.
+func (l *L1Bypass) Deliver(msg *mem.Msg) {
+	req, ok := l.reqByID[msg.ReqID]
+	if !ok {
+		panic("nocoh bypass: response for unknown request")
+	}
+	delete(l.reqByID, msg.ReqID)
+	l.pending--
+	switch msg.Type {
+	case mem.BusFill:
+		l.stats.Fills++
+		out := &mem.Block{}
+		mem.Merge(out, msg.Data, req.Mask)
+		// Loads are observed at the L2, where their value binds; the
+		// shim only delivers the completion.
+		req.Done(coherence.Completion{Data: out})
+	case mem.BusWrAck:
+		l.stats.WriteAcks++
+		req.Done(coherence.Completion{})
+	case mem.BusAtomAck:
+		req.Done(coherence.Completion{Data: msg.Data})
+	default:
+		panic(fmt.Sprintf("nocoh bypass: unexpected message %v", msg.Type))
+	}
+}
+
+func (l *L1Bypass) post(msg *mem.Msg) {
+	if len(l.outQ) == 0 && l.send.TrySend(msg) {
+		return
+	}
+	l.outQ = append(l.outQ, msg)
+}
+
+// Tick implements coherence.L1.
+func (l *L1Bypass) Tick(now uint64) {
+	l.now = now
+	for len(l.outQ) > 0 {
+		if !l.send.TrySend(l.outQ[0]) {
+			return
+		}
+		l.outQ = l.outQ[1:]
+	}
+}

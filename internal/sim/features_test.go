@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/dram"
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/noc"
+)
+
+// TestMaxCyclesGuard: a kernel that cannot finish reports a deadlock
+// error instead of hanging.
+func TestMaxCyclesGuard(t *testing.T) {
+	cfg := smallConfig(memsys.GTSC, gpu.RC)
+	cfg.MaxCycles = 200
+	k := &gpu.Kernel{
+		Name: "forever", CTAs: 1, WarpsPerCTA: 1, Regs: 1,
+		ProgramFor: func(w *gpu.Warp) gpu.Program {
+			return gpu.FuncProgram(func(w *gpu.Warp) (*gpu.Instr, bool) {
+				return gpu.Comp(1), true // infinite compute
+			})
+		},
+	}
+	_, err := New(cfg).Run(k)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("expected deadlock guard, got %v", err)
+	}
+}
+
+// TestAtomicsThroughFullStack: a cross-SM atomic counter reaches the
+// exact total through NoC, L2 and DRAM on every protocol and both
+// relevant consistency models.
+func TestAtomicsThroughFullStack(t *testing.T) {
+	const counter = mem.Addr(0x9000)
+	k := &gpu.Kernel{
+		Name: "count", CTAs: 4, WarpsPerCTA: 2, Regs: 2,
+		ProgramFor: func(w *gpu.Warp) gpu.Program {
+			return &gpu.LoopProgram{
+				Iters: 3,
+				Body: func(int) []*gpu.Instr {
+					return []*gpu.Instr{
+						gpu.Atomic(mem.AtomAdd, 0, func(t *gpu.Thread) (mem.Addr, bool) {
+							return counter, true
+						}, func(t *gpu.Thread) uint32 { return 1 }),
+					}
+				},
+			}
+		},
+	}
+	want := uint32(4 * 2 * gpu.WarpWidth * 3)
+	for _, tc := range allConfigs() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := New(smallConfig(tc.p, tc.c))
+			if _, err := s.Run(k); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.ReadWord(counter); got != want {
+				t.Fatalf("counter = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestMeshAndBankedSubstrate: the write-read kernel stays correct on
+// the higher-fidelity substrate, and the mesh is measurably slower
+// than the crossbar.
+func TestMeshAndBankedSubstrate(t *testing.T) {
+	base := smallConfig(memsys.GTSC, gpu.RC)
+	runWith := func(cfg Config) uint64 {
+		s := New(cfg)
+		kernel := writeReadKernel(0x30000)
+		run, err := s.Run(kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		threads := kernel.CTAs * kernel.WarpsPerCTA * gpu.WarpWidth
+		for i := 0; i < threads; i++ {
+			if got := s.ReadWord(0x30000 + mem.Addr(i*4)); got != uint32(i)+1 {
+				t.Fatalf("word %d wrong: %d", i, got)
+			}
+		}
+		return run.Cycles
+	}
+	flat := runWith(base)
+
+	meshCfg := base
+	meshCfg.Mem.NoC = noc.DefaultMeshConfig()
+	meshCycles := runWith(meshCfg)
+	if meshCycles <= flat/2 {
+		t.Fatalf("mesh run implausibly fast: %d vs %d", meshCycles, flat)
+	}
+
+	bankedCfg := base
+	bankedCfg.Mem.DRAM = dram.DefaultBankedConfig()
+	bankedCycles := runWith(bankedCfg)
+	if bankedCycles == 0 {
+		t.Fatal("banked run broken")
+	}
+
+	both := base
+	both.Mem.NoC = noc.DefaultMeshConfig()
+	both.Mem.DRAM = dram.DefaultBankedConfig()
+	runWith(both)
+}
+
+// TestOccupancyLimitAcrossSMs: MaxCTAsPerSM spreads a large grid over
+// time rather than space.
+func TestOccupancyLimitAcrossSMs(t *testing.T) {
+	cfg := smallConfig(memsys.GTSC, gpu.RC)
+	k := &gpu.Kernel{
+		Name: "occ", CTAs: 16, WarpsPerCTA: 2, Regs: 2, MaxCTAsPerSM: 1,
+		ProgramFor: func(w *gpu.Warp) gpu.Program {
+			return gpu.Seq(gpu.Comp(5), gpu.Store(func(t *gpu.Thread) (mem.Addr, bool) {
+				return 0x40000 + mem.Addr(t.GTID*4), true
+			}, func(t *gpu.Thread) uint32 { return 1 }))
+		},
+	}
+	s := New(cfg)
+	run, err := s.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SM.CTAsRetired != 16 {
+		t.Fatalf("retired %d CTAs", run.SM.CTAsRetired)
+	}
+	for i := 0; i < 16*2*gpu.WarpWidth; i++ {
+		if s.ReadWord(0x40000+mem.Addr(i*4)) != 1 {
+			t.Fatalf("thread %d missing", i)
+		}
+	}
+}
+
+// TestGTOvsLRRDeterminism: both schedulers complete the same kernel
+// correctly (timing may differ).
+func TestGTOvsLRRDeterminism(t *testing.T) {
+	for _, sched := range []gpu.Scheduler{gpu.LRR, gpu.GTO} {
+		cfg := smallConfig(memsys.GTSC, gpu.RC)
+		cfg.SM.Scheduler = sched
+		s := New(cfg)
+		if _, err := s.Run(conflictKernel(0x50000, 4, 8)); err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+	}
+}
+
+// TestDeterministicReplay: two identical simulations produce identical
+// cycle counts and statistics (the repo's determinism guarantee).
+func TestDeterministicReplay(t *testing.T) {
+	run := func() uint64 {
+		s := New(smallConfig(memsys.GTSC, gpu.RC))
+		r, err := s.Run(conflictKernel(0x60000, 5, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %d vs %d cycles", a, b)
+	}
+}

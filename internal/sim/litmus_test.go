@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/noc"
+)
+
+// Classic two-thread litmus tests, run with one warp per SM (lane 0
+// active) across a spread of NoC/DRAM timings so different
+// interleavings arise. Under SC (and under TC-Strong paired with SC),
+// the forbidden outcome of each test must never appear; the fenced
+// variants must also be forbidden under RC.
+
+const (
+	litX   = mem.Addr(0x11000)
+	litY   = mem.Addr(0x12000) // different block (and usually bank) than X
+	litOut = mem.Addr(0x13000)
+)
+
+func lane0(a mem.Addr) func(t *gpu.Thread) (mem.Addr, bool) {
+	return func(t *gpu.Thread) (mem.Addr, bool) { return a, t.Lane == 0 }
+}
+
+// litmusKernel builds a 2-CTA kernel whose two programs are given per
+// CTA; each program's final register values r0/r1 are stored to the
+// observation array.
+func litmusKernel(name string, prog0, prog1 []*gpu.Instr) *gpu.Kernel {
+	writeBack := func(cta int) []*gpu.Instr {
+		return []*gpu.Instr{
+			gpu.Fence(),
+			gpu.Store(lane0(litOut+mem.Addr(cta*8)), func(t *gpu.Thread) uint32 { return t.Regs[0] }, 0),
+			gpu.Store(lane0(litOut+mem.Addr(cta*8+4)), func(t *gpu.Thread) uint32 { return t.Regs[1] }, 1),
+			gpu.Fence(),
+		}
+	}
+	return &gpu.Kernel{
+		Name: name, CTAs: 2, WarpsPerCTA: 1, Regs: 2, MaxCTAsPerSM: 1,
+		NeedsCoherence: true,
+		ProgramFor: func(w *gpu.Warp) gpu.Program {
+			if w.CTA.ID == 0 {
+				return gpu.Seq(append(append([]*gpu.Instr{}, prog0...), writeBack(0)...)...)
+			}
+			return gpu.Seq(append(append([]*gpu.Instr{}, prog1...), writeBack(1)...)...)
+		},
+	}
+}
+
+// timingVariations builds configs with different latencies so the two
+// SMs' operations interleave differently.
+func timingVariations(p memsys.Protocol, c gpu.Consistency) []Config {
+	var out []Config
+	for _, nocLat := range []uint64{1, 4, 16, 33} {
+		for _, banks := range []int{1, 2} {
+			cfg := smallConfig(p, c)
+			cfg.Mem.NumSMs = 2
+			cfg.Mem.NumBanks = banks
+			cfg.Mem.NoC = noc.Config{Latency: nocLat, InjectQueue: 8}
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// runLitmus executes the kernel and returns (r0,r1) of both threads.
+func runLitmus(t *testing.T, cfg Config, k *gpu.Kernel) [2][2]uint32 {
+	t.Helper()
+	s := New(cfg)
+	if _, err := s.Run(k); err != nil {
+		t.Fatal(err)
+	}
+	var out [2][2]uint32
+	for cta := 0; cta < 2; cta++ {
+		out[cta][0] = s.ReadWord(litOut + mem.Addr(cta*8))
+		out[cta][1] = s.ReadWord(litOut + mem.Addr(cta*8+4))
+	}
+	return out
+}
+
+// TestLitmusMessagePassing: P0 stores data then flag (with fence under
+// RC); P1 reads flag then data. Forbidden: flag==1 && data==0.
+func TestLitmusMessagePassing(t *testing.T) {
+	mp := func(fenced bool) *gpu.Kernel {
+		p0 := []*gpu.Instr{
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }), // data
+		}
+		if fenced {
+			p0 = append(p0, gpu.Fence())
+		}
+		p0 = append(p0, gpu.Store(lane0(litY), func(*gpu.Thread) uint32 { return 1 })) // flag
+		p1 := []*gpu.Instr{
+			gpu.Load(0, lane0(litY)), // flag
+			gpu.Load(1, lane0(litX)), // data
+		}
+		name := "mp"
+		if fenced {
+			name = "mp-fenced"
+		}
+		return litmusKernel(name, p0, p1)
+	}
+
+	check := func(t *testing.T, k *gpu.Kernel, cfgs []Config, what string) {
+		for i, cfg := range cfgs {
+			r := runLitmus(t, cfg, k)
+			flag, data := r[1][0], r[1][1]
+			if flag == 1 && data == 0 {
+				t.Fatalf("%s cfg %d: forbidden MP outcome flag=1,data=0", what, i)
+			}
+		}
+	}
+	check(t, mp(false), timingVariations(memsys.GTSC, gpu.SC), "gtsc-sc")
+	check(t, mp(false), timingVariations(memsys.TC, gpu.SC), "tc-sc")
+	check(t, mp(false), timingVariations(memsys.BL, gpu.SC), "bl-sc")
+	// Under RC the unfenced outcome is architecturally allowed, but the
+	// fenced version must be forbidden.
+	check(t, mp(true), timingVariations(memsys.GTSC, gpu.RC), "gtsc-rc-fenced")
+	check(t, mp(true), timingVariations(memsys.TC, gpu.RC), "tc-rc-fenced")
+	// TSO preserves store order and load order: MP is forbidden even
+	// without the fence.
+	check(t, mp(false), timingVariations(memsys.GTSC, gpu.TSO), "gtsc-tso")
+}
+
+// TestLitmusStoreBuffering: P0: ST x; LD y. P1: ST y; LD x.
+// Forbidden under SC: both loads 0.
+func TestLitmusStoreBuffering(t *testing.T) {
+	sb := litmusKernel("sb",
+		[]*gpu.Instr{
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }),
+			gpu.Load(0, lane0(litY)),
+		},
+		[]*gpu.Instr{
+			gpu.Store(lane0(litY), func(*gpu.Thread) uint32 { return 1 }),
+			gpu.Load(0, lane0(litX)),
+		})
+	for _, pc := range []struct {
+		name string
+		p    memsys.Protocol
+	}{{"gtsc", memsys.GTSC}, {"tc", memsys.TC}, {"bl", memsys.BL}} {
+		for i, cfg := range timingVariations(pc.p, gpu.SC) {
+			r := runLitmus(t, cfg, sb)
+			if r[0][0] == 0 && r[1][0] == 0 {
+				t.Fatalf("%s-sc cfg %d: forbidden SB outcome 0/0", pc.name, i)
+			}
+		}
+	}
+}
+
+// TestLitmusLoadBuffering: P0: LD x; ST y=1. P1: LD y; ST x=1.
+// Forbidden everywhere here (no speculation): both loads 1.
+func TestLitmusLoadBuffering(t *testing.T) {
+	lb := litmusKernel("lb",
+		[]*gpu.Instr{
+			gpu.Load(0, lane0(litX)),
+			gpu.Store(lane0(litY), func(*gpu.Thread) uint32 { return 1 }),
+		},
+		[]*gpu.Instr{
+			gpu.Load(0, lane0(litY)),
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }),
+		})
+	for _, cons := range []gpu.Consistency{gpu.SC, gpu.TSO, gpu.RC} {
+		for i, cfg := range timingVariations(memsys.GTSC, cons) {
+			r := runLitmus(t, cfg, lb)
+			if r[0][0] == 1 && r[1][0] == 1 {
+				t.Fatalf("gtsc-%v cfg %d: forbidden LB outcome 1/1", cons, i)
+			}
+		}
+	}
+}
+
+// TestLitmusCoherenceCO: two stores to the same location from two SMs;
+// after both complete, every protocol agrees on a single final value
+// and both writers' subsequent reads see it.
+func TestLitmusCoherenceCO(t *testing.T) {
+	co := litmusKernel("co",
+		[]*gpu.Instr{
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }),
+			gpu.Fence(),
+			gpu.Load(0, lane0(litX)),
+		},
+		[]*gpu.Instr{
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 2 }),
+			gpu.Fence(),
+			gpu.Load(0, lane0(litX)),
+		})
+	for _, pc := range []memsys.Protocol{memsys.GTSC, memsys.TC, memsys.BL} {
+		for i, cfg := range timingVariations(pc, gpu.SC) {
+			s := New(cfg)
+			if _, err := s.Run(co); err != nil {
+				t.Fatal(err)
+			}
+			final := s.ReadWord(litX)
+			if final != 1 && final != 2 {
+				t.Fatalf("%v cfg %d: impossible final value %d", pc, i, final)
+			}
+		}
+	}
+}
+
+func ExampleConfig_litmus() {
+	cfg := smallConfig(memsys.GTSC, gpu.SC)
+	cfg.Mem.NumSMs = 2
+	k := litmusKernel("example-mp",
+		[]*gpu.Instr{gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 })},
+		[]*gpu.Instr{gpu.Load(0, lane0(litX)), gpu.Load(1, lane0(litX))})
+	s := New(cfg)
+	if _, err := s.Run(k); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("done")
+	// Output: done
+}
+
+// TestLitmusIRIW: independent reads of independent writes. P0: ST x=1.
+// P1: ST y=1. P2: LD x, LD y. P3: LD y, LD x. Under SC, writes are
+// atomically visible in one global order (§II-B's write atomicity):
+// the two readers must not disagree — forbidden outcome is P2 seeing
+// (x=1, y=0) while P3 sees (y=1, x=0).
+func TestLitmusIRIW(t *testing.T) {
+	iriw := &gpu.Kernel{
+		Name: "iriw", CTAs: 4, WarpsPerCTA: 1, Regs: 2, MaxCTAsPerSM: 1,
+		NeedsCoherence: true,
+		ProgramFor: func(w *gpu.Warp) gpu.Program {
+			writeBack := []*gpu.Instr{
+				gpu.Fence(),
+				gpu.Store(func(t *gpu.Thread) (mem.Addr, bool) {
+					return litOut + mem.Addr(t.CTA*8), t.Lane == 0
+				}, func(t *gpu.Thread) uint32 { return t.Regs[0] }, 0),
+				gpu.Store(func(t *gpu.Thread) (mem.Addr, bool) {
+					return litOut + mem.Addr(t.CTA*8+4), t.Lane == 0
+				}, func(t *gpu.Thread) uint32 { return t.Regs[1] }, 1),
+			}
+			switch w.CTA.ID {
+			case 0:
+				return gpu.Seq(gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }))
+			case 1:
+				return gpu.Seq(gpu.Store(lane0(litY), func(*gpu.Thread) uint32 { return 1 }))
+			case 2: // r0 = x (first), r1 = y (second)
+				return gpu.Seq(append([]*gpu.Instr{
+					gpu.Load(0, lane0(litX)),
+					gpu.Load(1, lane0(litY)),
+				}, writeBack...)...)
+			default: // r0 = y (first), r1 = x (second)
+				return gpu.Seq(append([]*gpu.Instr{
+					gpu.Load(0, lane0(litY)),
+					gpu.Load(1, lane0(litX)),
+				}, writeBack...)...)
+			}
+		},
+	}
+	for _, pc := range []memsys.Protocol{memsys.GTSC, memsys.TC, memsys.BL} {
+		for i, cfg := range timingVariations(pc, gpu.SC) {
+			cfg.Mem.NumSMs = 4
+			s := New(cfg)
+			if _, err := s.Run(iriw); err != nil {
+				t.Fatal(err)
+			}
+			// P2: r0=x, r1=y. P3: r0=y, r1=x.
+			p2x := s.ReadWord(litOut + 2*8)
+			p2y := s.ReadWord(litOut + 2*8 + 4)
+			p3y := s.ReadWord(litOut + 3*8)
+			p3x := s.ReadWord(litOut + 3*8 + 4)
+			if p2x == 1 && p2y == 0 && p3y == 1 && p3x == 0 {
+				t.Fatalf("%v cfg %d: forbidden IRIW outcome (readers disagree on store order)", pc, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package sim is the top-level cycle engine: it owns the global clock,
+// ticks the GPU cores and the memory hierarchy, launches kernels,
+// drains the machine between kernels, and produces a stats.Run per
+// execution — the role GPGPU-Sim's top-level loop plays for the paper.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/energy"
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Config is the full configuration of one simulation.
+type Config struct {
+	Mem memsys.Config
+	SM  gpu.SMConfig
+
+	// MaxCycles aborts a run that fails to converge (deadlock guard);
+	// default 200M.
+	MaxCycles uint64
+
+	// Observer, when non-nil, receives every performed memory
+	// operation (used by the invariant checkers in internal/check).
+	Observer coherence.Observer
+}
+
+// DefaultConfig returns the paper's machine: 16 SMs x 48 warps over a
+// 16KB L1 / 8x128KB L2 hierarchy with G-TSC coherence and RC.
+func DefaultConfig() Config {
+	return Config{
+		Mem: memsys.DefaultConfig(),
+		SM:  gpu.SMConfig{Consistency: gpu.RC},
+	}
+}
+
+// Simulator executes kernels over one assembled machine.
+type Simulator struct {
+	Cfg   Config
+	Store *mem.Store
+	Sys   *memsys.System
+	SMs   []*gpu.SM
+	now   uint64
+}
+
+// New builds a simulator. The TC variant is matched to the consistency
+// model exactly as the paper pairs them: TC-Weak under RC, TC-Strong
+// under SC.
+func New(cfg Config) *Simulator {
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 200_000_000
+	}
+	if cfg.Mem.Protocol == memsys.TC {
+		cfg.Mem.TC.Weak = cfg.SM.Consistency == gpu.RC
+	}
+	store := mem.NewStore()
+	sys := memsys.New(cfg.Mem, store, cfg.Observer)
+	s := &Simulator{Cfg: cfg, Store: store, Sys: sys}
+	for i, l1 := range sys.L1s {
+		smCfg := cfg.SM
+		smCfg.MaxWarps = cfg.Mem.MaxWarps
+		s.SMs = append(s.SMs, gpu.NewSM(i, smCfg, l1))
+	}
+	return s
+}
+
+// Now returns the current cycle.
+func (s *Simulator) Now() uint64 { return s.now }
+
+// ReadWord returns the architected value of a global-memory word
+// (L2-or-DRAM), for verifying kernel results.
+func (s *Simulator) ReadWord(a mem.Addr) uint32 { return s.Sys.ReadWord(a) }
+
+// Run executes one kernel to completion and returns its statistics.
+// Multiple kernels may be run back-to-back on the same simulator; the
+// paper's per-kernel L1 flush and timestamp reset happen between runs.
+func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
+	if kernel.Init != nil {
+		kernel.Init(s.Store)
+	}
+	disp := gpu.NewDispatcher(kernel)
+	for _, sm := range s.SMs {
+		sm.Launch(kernel, disp)
+	}
+	// Distribute the initial CTAs round-robin across SMs, as GPU
+	// hardware schedulers do.
+	for assigned := true; assigned; {
+		assigned = false
+		for _, sm := range s.SMs {
+			if sm.FillOne() {
+				assigned = true
+			}
+		}
+	}
+
+	start := s.now
+	for {
+		if s.now-start > s.Cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: kernel %q exceeded %d cycles (deadlock?); pending=%d",
+				kernel.Name, s.Cfg.MaxCycles, s.Sys.Pending())
+		}
+		s.now++
+		s.Sys.Tick(s.now)
+		for _, sm := range s.SMs {
+			sm.Tick(s.now)
+		}
+		if s.done() {
+			break
+		}
+	}
+
+	run := &stats.Run{
+		Kernel:      kernel.Name,
+		Protocol:    s.Cfg.Mem.Protocol.String(),
+		Consistency: s.Cfg.SM.Consistency.String(),
+		Cycles:      s.now - start,
+	}
+	for _, sm := range s.SMs {
+		run.SM.Add(sm.Stats())
+	}
+	s.Sys.Collect(run)
+	energy.Default().Apply(run)
+
+	// Kernel boundary: flush private caches and reset timestamps
+	// (§V-D), as GPUs do between dependent kernels. Write-back
+	// protocols (the directory baseline) emit writebacks here, so the
+	// hierarchy is drained once more before the results are read.
+	for _, l1 := range s.Sys.L1s {
+		l1.Flush()
+	}
+	for guard := uint64(0); s.Sys.Pending() != 0; guard++ {
+		if guard > s.Cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: kernel %q flush did not drain", kernel.Name)
+		}
+		s.now++
+		s.Sys.Tick(s.now)
+	}
+	return run, nil
+}
+
+func (s *Simulator) done() bool {
+	for _, sm := range s.SMs {
+		if !sm.Done() {
+			return false
+		}
+	}
+	return s.Sys.Pending() == 0
+}
+
+// RunToCompletion builds a fresh simulator for cfg and runs kernel.
+func RunToCompletion(cfg Config, kernel *gpu.Kernel) (*stats.Run, error) {
+	return New(cfg).Run(kernel)
+}

@@ -1,0 +1,304 @@
+package tc
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// l1Meta is the per-line TC metadata: the self-invalidation deadline in
+// global cycles.
+type l1Meta struct {
+	expiry uint64
+}
+
+type waiter struct {
+	req *coherence.Request
+}
+
+type pendingStore struct {
+	req *coherence.Request
+}
+
+type pendingAtomic struct {
+	req *coherence.Request
+}
+
+// L1 is the TC private cache controller of one SM: write-through,
+// write-no-allocate, with time-based self-invalidation instead of
+// invalidation traffic. It implements coherence.L1.
+type L1 struct {
+	cfg    Config
+	smID   int
+	nBanks int
+	now    uint64
+
+	array *cache.Array[l1Meta]
+	mshr  *cache.MSHR[waiter]
+
+	send  coherence.Sender
+	outQ  []*mem.Msg
+	stats stats.L1Stats
+	obs   coherence.Observer
+
+	storesByID  map[uint64]*pendingStore
+	atomicsByID map[uint64]*pendingAtomic
+	nextReqID   uint64
+	pending     int
+}
+
+// Geometry describes the cache organization (shared with G-TSC runs so
+// capacity is identical across protocols).
+type Geometry struct {
+	Sets  int
+	Ways  int
+	MSHRs int
+}
+
+// NewL1 builds the TC controller for SM smID.
+func NewL1(cfg Config, smID, nBanks int, geo Geometry, send coherence.Sender, obs coherence.Observer) *L1 {
+	cfg.fillDefaults()
+	return &L1{
+		cfg:         cfg,
+		smID:        smID,
+		nBanks:      nBanks,
+		array:       cache.NewArray[l1Meta](geo.Sets, geo.Ways),
+		mshr:        cache.NewMSHR[waiter](geo.MSHRs),
+		send:        send,
+		obs:         obs,
+		storesByID:  make(map[uint64]*pendingStore),
+		atomicsByID: make(map[uint64]*pendingAtomic),
+	}
+}
+
+// Stats implements coherence.L1.
+func (l *L1) Stats() *stats.L1Stats { return &l.stats }
+
+// Pending implements coherence.L1.
+func (l *L1) Pending() int { return l.pending }
+
+// Access implements coherence.L1.
+func (l *L1) Access(req *coherence.Request) coherence.AccessResult {
+	if req.Atomic {
+		return l.accessAtomic(req)
+	}
+	if req.Store {
+		return l.accessStore(req)
+	}
+	return l.accessLoad(req)
+}
+
+// accessAtomic forwards a read-modify-write to the L2. Under
+// TC-Strong it waits out every lease like a write; under TC-Weak it
+// performs immediately and the acknowledgment carries a GWCT.
+func (l *L1) accessAtomic(req *coherence.Request) coherence.AccessResult {
+	l.stats.Atomics++
+	l.nextReqID++
+	l.atomicsByID[l.nextReqID] = &pendingAtomic{req: req}
+	l.pending++
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type:  mem.BusAtom,
+		Block: req.Block,
+		Src:   l.smID,
+		Dst:   bankOf(uint64(req.Block), l.nBanks),
+		Data:  data,
+		Mask:  req.Mask,
+		Atom:  req.Atom,
+		ReqID: l.nextReqID,
+		Warp:  req.Warp,
+	})
+	return coherence.Pending
+}
+
+func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
+	l.stats.Loads++
+	l.stats.TagProbes++
+	line := l.array.Lookup(req.Block)
+	if line != nil && l.now < line.Meta.expiry {
+		l.stats.Hits++
+		l.stats.DataAccesses++
+		l.array.Touch(line, l.now)
+		l.pending++ // completeLoad decrements
+		l.completeLoad(req, &line.Data)
+		return coherence.Hit
+	}
+	// Cold miss, or coherence miss: the block self-invalidated when
+	// its lease expired (a tag match with an expired lease, §II-D).
+	e := l.mshr.Lookup(req.Block)
+	if e == nil && l.mshr.Full() {
+		l.stats.MSHRStalls++
+		return coherence.Reject
+	}
+	if line != nil {
+		l.stats.MissExpired++
+		l.stats.SelfInval++
+		l.array.Invalidate(line)
+	} else {
+		l.stats.MissCold++
+	}
+	if e != nil {
+		l.stats.MSHRMerges++
+		e.Waiters = append(e.Waiters, waiter{req: req})
+		l.pending++
+		return coherence.Pending
+	}
+	e = l.mshr.Allocate(req.Block)
+	e.Waiters = append(e.Waiters, waiter{req: req})
+	e.Issued = true
+	l.pending++
+	l.sendBusRd(req.Block)
+	return coherence.Pending
+}
+
+func (l *L1) sendBusRd(b mem.BlockAddr) {
+	l.nextReqID++
+	l.post(&mem.Msg{
+		Type:  mem.BusRd,
+		Block: b,
+		Src:   l.smID,
+		Dst:   bankOf(uint64(b), l.nBanks),
+		ReqID: l.nextReqID,
+	})
+}
+
+// accessStore sends the write through to L2. TC does not update the
+// local copy: under TC-Strong the write completes only after every
+// lease (including this SM's) has expired, and under TC-Weak stale
+// local reads are permitted until the next fence, so the cached copy
+// simply ages out.
+func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
+	l.stats.Stores++
+	l.stats.TagProbes++
+	l.nextReqID++
+	l.storesByID[l.nextReqID] = &pendingStore{req: req}
+	l.pending++
+	data := &mem.Block{}
+	mem.Merge(data, req.Data, req.Mask)
+	l.post(&mem.Msg{
+		Type:  mem.BusWr,
+		Block: req.Block,
+		Src:   l.smID,
+		Dst:   bankOf(uint64(req.Block), l.nBanks),
+		Data:  data,
+		Mask:  req.Mask,
+		ReqID: l.nextReqID,
+		Warp:  req.Warp,
+	})
+	return coherence.Pending
+}
+
+func (l *L1) completeLoad(req *coherence.Request, data *mem.Block) {
+	out := &mem.Block{}
+	mem.Merge(out, data, req.Mask)
+	if l.obs != nil {
+		l.obs.Observe(coherence.Op{
+			SM: l.smID, Warp: req.Warp, Block: req.Block, Mask: req.Mask,
+			Data: *out, Cycle: l.now,
+		})
+	}
+	l.pending--
+	req.Done(coherence.Completion{Data: out})
+}
+
+// Deliver implements coherence.L1.
+func (l *L1) Deliver(msg *mem.Msg) {
+	switch msg.Type {
+	case mem.BusFill:
+		l.onFill(msg)
+	case mem.BusWrAck:
+		l.onWriteAck(msg)
+	case mem.BusAtomAck:
+		pa, ok := l.atomicsByID[msg.ReqID]
+		if !ok {
+			panic("tc l1: atomic ack for unknown request")
+		}
+		delete(l.atomicsByID, msg.ReqID)
+		l.pending--
+		pa.req.Done(coherence.Completion{Data: msg.Data, GWCT: msg.GWCT})
+	default:
+		panic(fmt.Sprintf("tc l1: unexpected message %v", msg.Type))
+	}
+}
+
+func (l *L1) onFill(msg *mem.Msg) {
+	l.stats.Fills++
+	e := l.mshr.Lookup(msg.Block)
+	if msg.RTS <= l.now {
+		// The granted lease already expired in flight (possible with
+		// very short leases): retry rather than caching dead data.
+		if e != nil && len(e.Waiters) > 0 {
+			l.sendBusRd(msg.Block)
+		}
+		return
+	}
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		// Expired lines are ordinary victims (self-invalidated).
+		victim := l.array.Victim(msg.Block, nil)
+		if victim.Valid {
+			l.stats.SelfInval++
+		}
+		l.array.Install(victim, msg.Block, msg.Data, l.now)
+		line = victim
+	} else {
+		line.Data = *msg.Data
+		l.array.Touch(line, l.now)
+	}
+	line.Meta.expiry = msg.RTS
+	l.stats.TSUpdates++
+	l.stats.DataAccesses++
+	if e == nil {
+		return
+	}
+	// Physical leases cover every waiter at once: complete them all.
+	for _, w := range e.Waiters {
+		l.stats.DataAccesses++
+		l.completeLoad(w.req, &line.Data)
+	}
+	e.Waiters = e.Waiters[:0]
+	l.mshr.Release(msg.Block)
+}
+
+func (l *L1) onWriteAck(msg *mem.Msg) {
+	l.stats.WriteAcks++
+	ps, ok := l.storesByID[msg.ReqID]
+	if !ok {
+		panic("tc l1: write ack for unknown store")
+	}
+	delete(l.storesByID, msg.ReqID)
+	l.pending--
+	// GWCT rides back to the LDST unit; fences stall on it (TC-Weak).
+	ps.req.Done(coherence.Completion{GWCT: msg.GWCT})
+}
+
+// Flush implements coherence.L1 (kernel boundary).
+func (l *L1) Flush() {
+	if l.pending != 0 {
+		panic("tc l1: flush with outstanding accesses")
+	}
+	l.stats.Flushes++
+	l.array.ForEach(func(c *cache.Line[l1Meta]) { l.array.Invalidate(c) })
+}
+
+func (l *L1) post(msg *mem.Msg) {
+	if len(l.outQ) == 0 && l.send.TrySend(msg) {
+		return
+	}
+	l.outQ = append(l.outQ, msg)
+}
+
+// Tick implements coherence.L1.
+func (l *L1) Tick(now uint64) {
+	l.now = now
+	for len(l.outQ) > 0 {
+		if !l.send.TrySend(l.outQ[0]) {
+			return
+		}
+		l.outQ = l.outQ[1:]
+	}
+}

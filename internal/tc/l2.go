@@ -1,0 +1,362 @@
+package tc
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/cache"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// l2Meta is the per-line TC metadata: the latest lease expiry granted
+// to any L1, in global cycles.
+type l2Meta struct {
+	expiry uint64
+}
+
+// l2Miss tracks an outstanding DRAM read. Once data arrives it may
+// still wait for an evictable victim (inclusion: only expired lines
+// can be replaced), which is TC's delayed-eviction stall (§II-D3).
+type l2Miss struct {
+	block   mem.BlockAddr
+	waiting []*mem.Msg
+	data    *mem.Block // non-nil once DRAM returned but install stalled
+}
+
+// L2 is one TC shared cache bank. It implements coherence.L2.
+type L2 struct {
+	cfg    Config
+	bankID int
+	now    uint64
+
+	array *cache.Array[l2Meta]
+	miss  map[mem.BlockAddr]*l2Miss
+	// blocked holds, per block, a stalled TC-Strong write at the head
+	// and every request that arrived behind it, serviced in order once
+	// the block's leases expire.
+	blocked map[mem.BlockAddr][]*mem.Msg
+
+	inQ      []*mem.Msg
+	perCycle int
+
+	sendNoC  coherence.Sender
+	sendDRAM coherence.Sender
+	outNoC   []*mem.Msg
+	outDRAM  []*mem.Msg
+
+	stats stats.L2Stats
+	obs   coherence.Observer
+}
+
+// Geometry describes one bank's organization.
+type L2Geometry struct {
+	Sets     int
+	Ways     int
+	PerCycle int
+}
+
+// NewL2 builds TC bank bankID.
+func NewL2(cfg Config, bankID int, geo L2Geometry, sendNoC, sendDRAM coherence.Sender, obs coherence.Observer) *L2 {
+	cfg.fillDefaults()
+	if geo.PerCycle == 0 {
+		geo.PerCycle = 1
+	}
+	return &L2{
+		cfg:      cfg,
+		bankID:   bankID,
+		array:    cache.NewArray[l2Meta](geo.Sets, geo.Ways),
+		miss:     make(map[mem.BlockAddr]*l2Miss),
+		blocked:  make(map[mem.BlockAddr][]*mem.Msg),
+		perCycle: geo.PerCycle,
+		sendNoC:  sendNoC,
+		sendDRAM: sendDRAM,
+		obs:      obs,
+	}
+}
+
+// Stats implements coherence.L2.
+func (l *L2) Stats() *stats.L2Stats { return &l.stats }
+
+// Pending implements coherence.L2.
+func (l *L2) Pending() int {
+	n := len(l.inQ) + len(l.outNoC) + len(l.outDRAM)
+	for _, m := range l.miss {
+		n += len(m.waiting) + 1
+	}
+	for _, q := range l.blocked {
+		n += len(q)
+	}
+	return n
+}
+
+// Deliver implements coherence.L2.
+func (l *L2) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+
+// DRAMFill implements coherence.L2.
+func (l *L2) DRAMFill(msg *mem.Msg) {
+	m, ok := l.miss[msg.Block]
+	if !ok {
+		panic("tc l2: DRAM fill without outstanding miss")
+	}
+	m.data = msg.Data
+	l.tryInstall(m)
+}
+
+// tryInstall attempts to place a returned fill. Inclusion forbids
+// evicting lines with live leases; when the whole set is leased the
+// fill stalls and retries every cycle (EvictStalls counts those
+// cycles).
+func (l *L2) tryInstall(m *l2Miss) {
+	victim := l.array.Victim(m.block, func(c *cache.Line[l2Meta]) bool {
+		return c.Meta.expiry <= l.now && l.blocked[c.Addr] == nil
+	})
+	if victim == nil {
+		l.stats.EvictStalls++
+		return
+	}
+	if victim.Valid {
+		l.evict(victim)
+	}
+	l.array.Install(victim, m.block, m.data, l.now)
+	l.stats.DataAccesses++
+	delete(l.miss, m.block)
+	l.runQueue(m.block, victim, m.waiting)
+}
+
+func (l *L2) evict(victim *cache.Line[l2Meta]) {
+	l.stats.Evictions++
+	if victim.Dirty {
+		l.stats.WritebackDRAM++
+		data := &mem.Block{}
+		*data = victim.Data
+		l.postDRAM(&mem.Msg{
+			Type: mem.DRAMWr, Block: victim.Addr, Src: l.bankID, Dst: l.bankID,
+			Data: data, Mask: mem.MaskAll,
+		})
+	}
+	l.array.Invalidate(victim)
+}
+
+// runQueue services msgs against line in order until a TC-Strong write
+// must stall; the stalling write and everything behind it park in
+// l.blocked for Tick to resume.
+func (l *L2) runQueue(block mem.BlockAddr, line *cache.Line[l2Meta], msgs []*mem.Msg) {
+	for i, msg := range msgs {
+		writesBack := msg.Type == mem.BusWr || msg.Type == mem.BusAtom
+		if writesBack && !l.cfg.Weak && line.Meta.expiry > l.now {
+			l.blocked[block] = append(l.blocked[block], msgs[i:]...)
+			return
+		}
+		l.process(msg, line)
+	}
+}
+
+func (l *L2) process(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	switch msg.Type {
+	case mem.BusRd:
+		l.processRead(msg, line)
+	case mem.BusWr:
+		l.performWrite(msg, line)
+	case mem.BusAtom:
+		l.performAtomic(msg, line)
+	default:
+		panic(fmt.Sprintf("tc l2: unexpected message %v", msg.Type))
+	}
+}
+
+// performAtomic commits a read-modify-write at the L2. TC-Strong
+// callers guarantee the lease has expired (runQueue stalls it like a
+// write); TC-Weak performs immediately and reports the GWCT.
+func (l *L2) performAtomic(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	gwct := maxu(line.Meta.expiry, l.now)
+	old := &mem.Block{}
+	mem.Merge(old, &line.Data, msg.Mask)
+	for i := 0; i < mem.WordsPerBlock; i++ {
+		if msg.Mask.Has(i) {
+			line.Data.Words[i] = msg.Atom.Apply(line.Data.Words[i], msg.Data.Words[i])
+		}
+	}
+	line.Dirty = true
+	l.array.Touch(line, l.now)
+	l.stats.DataAccesses++
+	if l.obs != nil {
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Block: msg.Block,
+			Mask: msg.Mask, Data: *old, Cycle: l.now,
+		})
+		var stored mem.Block
+		mem.Merge(&stored, &line.Data, msg.Mask)
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Store: true, Block: msg.Block,
+			Mask: msg.Mask, Data: stored, Cycle: l.now,
+		})
+	}
+	ack := &mem.Msg{
+		Type: mem.BusAtomAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		Data: old, Mask: msg.Mask, ReqID: msg.ReqID, Warp: msg.Warp,
+	}
+	if l.cfg.Weak {
+		ack.GWCT = gwct
+	}
+	l.postNoC(ack)
+}
+
+// processRead extends the block's lease and returns data — TC
+// responses always carry the block, unlike G-TSC's dataless renewals,
+// which is one source of its extra NoC traffic (Fig 15).
+func (l *L2) processRead(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	line.Meta.expiry = maxu(line.Meta.expiry, l.now+l.cfg.Lease)
+	l.array.Touch(line, l.now)
+	l.stats.FillsSent++
+	l.stats.DataAccesses++
+	data := &mem.Block{}
+	*data = line.Data
+	l.postNoC(&mem.Msg{
+		Type: mem.BusFill, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		RTS: line.Meta.expiry, Data: data, ReqID: msg.ReqID,
+	})
+}
+
+// performWrite commits a write at the L2. TC-Strong callers guarantee
+// the lease has expired; TC-Weak commits immediately and reports the
+// write's global completion time (GWCT = when all private copies will
+// have self-invalidated) in the acknowledgment.
+func (l *L2) performWrite(msg *mem.Msg, line *cache.Line[l2Meta]) {
+	gwct := maxu(line.Meta.expiry, l.now)
+	mem.Merge(&line.Data, msg.Data, msg.Mask)
+	line.Dirty = true
+	l.array.Touch(line, l.now)
+	l.stats.DataAccesses++
+	if l.obs != nil {
+		var stored mem.Block
+		mem.Merge(&stored, msg.Data, msg.Mask)
+		l.obs.Observe(coherence.Op{
+			SM: msg.Src, Warp: msg.Warp, Store: true, Block: msg.Block,
+			Mask: msg.Mask, Data: stored, Cycle: l.now,
+		})
+	}
+	ack := &mem.Msg{
+		Type: mem.BusWrAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
+		ReqID: msg.ReqID, Warp: msg.Warp,
+	}
+	if l.cfg.Weak {
+		ack.GWCT = gwct
+	}
+	l.postNoC(ack)
+}
+
+// Tick implements coherence.L2.
+func (l *L2) Tick(now uint64) {
+	l.now = now
+	l.drainOut()
+	l.resumeBlocked()
+	l.retryInstalls()
+	if len(l.outNoC) > 0 || len(l.outDRAM) > 0 {
+		return
+	}
+	for i := 0; i < l.perCycle && len(l.inQ) > 0; i++ {
+		msg := l.inQ[0]
+		l.inQ = l.inQ[1:]
+		l.service(msg)
+	}
+}
+
+// resumeBlocked re-runs each parked queue whose head write's leases
+// have expired, and counts the stall cycles of those still waiting
+// (the paper's lease-induced stall, §II-D3).
+func (l *L2) resumeBlocked() {
+	for block, q := range l.blocked {
+		line := l.array.Lookup(block)
+		if line == nil {
+			panic("tc l2: blocked queue lost its line")
+		}
+		if line.Meta.expiry > l.now {
+			l.stats.WriteStalls++
+			continue
+		}
+		delete(l.blocked, block)
+		l.runQueue(block, line, q)
+	}
+}
+
+func (l *L2) retryInstalls() {
+	for _, m := range l.miss {
+		if m.data != nil {
+			l.tryInstall(m)
+		}
+	}
+}
+
+func (l *L2) service(msg *mem.Msg) {
+	switch msg.Type {
+	case mem.BusRd:
+		l.stats.Reads++
+	case mem.BusWr:
+		l.stats.Writes++
+	case mem.BusAtom:
+		l.stats.Atomics++
+	default:
+		panic(fmt.Sprintf("tc l2: unexpected request %v", msg.Type))
+	}
+	l.stats.TagProbes++
+
+	if q, ok := l.blocked[msg.Block]; ok {
+		// Order behind the stalled write.
+		l.blocked[msg.Block] = append(q, msg)
+		return
+	}
+	if m, ok := l.miss[msg.Block]; ok {
+		m.waiting = append(m.waiting, msg)
+		return
+	}
+	line := l.array.Lookup(msg.Block)
+	if line == nil {
+		l.stats.Misses++
+		m := &l2Miss{block: msg.Block, waiting: []*mem.Msg{msg}}
+		l.miss[msg.Block] = m
+		l.postDRAM(&mem.Msg{Type: mem.DRAMRd, Block: msg.Block, Src: l.bankID, Dst: l.bankID})
+		return
+	}
+	l.stats.Hits++
+	l.runQueue(msg.Block, line, []*mem.Msg{msg})
+}
+
+func (l *L2) postNoC(msg *mem.Msg) {
+	if len(l.outNoC) == 0 && l.sendNoC.TrySend(msg) {
+		return
+	}
+	l.outNoC = append(l.outNoC, msg)
+}
+
+func (l *L2) postDRAM(msg *mem.Msg) {
+	if len(l.outDRAM) == 0 && l.sendDRAM.TrySend(msg) {
+		return
+	}
+	l.outDRAM = append(l.outDRAM, msg)
+}
+
+func (l *L2) drainOut() {
+	for len(l.outNoC) > 0 {
+		if !l.sendNoC.TrySend(l.outNoC[0]) {
+			break
+		}
+		l.outNoC = l.outNoC[1:]
+	}
+	for len(l.outDRAM) > 0 {
+		if !l.sendDRAM.TrySend(l.outDRAM[0]) {
+			break
+		}
+		l.outDRAM = l.outDRAM[1:]
+	}
+}
+
+// Peek implements coherence.L2 (verification hook).
+func (l *L2) Peek(b mem.BlockAddr) (*mem.Block, bool) {
+	line := l.array.Lookup(b)
+	if line == nil {
+		return nil, false
+	}
+	data := line.Data
+	return &data, true
+}

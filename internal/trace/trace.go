@@ -1,0 +1,174 @@
+// Package trace captures the coherence messages crossing a simulated
+// system's NoC as structured events — the machinery behind
+// cmd/gtsctrace and a debugging aid for protocol work. A Tracer wraps
+// the NoC delivery callbacks of an assembled memsys.System; every
+// message is recorded (subject to an optional filter and cap) with the
+// cycle it arrived.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+)
+
+// Direction tells which way an event traveled.
+type Direction uint8
+
+// Directions.
+const (
+	// ToL2 is a request from an L1 to a bank.
+	ToL2 Direction = iota
+	// ToL1 is a response from a bank to an L1.
+	ToL1
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == ToL2 {
+		return "->L2"
+	}
+	return "->L1"
+}
+
+// Event is one recorded message arrival.
+type Event struct {
+	Cycle  uint64
+	Dir    Direction
+	Type   mem.MsgType
+	Block  mem.BlockAddr
+	SM     int // the L1 side of the exchange
+	Bank   int // the L2 side
+	WTS    uint64
+	RTS    uint64
+	WarpTS uint64
+	GWCT   uint64
+	Flits  int
+	Reset  bool
+	Data   bool // carried a data payload
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	s := fmt.Sprintf("cycle %6d %s %-10s %v sm%d bank%d %df",
+		e.Cycle, e.Dir, e.Type, e.Block, e.SM, e.Bank, e.Flits)
+	switch e.Type {
+	case mem.BusRd:
+		s += fmt.Sprintf(" wts=%d warp_ts=%d", e.WTS, e.WarpTS)
+	case mem.BusWr, mem.BusAtom:
+		s += fmt.Sprintf(" warp_ts=%d", e.WarpTS)
+	case mem.BusFill, mem.BusWrAck, mem.BusAtomAck:
+		s += fmt.Sprintf(" lease=[%d,%d]", e.WTS, e.RTS)
+		if e.GWCT != 0 {
+			s += fmt.Sprintf(" gwct=%d", e.GWCT)
+		}
+	case mem.BusRnw:
+		s += fmt.Sprintf(" rts=%d", e.RTS)
+	}
+	if e.Reset {
+		s += " RESET"
+	}
+	if e.Data {
+		s += " +data"
+	}
+	return s
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithBlock restricts tracing to one block.
+func WithBlock(b mem.BlockAddr) Option {
+	return func(t *Tracer) {
+		prev := t.filter
+		t.filter = func(m *mem.Msg) bool { return m.Block == b && (prev == nil || prev(m)) }
+	}
+}
+
+// WithLimit caps the number of recorded events (0 = unlimited).
+func WithLimit(n int) Option { return func(t *Tracer) { t.limit = n } }
+
+// WithTypes restricts tracing to the given message types.
+func WithTypes(types ...mem.MsgType) Option {
+	set := map[mem.MsgType]bool{}
+	for _, ty := range types {
+		set[ty] = true
+	}
+	return func(t *Tracer) {
+		prev := t.filter
+		t.filter = func(m *mem.Msg) bool { return set[m.Type] && (prev == nil || prev(m)) }
+	}
+}
+
+// Tracer records message arrivals on a system's NoC.
+type Tracer struct {
+	events []Event
+	filter func(*mem.Msg) bool
+	limit  int
+	now    func() uint64
+	counts map[mem.MsgType]int
+}
+
+// Attach wraps sys's delivery callbacks. now supplies the current
+// cycle (typically Simulator.Now). Attach must run before the first
+// Tick.
+func Attach(sys *memsys.System, now func() uint64, opts ...Option) *Tracer {
+	t := &Tracer{now: now, counts: map[mem.MsgType]int{}}
+	for _, o := range opts {
+		o(t)
+	}
+	origL2 := sys.Net.DeliverL2
+	sys.Net.DeliverL2 = func(bank int, msg *mem.Msg) {
+		t.record(ToL2, msg, msg.Src, bank)
+		origL2(bank, msg)
+	}
+	origL1 := sys.Net.DeliverL1
+	sys.Net.DeliverL1 = func(sm int, msg *mem.Msg) {
+		t.record(ToL1, msg, sm, msg.Src)
+		origL1(sm, msg)
+	}
+	return t
+}
+
+func (t *Tracer) record(dir Direction, msg *mem.Msg, sm, bank int) {
+	t.counts[msg.Type]++
+	if t.filter != nil && !t.filter(msg) {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, Event{
+		Cycle: t.now(), Dir: dir, Type: msg.Type, Block: msg.Block,
+		SM: sm, Bank: bank, WTS: msg.WTS, RTS: msg.RTS, WarpTS: msg.WarpTS,
+		GWCT: msg.GWCT, Flits: msg.Flits(), Reset: msg.Reset, Data: msg.Data != nil,
+	})
+}
+
+// Events returns the recorded events in arrival order.
+func (t *Tracer) Events() []Event { return t.events }
+
+// Counts returns per-type message totals (unfiltered).
+func (t *Tracer) Counts() map[mem.MsgType]int { return t.counts }
+
+// Dump writes every recorded event to w.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.events {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// Summary writes per-type totals to w in a stable order.
+func (t *Tracer) Summary(w io.Writer) {
+	order := []mem.MsgType{
+		mem.BusRd, mem.BusWr, mem.BusAtom,
+		mem.BusFill, mem.BusRnw, mem.BusWrAck, mem.BusAtomAck,
+	}
+	for _, ty := range order {
+		if n := t.counts[ty]; n > 0 {
+			fmt.Fprintf(w, "%-10s %d\n", ty, n)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/check"
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+)
+
+// TestMicroRegistry checks the microbenchmark registry's shape.
+func TestMicroRegistry(t *testing.T) {
+	micros := Micro()
+	if len(micros) != 6 {
+		t.Fatalf("expected 6 microbenchmarks, got %d", len(micros))
+	}
+	for _, m := range micros {
+		if _, ok := MicroByName(m.Name); !ok {
+			t.Fatalf("%s not found by name", m.Name)
+		}
+	}
+	if _, ok := MicroByName("nope"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+// TestMicrosUnderCoherentProtocols verifies every microbenchmark under
+// every coherent configuration, both consistency models.
+func TestMicrosUnderCoherentProtocols(t *testing.T) {
+	for _, m := range Micro() {
+		for name, cfg := range coherentConfigs() {
+			m, cfg := m, cfg
+			t.Run(m.Name+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				if _, err := m.Build(1).Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAtomicsWorkWithoutCoherence: atomics serialize at the L2, so
+// HIST is exact even under the non-coherent L1 and TSO.
+func TestAtomicsWorkWithoutCoherence(t *testing.T) {
+	cfgs := map[string]sim.Config{
+		"l1nc-rc":  testConfig(memsys.L1NC, gpu.RC),
+		"gtsc-tso": testConfig(memsys.GTSC, gpu.TSO),
+		"bl-tso":   testConfig(memsys.BL, gpu.TSO),
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := HIST().Build(1).Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMicrosSatisfyTimestampOrder runs the contention-heavy micros
+// under G-TSC with the invariant checker attached.
+func TestMicrosSatisfyTimestampOrder(t *testing.T) {
+	for _, name := range []string{"HIST", "FS", "PING"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(memsys.GTSC, gpu.RC)
+			rec := check.NewRecorder()
+			cfg.Observer = rec
+			m, _ := MicroByName(name)
+			if _, err := m.Build(1).Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if v := check.CheckTimestampOrder(rec.Ops(), 3); len(v) > 0 {
+				t.Fatalf("timestamp order violated: %v", v[0].Error())
+			}
+		})
+	}
+}
+
+// TestWorkloadsUnderTSO runs a representative subset of the main suite
+// under the TSO extension on both protocols.
+func TestWorkloadsUnderTSO(t *testing.T) {
+	for _, wn := range []string{"CC", "STN", "HS", "SGM"} {
+		for _, pn := range []struct {
+			name string
+			p    memsys.Protocol
+		}{{"gtsc", memsys.GTSC}, {"tc", memsys.TC}} {
+			wn, pn := wn, pn
+			t.Run(wn+"/"+pn.name, func(t *testing.T) {
+				t.Parallel()
+				w, _ := ByName(wn)
+				if _, err := w.Build(1).Run(testConfig(pn.p, gpu.TSO)); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestGTOScheduler runs workloads under the greedy-then-oldest
+// scheduler to exercise the alternative issue order.
+func TestGTOScheduler(t *testing.T) {
+	for _, wn := range []string{"CC", "KM"} {
+		wn := wn
+		t.Run(wn, func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(memsys.GTSC, gpu.RC)
+			cfg.SM.Scheduler = gpu.GTO
+			w, _ := ByName(wn)
+			if _, err := w.Build(1).Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDirectoryProtocolRunsSuite: the invalidation-based baseline is
+// functionally coherent on both benchmark sets and satisfies physical
+// linearizability (invalidation-before-grant = single-writer in
+// physical time).
+func TestDirectoryProtocolRunsSuite(t *testing.T) {
+	for _, wl := range All() {
+		for _, cons := range []gpu.Consistency{gpu.RC, gpu.SC} {
+			wl, cons := wl, cons
+			t.Run(wl.Name+"/"+cons.String(), func(t *testing.T) {
+				t.Parallel()
+				cfg := testConfig(memsys.DIR, cons)
+				rec := check.NewRecorder()
+				cfg.Observer = rec
+				if _, err := wl.Build(1).Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+				if v := check.CheckPhysical(rec.Ops(), 3); len(v) > 0 {
+					t.Fatalf("linearizability violated: %v", v[0].Error())
+				}
+			})
+		}
+	}
+}
+
+// TestDirectoryMicros runs the microbenchmarks under the directory
+// baseline.
+func TestDirectoryMicros(t *testing.T) {
+	for _, m := range Micro() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := m.Build(1).Run(testConfig(memsys.DIR, gpu.RC)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

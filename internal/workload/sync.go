@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// globalSyncProgram runs an iteration body and then a grid-wide
+// barrier, the classic GPU software global barrier (Xiao & Feng):
+// every warp fences and joins a CTA barrier; warp 0 of each CTA then
+// bumps a global atomic counter and polls it (atomics serialize at the
+// L2, so polling makes progress under every protocol — including
+// G-TSC, where a plain-load spin on a cached block would never see the
+// update); a second CTA barrier releases the other warps.
+//
+// The barrier makes each iteration one exact synchronous (Jacobi)
+// relaxation round for coherent protocols, so fixpoint convergence is
+// timing-independent; under the non-coherent L1 the *data* reads still
+// go stale, preserving the workloads' "requires coherence" property.
+type globalSyncProgram struct {
+	body    []*gpu.Instr
+	iters   int
+	ctas    int
+	ctrAddr mem.Addr
+
+	iter        int
+	phase       int // 0 body, 1 epilogue
+	pc          int
+	queue       []*gpu.Instr
+	qi          int
+	backoffNext bool
+}
+
+// barrier register: the relax bodies use r0..r3; the counter poll
+// lands in r4 (kernels must declare Regs >= 5).
+const barReg = 4
+
+func newGlobalSync(body []*gpu.Instr, iters, ctas int, ctrAddr mem.Addr) *globalSyncProgram {
+	return &globalSyncProgram{body: body, iters: iters, ctas: ctas, ctrAddr: ctrAddr}
+}
+
+// Next implements gpu.Program.
+func (p *globalSyncProgram) Next(w *gpu.Warp) (*gpu.Instr, bool) {
+	for {
+		switch p.phase {
+		case 0: // iteration body
+			if p.iter >= p.iters {
+				return nil, true
+			}
+			if p.pc < len(p.body) {
+				i := p.body[p.pc]
+				p.pc++
+				return i, true
+			}
+			p.pc = 0
+			if p.iter == p.iters-1 {
+				// No barrier after the final iteration.
+				p.iter++
+				continue
+			}
+			p.phase = 1
+			p.queue = p.epilogue(w)
+			p.qi = 0
+		case 1: // fence + global barrier
+			if p.qi < len(p.queue) {
+				i := p.queue[p.qi]
+				// The spin re-enqueues itself until the counter
+				// reaches the target; gate on the poll result.
+				if i == nil {
+					if !w.RegsReady(barReg) {
+						return nil, false
+					}
+					target := uint32(p.ctas * (p.iter + 1))
+					if w.Reg(0, barReg) >= target {
+						p.qi++ // spin satisfied
+						continue
+					}
+					// Poll again: back off, then re-read.
+					return p.pollInstr(), true
+				}
+				p.qi++
+				return i, true
+			}
+			p.phase = 0
+			p.iter++
+		}
+	}
+}
+
+// epilogue builds this warp's barrier sequence for the current
+// iteration. Warp 0 of the CTA arrives at the counter and spins; the
+// rest just meet the two CTA barriers.
+func (p *globalSyncProgram) epilogue(w *gpu.Warp) []*gpu.Instr {
+	ctr := func(t *gpu.Thread) (mem.Addr, bool) { return p.ctrAddr, t.Lane == 0 }
+	if w.InCTA != 0 {
+		return []*gpu.Instr{gpu.Fence(), gpu.Barrier(), gpu.Barrier()}
+	}
+	return []*gpu.Instr{
+		gpu.Fence(),
+		gpu.Barrier(),
+		// Arrive: announce this CTA and read the count so far.
+		gpu.Atomic(mem.AtomAdd, barReg, ctr, func(*gpu.Thread) uint32 { return 1 }),
+		gpu.ALU(func(t *gpu.Thread) { t.Regs[barReg]++ }, barReg), // old+1 = count incl. us
+		nil, // spin marker: re-polls until the count reaches the target
+		gpu.Barrier(),
+	}
+}
+
+// pollInstr alternates a short backoff with an atomic +0 re-read of
+// the counter (uncached; serializes at the L2). The program counter
+// stays on the spin marker, so Next re-evaluates the loaded count
+// after every read.
+func (p *globalSyncProgram) pollInstr() *gpu.Instr {
+	if p.backoffNext {
+		p.backoffNext = false
+		return gpu.Atomic(mem.AtomAdd, barReg, func(t *gpu.Thread) (mem.Addr, bool) {
+			return p.ctrAddr, t.Lane == 0
+		}, func(*gpu.Thread) uint32 { return 0 })
+	}
+	p.backoffNext = true
+	return gpu.Comp(24)
+}
