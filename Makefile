@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt cover evaluate examples clean
+.PHONY: all build test bench vet fmt cover evaluate examples clean check
 
 all: build test
+
+# Pre-merge gate: static checks, the race detector, and a fixed-seed
+# fault-injection smoke run on every protocol (see CONTRIBUTING.md).
+check: vet
+	$(GO) test -race ./...
+	$(GO) test -run 'TestLitmusUnderFaults|TestWorkloadsUnderFaults' ./internal/sim ./internal/harness
 
 build:
 	$(GO) build ./...

@@ -15,11 +15,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/gtsc-sim/gtsc/internal/check"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/fault"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 	"github.com/gtsc-sim/gtsc/internal/memsys"
 	"github.com/gtsc-sim/gtsc/internal/sim"
@@ -40,6 +43,11 @@ func main() {
 		sched    = flag.String("scheduler", "lrr", "warp scheduler: lrr, gto")
 		doCheck  = flag.Bool("check", false, "verify protocol invariants with the operation checker")
 		list     = flag.Bool("list", false, "list workloads and exit")
+
+		maxCycles = flag.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = default 200M)")
+		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
+		wdOff     = flag.Bool("watchdog-off", false, "disable the forward-progress watchdog (MaxCycles still applies)")
+		faultSeed = flag.Int64("faultseed", 0, "enable the chaos fault-injection plan with this seed (0 = off)")
 	)
 	flag.Parse()
 
@@ -118,6 +126,14 @@ func main() {
 		fatalf("unknown consistency %q", *cons)
 	}
 
+	cfg.MaxCycles = *maxCycles
+	cfg.WatchdogWindow = *watchdog
+	cfg.DisableWatchdog = *wdOff
+	if *faultSeed != 0 {
+		cfg.Mem.Fault = fault.Chaos(*faultSeed)
+		fmt.Printf("fault plan: %s\n", cfg.Mem.Fault)
+	}
+
 	var rec *check.Recorder
 	if *doCheck {
 		rec = check.NewRecorder()
@@ -126,6 +142,16 @@ func main() {
 
 	run, err := wl.Build(*scale).Run(cfg)
 	if err != nil {
+		// Structured failures carry a machine-state dump; print it so a
+		// wedged run is diagnosable from the terminal alone.
+		var de *diag.DeadlockError
+		var pe *diag.ProtocolError
+		switch {
+		case errors.As(err, &de):
+			fmt.Fprintln(os.Stderr, de.Dump.String())
+		case errors.As(err, &pe):
+			fmt.Fprintln(os.Stderr, pe.Dump.String())
+		}
 		fatalf("run failed: %v", err)
 	}
 	fmt.Print(run)

@@ -160,19 +160,18 @@ func TestMSHRBasics(t *testing.T) {
 	}
 }
 
-func TestMSHRPanics(t *testing.T) {
+func TestMSHRRejectsBadAllocate(t *testing.T) {
 	m := NewMSHR[int](1)
-	m.Allocate(1)
-	assertPanics(t, "duplicate allocate", func() { m.Allocate(1) })
-	assertPanics(t, "allocate on full", func() { m.Allocate(2) })
-}
-
-func assertPanics(t *testing.T, what string, f func()) {
-	t.Helper()
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("%s should panic", what)
-		}
-	}()
-	f()
+	if m.Allocate(1) == nil {
+		t.Fatal("first allocate failed")
+	}
+	if m.Allocate(1) != nil {
+		t.Fatal("duplicate allocate should return nil")
+	}
+	if m.Allocate(2) != nil {
+		t.Fatal("allocate on full table should return nil")
+	}
+	if m.Cap() != 1 {
+		t.Fatalf("Cap() = %d, want 1", m.Cap())
+	}
 }

@@ -43,14 +43,14 @@ func (m *MSHR[W]) Lookup(b mem.BlockAddr) *MSHREntry[W] { return m.entries[b] }
 func (m *MSHR[W]) Full() bool { return len(m.entries) >= m.max }
 
 // Allocate creates an entry for block b. The caller must have checked
-// Full and Lookup first; allocating a duplicate or overflowing panics,
-// as either indicates a controller bug.
+// Full and Lookup first; allocating a duplicate or overflowing returns
+// nil, which the controller reports as a protocol error.
 func (m *MSHR[W]) Allocate(b mem.BlockAddr) *MSHREntry[W] {
 	if m.Full() {
-		panic("mshr: allocate on full table")
+		return nil
 	}
 	if _, ok := m.entries[b]; ok {
-		panic("mshr: duplicate allocate")
+		return nil
 	}
 	e := &MSHREntry[W]{Block: b}
 	m.entries[b] = e
@@ -62,6 +62,9 @@ func (m *MSHR[W]) Release(b mem.BlockAddr) { delete(m.entries, b) }
 
 // Len returns the number of live entries.
 func (m *MSHR[W]) Len() int { return len(m.entries) }
+
+// Cap returns the table capacity.
+func (m *MSHR[W]) Cap() int { return m.max }
 
 // ForEach visits every live entry.
 func (m *MSHR[W]) ForEach(fn func(*MSHREntry[W])) {

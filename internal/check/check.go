@@ -52,11 +52,15 @@ func (r *Recorder) Observe(op coherence.Op) {
 	r.ops = append(r.ops, Record{Op: op, Seq: r.seq})
 }
 
-// Ops returns the log in observation order.
+// Ops returns a copy of the log in observation order. The copy is
+// made under the lock so callers never alias the live slice a
+// concurrent Observe may be appending to.
 func (r *Recorder) Ops() []Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.ops
+	out := make([]Record, len(r.ops))
+	copy(out, r.ops)
+	return out
 }
 
 // Len returns the number of recorded operations.

@@ -16,6 +16,7 @@
 package coherence
 
 import (
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -81,6 +82,12 @@ type L1 interface {
 	// Pending reports the number of outstanding accesses not yet
 	// completed (the simulator drains these before ending a kernel).
 	Pending() int
+	// Err reports the first protocol violation the controller hit, as
+	// a *diag.ProtocolError, or nil. A failed controller drops further
+	// input; the simulator aborts the run when Err becomes non-nil.
+	Err() error
+	// DumpState snapshots the controller's occupancy for diagnostics.
+	DumpState() diag.CacheState
 	// Stats exposes the controller's counters.
 	Stats() *stats.L1Stats
 }
@@ -99,6 +106,11 @@ type L2 interface {
 	// Peek returns the bank's current copy of a block, if cached —
 	// a zero-cost debug/verification hook, not a protocol action.
 	Peek(b mem.BlockAddr) (*mem.Block, bool)
+	// Err reports the first protocol violation the bank hit, as a
+	// *diag.ProtocolError, or nil.
+	Err() error
+	// DumpState snapshots the bank's occupancy for diagnostics.
+	DumpState() diag.CacheState
 	// Stats exposes the bank's counters.
 	Stats() *stats.L2Stats
 }

@@ -60,6 +60,12 @@ type Config struct {
 	AdaptiveLease bool
 	// MaxLease caps adaptive leases (default 8*Lease).
 	MaxLease uint64
+	// InitTS overrides the power-on / kernel-boundary value of warp_ts
+	// and mem_ts (default initialTS = 1). The fault package's
+	// timestamp-stress mode sets it near tsMax so the §V-D overflow
+	// reset fires within the first few accesses of every kernel;
+	// overflow resets themselves always return to initialTS.
+	InitTS uint64
 }
 
 // DefaultConfig returns the configuration the paper evaluates.
@@ -84,6 +90,19 @@ func (c *Config) fillDefaults() {
 	if worst := c.leaseCeil(); 2*worst+3 > c.tsMax() {
 		panic(fmt.Sprintf("gtsc: lease %d too large for %d-bit timestamps", worst, c.TSBits))
 	}
+	// A stressed start value must still leave room for one full
+	// store+lease computation before the reset protocol engages.
+	if limit := c.tsMax() - 2*c.leaseCeil() - 3; c.InitTS > limit {
+		c.InitTS = limit
+	}
+}
+
+// startTS is the power-on / kernel-boundary timestamp value.
+func (c *Config) startTS() uint64 {
+	if c.InitTS == 0 {
+		return initialTS
+	}
+	return c.InitTS
 }
 
 // leaseCeil is the largest lease the configuration can grant.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -81,6 +82,7 @@ type L1 struct {
 
 	epoch   uint64 // timestamp overflow epoch learned from L2 responses
 	pending int    // outstanding Done callbacks
+	fail    *diag.ProtocolError
 }
 
 // L1Geometry describes the cache organization.
@@ -109,7 +111,7 @@ func NewL1(cfg Config, smID, nBanks int, geo L1Geometry, send coherence.Sender, 
 		atomicsByID:   make(map[uint64]*coherence.Request),
 	}
 	for i := range l.warpTS {
-		l.warpTS[i] = initialTS
+		l.warpTS[i] = cfg.startTS()
 	}
 	return l
 }
@@ -119,6 +121,34 @@ func (l *L1) Stats() *stats.L1Stats { return &l.stats }
 
 // Pending implements coherence.L1.
 func (l *L1) Pending() int { return l.pending }
+
+// failf records the first protocol violation; the controller then
+// drops further input until the simulator surfaces the error.
+func (l *L1) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("gtsc-l1[%d]", l.smID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L1.
+func (l *L1) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L1.
+func (l *L1) DumpState() diag.CacheState {
+	st := diag.CacheState{
+		Name: "gtsc-l1", ID: l.smID, Pending: l.pending,
+		MSHRUsed: l.mshr.Len(), MSHRCap: l.mshr.Cap(), OutQ: len(l.outQ),
+	}
+	if l.pending > 0 || l.mshr.Len() > 0 {
+		st.Detail = l.DebugString()
+	}
+	return st
+}
 
 // WarpTS exposes a warp's current timestamp (tests, trace tooling).
 func (l *L1) WarpTS(warp int) uint64 { return l.warpTS[warp] }
@@ -187,7 +217,10 @@ func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
 		l.stats.MissLocked++
 		e := l.mshr.Lookup(req.Block)
 		if e == nil {
-			e = l.mshr.Allocate(req.Block)
+			if e = l.mshr.Allocate(req.Block); e == nil {
+				l.failf("mshr-allocate", "allocate for %v failed despite capacity check", req.Block)
+				return coherence.Reject
+			}
 		} else {
 			l.stats.MSHRMerges++
 		}
@@ -227,7 +260,10 @@ func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
 		}
 		return coherence.Pending
 	}
-	e = l.mshr.Allocate(req.Block)
+	if e = l.mshr.Allocate(req.Block); e == nil {
+		l.failf("mshr-allocate", "allocate for %v failed despite capacity check", req.Block)
+		return coherence.Reject
+	}
 	e.Waiters = append(e.Waiters, waiter{req: req})
 	l.pending++
 	l.sendRead(e, line, wts)
@@ -353,6 +389,9 @@ func (l *L1) unrolled(ts uint64) uint64 { return l.epoch*(l.cfg.tsMax()+1) + ts 
 
 // Deliver implements coherence.L1.
 func (l *L1) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	if msg.Epoch > l.epoch {
 		// The L2 reset its timestamps since we sent the request
 		// (§V-D): flush everything and adopt the new epoch before
@@ -369,7 +408,7 @@ func (l *L1) Deliver(msg *mem.Msg) {
 	case mem.BusAtomAck:
 		l.onAtomAck(msg)
 	default:
-		panic(fmt.Sprintf("gtsc l1: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -441,7 +480,8 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 	l.stats.WriteAcks++
 	ps, ok := l.storesByID[msg.ReqID]
 	if !ok {
-		panic("gtsc l1: write ack for unknown store")
+		l.failf("unknown-write-ack", "write ack req=%d block=%v has no pending store", msg.ReqID, msg.Block)
+		return
 	}
 	delete(l.storesByID, msg.ReqID)
 	l.removeBlockStore(ps)
@@ -456,7 +496,8 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 	if line != nil && ps.lineHit {
 		line.Meta.lockCount--
 		if line.Meta.lockCount < 0 {
-			panic("gtsc l1: lock underflow")
+			l.failf("lock-underflow", "block %v lock count went negative", ps.block)
+			return
 		}
 		if msg.WTS >= line.Meta.wts {
 			line.Meta.wts = msg.WTS
@@ -496,7 +537,8 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 func (l *L1) onAtomAck(msg *mem.Msg) {
 	req, ok := l.atomicsByID[msg.ReqID]
 	if !ok {
-		panic("gtsc l1: atomic ack for unknown request")
+		l.failf("unknown-atomic-ack", "atomic ack req=%d block=%v has no pending request", msg.ReqID, msg.Block)
+		return
 	}
 	delete(l.atomicsByID, msg.ReqID)
 	if msg.WTS > l.warpTS[req.Warp] {
@@ -623,12 +665,13 @@ func (l *L1) timestampReset(epoch uint64) {
 // reset", §V-D). The simulator drains outstanding accesses first.
 func (l *L1) Flush() {
 	if l.pending != 0 {
-		panic("gtsc l1: flush with outstanding accesses")
+		l.failf("flush-outstanding", "flush with %d outstanding accesses", l.pending)
+		return
 	}
 	l.stats.Flushes++
 	l.array.ForEach(func(c *cache.Line[l1Meta]) { l.array.Invalidate(c) })
 	for i := range l.warpTS {
-		l.warpTS[i] = initialTS
+		l.warpTS[i] = l.cfg.startTS()
 	}
 }
 

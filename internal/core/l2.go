@@ -5,6 +5,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -59,6 +60,7 @@ type L2 struct {
 
 	resets *ResetController
 	epoch  uint64
+	fail   *diag.ProtocolError
 }
 
 // L2Geometry describes one bank's organization.
@@ -80,7 +82,7 @@ func NewL2(cfg Config, bankID int, geo L2Geometry, sendNoC, sendDRAM coherence.S
 		cfg:       cfg,
 		bankID:    bankID,
 		array:     cache.NewArray[l2Meta](geo.Sets, geo.Ways),
-		memTS:     initialTS,
+		memTS:     cfg.startTS(),
 		miss:      make(map[mem.BlockAddr]*l2Miss),
 		perCycle:  geo.PerCycle,
 		sendNoC:   sendNoC,
@@ -119,15 +121,52 @@ func (l *L2) MemTS() uint64 { return l.memTS }
 // phases); values near the lease length mean steady renewal.
 func (l *L2) RenewalDistances() *stats.Histogram { return l.renewDist }
 
+// failf records the first protocol violation; the bank then drops
+// further input until the simulator surfaces the error.
+func (l *L2) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("gtsc-l2[%d]", l.bankID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L2.
+func (l *L2) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L2.
+func (l *L2) DumpState() diag.CacheState {
+	st := diag.CacheState{
+		Name: "gtsc-l2", ID: l.bankID, Pending: l.Pending(),
+		InQ: len(l.inQ), OutQ: len(l.outNoC) + len(l.outDRAM), Misses: len(l.miss),
+	}
+	if st.Pending > 0 {
+		st.Detail = l.DebugString()
+	}
+	return st
+}
+
 // Deliver implements coherence.L2: requests queue and are serviced at
 // the bank's port rate in Tick, modeling shared-cache input contention.
-func (l *L2) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+func (l *L2) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
+	l.inQ = append(l.inQ, msg)
+}
 
 // DRAMFill implements coherence.L2.
 func (l *L2) DRAMFill(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	m, ok := l.miss[msg.Block]
 	if !ok {
-		panic("gtsc l2: DRAM fill without outstanding miss")
+		l.failf("orphan-dram-fill", "DRAM fill for %v without outstanding miss", msg.Block)
+		return
 	}
 	delete(l.miss, msg.Block)
 
@@ -183,7 +222,7 @@ func (l *L2) process(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	case mem.BusAtom:
 		l.processAtomic(msg, line)
 	default:
-		panic(fmt.Sprintf("gtsc l2: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -369,7 +408,8 @@ func (l *L2) ensureRoom(worst uint64) {
 		return
 	}
 	if l.resets == nil {
-		panic(fmt.Sprintf("gtsc l2: timestamp overflow (%d > %d) with no reset controller", worst, l.cfg.tsMax()))
+		l.failf("timestamp-overflow", "timestamp overflow (%d > %d) with no reset controller", worst, l.cfg.tsMax())
+		return
 	}
 	l.resets.trigger()
 }
@@ -378,7 +418,8 @@ func (l *L2) ensureRoom(worst uint64) {
 // have created space beforehand, so a failure is a protocol bug.
 func (l *L2) checked(ts uint64) uint64 {
 	if ts > l.cfg.tsMax() {
-		panic(fmt.Sprintf("gtsc l2: timestamp %d exceeds width after reset (lease too large for TSBits?)", ts))
+		l.failf("timestamp-width", "timestamp %d exceeds width after reset (lease too large for TSBits?)", ts)
+		return l.cfg.tsMax()
 	}
 	return ts
 }
@@ -423,7 +464,8 @@ func (l *L2) service(msg *mem.Msg) {
 	case mem.BusAtom:
 		l.stats.Atomics++
 	default:
-		panic(fmt.Sprintf("gtsc l2: unexpected request %v", msg.Type))
+		l.failf("unexpected-message", "request %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
+		return
 	}
 	l.stats.TagProbes++
 

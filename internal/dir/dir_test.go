@@ -236,6 +236,67 @@ func TestWritebackRace(t *testing.T) {
 	}
 }
 
+// TestInvalidationVsWritebackRace stages the FIFO-ordered race the
+// fault-injection harness first exposed: the owner evicts a dirty
+// block (BusWB in flight), the directory — still listing it as owner —
+// targets it for another SM's GetM, and the eviction's writeback
+// reaches the bank before the wb-in-flight-flagged invalidation ack
+// (same L1->L2 FIFO pair, writeback sent first). The writeback itself
+// must complete the invalidation target, or the transaction waits
+// forever for data it already consumed.
+func TestInvalidationVsWritebackRace(t *testing.T) {
+	h := newHarness(t, 2, L2Geometry{})
+	X := mem.BlockAddr(3)
+	h.storeWord(0, 0, X, 1, 0x11)
+	h.pump() // SM0 owns X in M, word 1 dirty
+
+	// SM0 evicts X; hold the BusWB on the wire.
+	h.l1s[0].evict(h.l1s[0].array.Lookup(X))
+	if len(h.toL2) != 1 || h.toL2[0].Type != mem.BusWB {
+		t.Fatalf("expected a held BusWB, have %v", h.toL2)
+	}
+	wb := h.toL2[0]
+	h.toL2 = nil
+
+	// SM1's store reaches the directory first: it still thinks SM0 owns
+	// X, so it goes busy and targets SM0 with an invalidation.
+	st := h.storeWord(1, 0, X, 2, 0x22)
+	h.l2.Deliver(h.toL2[0])
+	h.toL2 = nil
+	h.now++
+	h.l2.Tick(h.now)
+	if len(h.toL1) != 1 || h.toL1[0].Type != mem.BusInv || h.toL1[0].Dst != 0 {
+		t.Fatalf("expected BusInv to SM0, have %v", h.toL1)
+	}
+
+	// SM0 answers the invalidation with the wb-in-flight flag.
+	h.l1s[0].Deliver(h.toL1[0])
+	h.toL1 = nil
+	if len(h.toL2) != 1 || h.toL2[0].Type != mem.BusInvAck || !h.toL2[0].Reset {
+		t.Fatalf("expected a wb-in-flight InvAck, have %v", h.toL2)
+	}
+	ack := h.toL2[0]
+	h.toL2 = nil
+
+	// FIFO delivery: the writeback lands before the ack.
+	h.l2.Deliver(wb)
+	h.l2.Deliver(ack)
+	h.pump() // deadlocks here ("did not quiesce") without the onWB fix
+
+	if !st.done {
+		t.Fatal("store never granted")
+	}
+	ld1 := h.load(1, 1, X, 1)
+	if ld1.res != coherence.Hit || ld1.c.Data.Words[1] != 0x11 {
+		t.Fatalf("writeback data lost: %+v", ld1.c)
+	}
+	ld2 := h.load(0, 1, X, 2)
+	h.pump()
+	if ld2.c.Data.Words[2] != 0x22 {
+		t.Fatalf("second writer's word lost: %#x", ld2.c.Data.Words[2])
+	}
+}
+
 func TestInclusionRecall(t *testing.T) {
 	// A 1-set/1-way L2: installing a second block must recall the
 	// first block's L1 copy.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -66,6 +67,7 @@ type L1 struct {
 	atomics   map[uint64]*pendingAtomic
 	nextReqID uint64
 	pending   int
+	fail      *diag.ProtocolError
 }
 
 // Geometry describes the cache organization.
@@ -97,6 +99,31 @@ func (l *L1) Stats() *stats.L1Stats { return &l.stats }
 
 // Pending implements coherence.L1.
 func (l *L1) Pending() int { return l.pending }
+
+// failf records the first protocol violation; the controller then
+// drops further input until the simulator surfaces the error.
+func (l *L1) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("dir-l1[%d]", l.smID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L1.
+func (l *L1) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L1.
+func (l *L1) DumpState() diag.CacheState {
+	return diag.CacheState{
+		Name: "dir-l1", ID: l.smID, Pending: l.pending,
+		MSHRUsed: l.mshr.Len(), MSHRCap: l.mshr.Cap(), OutQ: len(l.outQ),
+		Blocked: len(l.getm),
+	}
+}
 
 // Access implements coherence.L1.
 func (l *L1) Access(req *coherence.Request) coherence.AccessResult {
@@ -142,7 +169,10 @@ func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
 		l.pending++
 		return coherence.Pending
 	}
-	e = l.mshr.Allocate(req.Block)
+	if e = l.mshr.Allocate(req.Block); e == nil {
+		l.failf("mshr-allocate", "allocate for %v failed despite capacity check", req.Block)
+		return coherence.Reject
+	}
 	e.Waiters = append(e.Waiters, waiter{req: req})
 	l.pending++
 	if l.getm[req.Block] == nil {
@@ -231,6 +261,9 @@ func (l *L1) observeStore(req *coherence.Request) {
 
 // Deliver implements coherence.L1.
 func (l *L1) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	switch msg.Type {
 	case mem.BusFill:
 		l.onGrant(msg)
@@ -239,13 +272,14 @@ func (l *L1) Deliver(msg *mem.Msg) {
 	case mem.BusAtomAck:
 		pa, ok := l.atomics[msg.ReqID]
 		if !ok {
-			panic("dir l1: atomic ack for unknown request")
+			l.failf("unknown-atomic-ack", "atomic ack req=%d block=%v has no pending request", msg.ReqID, msg.Block)
+			return
 		}
 		delete(l.atomics, msg.ReqID)
 		l.pending--
 		pa.req.Done(coherence.Completion{Data: msg.Data})
 	default:
-		panic(fmt.Sprintf("dir l1: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -281,7 +315,8 @@ func (l *L1) onGrant(msg *mem.Msg) {
 		line.Dirty = true
 		pm := l.getm[msg.Block]
 		if pm == nil {
-			panic("dir l1: M grant without pending GetM")
+			l.failf("orphan-m-grant", "M grant for %v without pending GetM", msg.Block)
+			return
 		}
 		delete(l.getm, msg.Block)
 		for _, st := range pm.stores {
@@ -292,7 +327,8 @@ func (l *L1) onGrant(msg *mem.Msg) {
 			st.Done(coherence.Completion{})
 		}
 	default:
-		panic(fmt.Sprintf("dir l1: unknown grant state %d", msg.WTS))
+		l.failf("unknown-grant", "grant for %v carries unknown state %d", msg.Block, msg.WTS)
+		return
 	}
 
 	// Wake loads parked on this block.
@@ -358,7 +394,8 @@ func (l *L1) evict(victim *cache.Line[l1Meta]) {
 // the rest (kernel boundary).
 func (l *L1) Flush() {
 	if l.pending != 0 {
-		panic("dir l1: flush with outstanding accesses")
+		l.failf("flush-outstanding", "flush with %d outstanding accesses", l.pending)
+		return
 	}
 	l.stats.Flushes++
 	l.array.ForEach(func(c *cache.Line[l1Meta]) {

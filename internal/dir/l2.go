@@ -2,9 +2,11 @@ package dir
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -74,6 +76,7 @@ type L2 struct {
 
 	stats stats.L2Stats
 	obs   coherence.Observer
+	fail  *diag.ProtocolError
 }
 
 // L2Geometry describes one bank's organization.
@@ -117,6 +120,36 @@ func (l *L2) Pending() int {
 	return n
 }
 
+// failf records the first protocol violation; the bank then drops
+// further input until the simulator surfaces the error.
+func (l *L2) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("dir-l2[%d]", l.bankID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L2.
+func (l *L2) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L2.
+func (l *L2) DumpState() diag.CacheState {
+	blocked := 0
+	for _, b := range l.busy {
+		blocked += len(b.waiting) + b.remaining()
+	}
+	return diag.CacheState{
+		Name: "dir-l2", ID: l.bankID, Pending: l.Pending(),
+		MSHRUsed: len(l.miss), InQ: len(l.inQ),
+		OutQ:   len(l.outNoC) + len(l.outDRAM),
+		Misses: len(l.miss), Blocked: blocked,
+	}
+}
+
 // Peek implements coherence.L2 (verification hook). Note the
 // architecturally current data may live in an owner's L1 until the
 // kernel-boundary flush writes it back.
@@ -130,13 +163,22 @@ func (l *L2) Peek(b mem.BlockAddr) (*mem.Block, bool) {
 }
 
 // Deliver implements coherence.L2.
-func (l *L2) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+func (l *L2) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
+	l.inQ = append(l.inQ, msg)
+}
 
 // DRAMFill implements coherence.L2.
 func (l *L2) DRAMFill(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	m, ok := l.miss[msg.Block]
 	if !ok {
-		panic("dir l2: DRAM fill without outstanding miss")
+		l.failf("orphan-dram-fill", "DRAM fill for %v without outstanding miss", msg.Block)
+		return
 	}
 	m.data = msg.Data
 	l.tryInstall(m)
@@ -222,7 +264,8 @@ func (l *L2) beginBusy(block mem.BlockAddr, meta *dirMeta, exclude int, grant *m
 		})
 	}
 	if len(b.targets) == 0 {
-		panic("dir l2: busy with no targets")
+		l.failf("busy-no-targets", "transaction on %v has no invalidation targets (sharers=%#x owner=%d)", block, meta.sharers, meta.owner)
+		return
 	}
 	l.busy[block] = b
 }
@@ -253,8 +296,11 @@ func (l *L2) onInvAck(msg *mem.Msg) {
 	l.maybeFinishBusy(b)
 }
 
-// onWB merges a writeback. If a busy transaction was waiting on this
-// owner's data, the writeback completes that target.
+// onWB merges a writeback. A writeback from a targeted L1 completes
+// that target outright: the sender provably holds no copy any more and
+// its data has arrived. (Its invalidation ack — flagged wb-in-flight —
+// follows the writeback on the same FIFO pair, so waiting for t.waitWB
+// before honoring the writeback would deadlock the transaction.)
 func (l *L2) onWB(msg *mem.Msg) {
 	line := l.array.Lookup(msg.Block)
 	if line != nil {
@@ -266,7 +312,7 @@ func (l *L2) onWB(msg *mem.Msg) {
 		l.stats.DataAccesses++
 	}
 	if b := l.busy[msg.Block]; b != nil {
-		if t := b.targets[msg.Src]; t != nil && t.waitWB && !t.done {
+		if t := b.targets[msg.Src]; t != nil && !t.done {
 			t.done = true
 			l.maybeFinishBusy(b)
 		}
@@ -283,7 +329,8 @@ func (l *L2) maybeFinishBusy(b *busyState) {
 	delete(l.busy, b.block)
 	line := l.array.Lookup(b.block)
 	if line == nil {
-		panic("dir l2: busy line vanished")
+		l.failf("busy-line-vanished", "completed transaction on %v but the line is gone", b.block)
+		return
 	}
 	// All targeted copies are gone (or downgraded).
 	if b.grant != nil && b.grant.Type == mem.BusRd {
@@ -367,7 +414,7 @@ func (l *L2) serve(msg *mem.Msg, line *cache.Line[dirMeta]) {
 	case mem.BusWB:
 		l.onWB(msg)
 	default:
-		panic(fmt.Sprintf("dir l2: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -466,9 +513,17 @@ func (l *L2) route(msg *mem.Msg) {
 func (l *L2) Tick(now uint64) {
 	l.now = now
 	l.drainOut()
-	// Retry stalled installs (their recalls may have completed).
-	for _, m := range l.miss {
-		if m.data != nil && l.busy[m.block] == nil {
+	// Retry stalled installs (their recalls may have completed). Sorted
+	// by block address so replay order is independent of map layout.
+	var stalled []mem.BlockAddr
+	for b, m := range l.miss {
+		if m.data != nil && l.busy[b] == nil {
+			stalled = append(stalled, b)
+		}
+	}
+	sort.Slice(stalled, func(i, j int) bool { return stalled[i] < stalled[j] })
+	for _, b := range stalled {
+		if m, ok := l.miss[b]; ok && m.data != nil && l.busy[b] == nil {
 			l.tryInstall(m)
 		}
 	}

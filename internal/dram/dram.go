@@ -8,7 +8,9 @@ package dram
 
 import (
 	"container/heap"
+	"fmt"
 
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -61,6 +63,7 @@ type Partition struct {
 	nextIssue uint64
 	stats     stats.DRAMStats
 	banked    bankedState
+	fail      *diag.ProtocolError
 
 	// Deliver hands a completed DRAMFill back to the owning L2 bank.
 	Deliver func(msg *mem.Msg)
@@ -103,6 +106,20 @@ func (p *Partition) Stats() *stats.DRAMStats { return &p.stats }
 
 // Pending reports queued plus in-flight requests.
 func (p *Partition) Pending() int { return len(p.queue) + len(p.fills) }
+
+// Err reports the first protocol violation seen by the partition, or
+// nil.
+func (p *Partition) Err() error {
+	if p.fail == nil {
+		return nil
+	}
+	return p.fail
+}
+
+// DumpState snapshots the partition for failure diagnostics.
+func (p *Partition) DumpState() diag.DRAMState {
+	return diag.DRAMState{ID: p.id, Queue: len(p.queue), Fills: len(p.fills)}
+}
 
 // Enqueue accepts a DRAMRd or DRAMWr request; it returns false when the
 // queue is full and the L2 bank must retry.
@@ -153,7 +170,10 @@ func (p *Partition) serve(msg *mem.Msg, now, latency uint64) {
 		p.stats.Writes++
 		p.store.WriteBlock(msg.Block, msg.Data, msg.Mask)
 	default:
-		panic("dram: unexpected message type " + msg.Type.String())
+		if p.fail == nil {
+			p.fail = diag.Errf(fmt.Sprintf("dram[%d]", p.id), "unexpected-message",
+				"message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package dram
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/gtsc-sim/gtsc/internal/mem"
@@ -100,15 +101,17 @@ func TestReadSnapshotsAtIssue(t *testing.T) {
 	}
 }
 
-func TestUnexpectedMessagePanics(t *testing.T) {
+func TestUnexpectedMessageFails(t *testing.T) {
 	p, _, _ := newTestPartition(Config{})
 	p.Enqueue(&mem.Msg{Type: mem.BusRd})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("BusRd at DRAM should panic")
-		}
-	}()
 	p.Tick(1)
+	err := p.Err()
+	if err == nil {
+		t.Fatal("BusRd at DRAM should record a protocol error")
+	}
+	if !strings.Contains(err.Error(), "unexpected-message") {
+		t.Fatalf("wrong error: %v", err)
+	}
 }
 
 func TestBankedRowBuffer(t *testing.T) {

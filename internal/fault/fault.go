@@ -1,0 +1,152 @@
+// Package fault is a seeded, deterministic fault-injection layer for
+// the simulated memory hierarchy. It wraps existing components behind
+// their current interfaces:
+//
+//   - a NoC shim that perturbs delivery latency, reorders same-cycle
+//     arrivals across source/destination pairs (point-to-point FIFO
+//     order is preserved, as virtual-channel networks guarantee), and
+//     transiently rejects injection to amplify backpressure;
+//   - a DRAM shim that adds latency spikes to read fills;
+//   - a timestamp-stress mode that starts G-TSC counters near
+//     wraparound (and shortens TC leases) so rollover/renewal paths
+//     run constantly instead of once per billion cycles.
+//
+// Every perturbation is drawn from one xorshift64* stream seeded by
+// Config.Seed, so a failing schedule replays exactly from its seed.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// Config is one fault-injection plan. The zero value disables
+// injection entirely.
+type Config struct {
+	// Seed selects the deterministic perturbation schedule. A plan
+	// with Seed 0 and no knobs set is disabled.
+	Seed int64
+
+	// DelayProb is the chance (0..1) an arriving NoC message is held
+	// for an extra 1..DelayMax cycles.
+	DelayProb float64
+	DelayMax  uint64
+	// Reorder shuffles the delivery order of same-cycle arrivals
+	// across (src,dst) pairs.
+	Reorder bool
+	// RejectProb is the chance (0..1) a NoC injection attempt is
+	// transiently rejected even when the port has room, forcing the
+	// controller down its retry/backpressure path.
+	RejectProb float64
+
+	// DRAMSpikeProb is the chance a DRAM read fill is delayed by an
+	// extra 1..DRAMSpikeMax cycles.
+	DRAMSpikeProb float64
+	DRAMSpikeMax  uint64
+
+	// TSStress starts G-TSC warp/memory timestamps near the
+	// wraparound point so the §V-D overflow reset fires within the
+	// first few accesses of every kernel, and shortens TC leases so
+	// expiry/renewal churn is constant.
+	TSStress bool
+}
+
+// Enabled reports whether the plan perturbs anything.
+func (c Config) Enabled() bool {
+	return c.DelayProb > 0 || c.Reorder || c.RejectProb > 0 ||
+		c.DRAMSpikeProb > 0 || c.TSStress
+}
+
+// String summarizes the plan for diagnostics.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "disabled"
+	}
+	return fmt.Sprintf("seed=%d delay=%.2f/%d reorder=%v reject=%.2f dramspike=%.2f/%d tsstress=%v",
+		c.Seed, c.DelayProb, c.DelayMax, c.Reorder, c.RejectProb,
+		c.DRAMSpikeProb, c.DRAMSpikeMax, c.TSStress)
+}
+
+// Chaos returns a moderately hostile all-knobs plan for the given
+// seed: delivery jitter, cross-pair reordering, transient injection
+// rejects, DRAM spikes and timestamp stress.
+func Chaos(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		DelayProb:     0.25,
+		DelayMax:      24,
+		Reorder:       true,
+		RejectProb:    0.10,
+		DRAMSpikeProb: 0.20,
+		DRAMSpikeMax:  300,
+		TSStress:      true,
+	}
+}
+
+// rng is the same xorshift64* generator the workload package uses, so
+// fault schedules are reproducible without math/rand.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) *rng {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: s}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// chance returns true with probability p, consuming one draw.
+func (r *rng) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	// 53-bit uniform in [0,1).
+	return float64(r.next()>>11)/(1<<53) < p
+}
+
+// uint64n returns a value in [0, n).
+func (r *rng) uint64n(n uint64) uint64 { return r.next() % n }
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Injector owns the perturbation stream of one simulated machine. All
+// shims built from one Injector share its RNG, and all draws happen in
+// deterministic simulation order, so one seed fixes the whole
+// schedule.
+type Injector struct {
+	cfg Config
+	rng *rng
+}
+
+// NewInjector builds the injector for a plan.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: newRNG(cfg.Seed)}
+}
+
+// Config returns the plan this injector executes.
+func (in *Injector) Config() Config { return in.cfg }
+
+// WrapSender interposes transient injection rejection on a NoC
+// injection path. A rejected TrySend is indistinguishable from a full
+// port, so controllers exercise their retry/backpressure machinery.
+func (in *Injector) WrapSender(s coherence.Sender) coherence.Sender {
+	if in.cfg.RejectProb <= 0 {
+		return s
+	}
+	return coherence.SenderFunc(func(msg *mem.Msg) bool {
+		if in.rng.chance(in.cfg.RejectProb) {
+			return false
+		}
+		return s.TrySend(msg)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -51,11 +52,13 @@ func (f *fakeL1) release() {
 	}
 }
 
-func (f *fakeL1) Deliver(*mem.Msg)      {}
-func (f *fakeL1) Tick(uint64)           {}
-func (f *fakeL1) Flush()                {}
-func (f *fakeL1) Pending() int          { return len(f.parked) }
-func (f *fakeL1) Stats() *stats.L1Stats { return &f.stats }
+func (f *fakeL1) Deliver(*mem.Msg)           {}
+func (f *fakeL1) Tick(uint64)                {}
+func (f *fakeL1) Flush()                     {}
+func (f *fakeL1) Pending() int               { return len(f.parked) }
+func (f *fakeL1) Stats() *stats.L1Stats      { return &f.stats }
+func (f *fakeL1) Err() error                 { return nil }
+func (f *fakeL1) DumpState() diag.CacheState { return diag.CacheState{Name: "fake-l1"} }
 
 var _ coherence.L1 = (*fakeL1)(nil)
 

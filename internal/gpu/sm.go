@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -185,6 +186,28 @@ func (s *SM) fill() {
 // no queued memory instructions, and no more CTAs to fetch.
 func (s *SM) Done() bool {
 	return s.liveWarps == 0 && len(s.ldst) == 0 && s.disp.exhausted()
+}
+
+// DumpState snapshots the SM's unfinished warps for failure
+// diagnostics.
+func (s *SM) DumpState() diag.SMState {
+	st := diag.SMState{ID: s.id, LiveWarps: s.liveWarps, LDSTQueue: len(s.ldst)}
+	for _, w := range s.warps {
+		if w.finished {
+			continue
+		}
+		st.Warps = append(st.Warps, diag.WarpState{
+			ID:            w.ID,
+			CTA:           w.CTA.ID,
+			AtBarrier:     w.atBarrier,
+			Dispatching:   w.dispatching,
+			PendingAcc:    w.pendingAcc,
+			PendingStores: w.pendingStores,
+			BusyUntil:     w.busyUntil,
+			GWCT:          w.gwct,
+		})
+	}
+	return st
 }
 
 // Tick advances the SM one cycle: pump the LDST unit, then issue.

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// TestWorkloadsUnderFaults is the fault-injection smoke suite `make
+// check` runs: the six coherence-requiring benchmarks, on every
+// protocol variant, under three seeded chaos plans each. A failure
+// message carries the full plan; rerunning the named subtest (or
+// `gtscsim -faultseed <seed>`) replays the exact schedule.
+func TestWorkloadsUnderFaults(t *testing.T) {
+	for _, v := range Variants() {
+		for _, wl := range workload.CoherenceSet() {
+			for _, plan := range Plans(1, 3) {
+				v, wl, plan := v, wl, plan
+				t.Run(fmt.Sprintf("%s/%s/seed%d", v.Name, wl.Name, plan.Seed), func(t *testing.T) {
+					t.Parallel()
+					if err := Run(v, plan, wl, 1); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
 	"github.com/gtsc-sim/gtsc/internal/core"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/dir"
 	"github.com/gtsc-sim/gtsc/internal/dram"
+	"github.com/gtsc-sim/gtsc/internal/fault"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/noc"
 	"github.com/gtsc-sim/gtsc/internal/nocoh"
@@ -82,6 +84,9 @@ type Config struct {
 	GTSC core.Config
 	TC   tc.Config
 	DIR  dir.Config
+
+	// Fault is the fault-injection plan; the zero value disables it.
+	Fault fault.Config
 }
 
 // DefaultConfig returns the paper's simulated machine (§VI-A).
@@ -139,12 +144,38 @@ type System struct {
 	Parts  []*dram.Partition
 	Store  *mem.Store
 	Resets *core.ResetController // non-nil for G-TSC
+
+	inj   *fault.Injector
+	shims []*fault.DelayShim
 }
 
 // New builds the hierarchy. obs may be nil.
 func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 	cfg.fillDefaults()
+	if cfg.Fault.TSStress {
+		// Start G-TSC timestamps as close to wraparound as the config
+		// permits (core.Config.fillDefaults clamps to the safe limit),
+		// so the §V-D overflow reset fires within the first accesses.
+		cfg.GTSC.InitTS = ^uint64(0)
+		// Shorten TC leases so expiry/renewal churn is constant — but
+		// never below a few worst-case NoC traversals: a lease shorter
+		// than the fill latency arrives dead and the L1 livelocks.
+		lat := cfg.NoC.Latency
+		if lat == 0 {
+			lat = noc.DefaultConfig().Latency
+		}
+		floor := 4 * (lat + cfg.Fault.DelayMax)
+		if floor < 64 {
+			floor = 64
+		}
+		if cfg.TC.Lease == 0 || cfg.TC.Lease > floor {
+			cfg.TC.Lease = floor
+		}
+	}
 	s := &System{Cfg: cfg, Store: store}
+	if cfg.Fault.Enabled() {
+		s.inj = fault.NewInjector(cfg.Fault)
+	}
 	s.Net = noc.New(cfg.NoC, cfg.NumSMs, cfg.NumBanks)
 
 	s.Parts = make([]*dram.Partition, cfg.NumBanks)
@@ -153,13 +184,17 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 	}
 
 	s.L2s = make([]coherence.L2, cfg.NumBanks)
+	sendToL1 := coherence.Sender(coherence.SenderFunc(s.Net.SendToL1))
+	if s.inj != nil {
+		sendToL1 = s.inj.WrapSender(sendToL1)
+	}
 	switch cfg.Protocol {
 	case GTSC:
 		s.Resets = core.NewResetController()
 		for i := range s.L2s {
 			l2 := core.NewL2(cfg.GTSC, i,
 				core.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+				sendToL1, s.dramSender(i), obs)
 			l2.AttachResets(s.Resets)
 			s.L2s[i] = l2
 		}
@@ -167,7 +202,7 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		for i := range s.L2s {
 			s.L2s[i] = tc.NewL2(cfg.TC, i,
 				tc.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+				sendToL1, s.dramSender(i), obs)
 		}
 	case DIR:
 		dcfg := cfg.DIR
@@ -175,13 +210,13 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		for i := range s.L2s {
 			s.L2s[i] = dir.NewL2(dcfg, i,
 				dir.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+				sendToL1, s.dramSender(i), obs)
 		}
 	case BL, L1NC:
 		for i := range s.L2s {
 			l2 := nocoh.NewL2Plain(i,
 				nocoh.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				coherence.SenderFunc(s.Net.SendToL1), s.dramSender(i), obs)
+				sendToL1, s.dramSender(i), obs)
 			// Under BL load values bind at the L2 (there is no L1).
 			l2.SetObserveLoads(cfg.Protocol == BL)
 			s.L2s[i] = l2
@@ -191,8 +226,12 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 	}
 
 	s.L1s = make([]coherence.L1, cfg.NumSMs)
+	sendToL2 := coherence.Sender(coherence.SenderFunc(s.Net.SendToL2))
+	if s.inj != nil {
+		sendToL2 = s.inj.WrapSender(sendToL2)
+	}
 	for i := range s.L1s {
-		send := coherence.SenderFunc(s.Net.SendToL2)
+		send := sendToL2
 		switch cfg.Protocol {
 		case GTSC:
 			s.L1s[i] = core.NewL1(cfg.GTSC, i, cfg.NumBanks,
@@ -223,6 +262,27 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		bank := i
 		p.Deliver = func(msg *mem.Msg) { s.L2s[bank].DRAMFill(msg) }
 	}
+
+	// Interpose the fault-injection delivery shims. Messages a shim
+	// holds count toward Pending, so drain checks see them.
+	if s.inj != nil && (cfg.Fault.DelayProb > 0 || cfg.Fault.Reorder) {
+		l2Shim := fault.NewDelayShim("noc-l2", s.inj, cfg.Fault.DelayProb, cfg.Fault.DelayMax,
+			cfg.Fault.Reorder, func(bank int, msg *mem.Msg) { s.L2s[bank].Deliver(msg) })
+		l1Shim := fault.NewDelayShim("noc-l1", s.inj, cfg.Fault.DelayProb, cfg.Fault.DelayMax,
+			cfg.Fault.Reorder, func(sm int, msg *mem.Msg) { s.L1s[sm].Deliver(msg) })
+		s.Net.DeliverL2 = l2Shim.Deliver
+		s.Net.DeliverL1 = l1Shim.Deliver
+		s.shims = append(s.shims, l2Shim, l1Shim)
+	}
+	if s.inj != nil && cfg.Fault.DRAMSpikeProb > 0 {
+		dShim := fault.NewDelayShim("dram", s.inj, cfg.Fault.DRAMSpikeProb, cfg.Fault.DRAMSpikeMax,
+			false, func(bank int, msg *mem.Msg) { s.L2s[bank].DRAMFill(msg) })
+		for i, p := range s.Parts {
+			bank := i
+			p.Deliver = func(msg *mem.Msg) { dShim.Deliver(bank, msg) }
+		}
+		s.shims = append(s.shims, dShim)
+	}
 	return s
 }
 
@@ -231,11 +291,19 @@ func (s *System) dramSender(bank int) coherence.Sender {
 }
 
 // Tick advances the hierarchy one cycle in back-to-front order so
-// responses race ahead of new requests deterministically.
+// responses race ahead of new requests deterministically. Fault shims
+// release due messages after the transports tick, so unperturbed
+// messages still deliver in their arrival cycle.
 func (s *System) Tick(now uint64) {
+	for _, sh := range s.shims {
+		sh.Sync(now)
+	}
 	s.Net.Tick(now)
 	for _, p := range s.Parts {
 		p.Tick(now)
+	}
+	for _, sh := range s.shims {
+		sh.Release()
 	}
 	for _, l2 := range s.L2s {
 		l2.Tick(now)
@@ -257,7 +325,56 @@ func (s *System) Pending() int {
 	for _, l1 := range s.L1s {
 		n += l1.Pending()
 	}
+	for _, sh := range s.shims {
+		n += sh.Pending()
+	}
 	return n
+}
+
+// Err reports the first protocol error recorded anywhere in the
+// hierarchy, or nil.
+func (s *System) Err() error {
+	for _, l1 := range s.L1s {
+		if err := l1.Err(); err != nil {
+			return err
+		}
+	}
+	for _, l2 := range s.L2s {
+		if err := l2.Err(); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Parts {
+		if err := p.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dump snapshots the hierarchy for failure diagnostics. The simulator
+// adds per-SM warp states before attaching it to an error.
+func (s *System) Dump(now uint64) *diag.StateDump {
+	d := &diag.StateDump{Cycle: now}
+	for _, l1 := range s.L1s {
+		d.L1s = append(d.L1s, l1.DumpState())
+	}
+	for _, l2 := range s.L2s {
+		d.L2s = append(d.L2s, l2.DumpState())
+	}
+	d.NoC = s.Net.DumpState()
+	for _, p := range s.Parts {
+		d.DRAMs = append(d.DRAMs, p.DumpState())
+	}
+	if s.Cfg.Fault.Enabled() {
+		d.Faults = s.Cfg.Fault.String()
+		for _, sh := range s.shims {
+			if sh.Pending() > 0 {
+				d.Faults += fmt.Sprintf(" %s-held=%d", sh.Name(), sh.Pending())
+			}
+		}
+	}
+	return d
 }
 
 // ReadWord returns the architected value of the word at addr: the

@@ -9,7 +9,9 @@ package noc
 
 import (
 	"container/heap"
+	"sort"
 
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -89,6 +91,41 @@ func (n *Network) Stats() *stats.NoCStats { return &n.stats }
 
 // Pending reports messages queued or in flight, for drain checks.
 func (n *Network) Pending() int { return n.inFlight }
+
+// DumpState snapshots the interconnect for failure diagnostics: port
+// queue depths and the oldest in-flight wire transactions (capped at
+// diag.WireCap).
+func (n *Network) DumpState() diag.NoCState {
+	s := diag.NoCState{InFlight: n.inFlight, WireTotal: len(n.wire)}
+	for i, p := range n.toL2 {
+		if len(p.q) > 0 || p.busyUntil > n.now {
+			s.ToL2 = append(s.ToL2, diag.PortState{ID: i, Queue: len(p.q), BusyUntil: p.busyUntil})
+		}
+	}
+	for i, p := range n.toL1 {
+		if len(p.q) > 0 || p.busyUntil > n.now {
+			s.ToL1 = append(s.ToL1, diag.PortState{ID: i, Queue: len(p.q), BusyUntil: p.busyUntil})
+		}
+	}
+	wire := make([]arrival, len(n.wire))
+	copy(wire, n.wire)
+	sort.Slice(wire, func(i, j int) bool {
+		if wire[i].at != wire[j].at {
+			return wire[i].at < wire[j].at
+		}
+		return wire[i].seq < wire[j].seq
+	})
+	for _, a := range wire {
+		if len(s.Wire) >= diag.WireCap {
+			break
+		}
+		s.Wire = append(s.Wire, diag.TxnState{
+			Due: a.at, Type: a.msg.Type.String(), Block: a.msg.Block.String(),
+			Src: a.msg.Src, Dst: a.msg.Dst, ToL2: a.toL2,
+		})
+	}
+	return s
+}
 
 // SendToL2 injects a request from SM msg.Src toward bank msg.Dst.
 func (n *Network) SendToL2(msg *mem.Msg) bool {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -32,6 +33,7 @@ type L1Simple struct {
 	atomicsByID map[uint64]*coherence.Request
 	nextReqID   uint64
 	pending     int
+	fail        *diag.ProtocolError
 }
 
 type simpleWaiter struct {
@@ -64,6 +66,30 @@ func (l *L1Simple) Stats() *stats.L1Stats { return &l.stats }
 
 // Pending implements coherence.L1.
 func (l *L1Simple) Pending() int { return l.pending }
+
+// failf records the first protocol violation; the controller then
+// drops further input until the simulator surfaces the error.
+func (l *L1Simple) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("nocoh-l1[%d]", l.smID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L1.
+func (l *L1Simple) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L1.
+func (l *L1Simple) DumpState() diag.CacheState {
+	return diag.CacheState{
+		Name: "nocoh-l1", ID: l.smID, Pending: l.pending,
+		MSHRUsed: l.mshr.Len(), MSHRCap: l.mshr.Cap(), OutQ: len(l.outQ),
+	}
+}
 
 // Access implements coherence.L1.
 func (l *L1Simple) Access(req *coherence.Request) coherence.AccessResult {
@@ -127,7 +153,10 @@ func (l *L1Simple) accessLoad(req *coherence.Request) coherence.AccessResult {
 		l.pending++
 		return coherence.Pending
 	}
-	e = l.mshr.Allocate(req.Block)
+	if e = l.mshr.Allocate(req.Block); e == nil {
+		l.failf("mshr-allocate", "allocate for %v failed despite capacity check", req.Block)
+		return coherence.Reject
+	}
 	e.Waiters = append(e.Waiters, simpleWaiter{req: req})
 	e.Issued = true
 	l.pending++
@@ -177,6 +206,9 @@ func (l *L1Simple) completeLoad(req *coherence.Request, data *mem.Block) {
 
 // Deliver implements coherence.L1.
 func (l *L1Simple) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	switch msg.Type {
 	case mem.BusFill:
 		l.stats.Fills++
@@ -202,7 +234,8 @@ func (l *L1Simple) Deliver(msg *mem.Msg) {
 		l.stats.WriteAcks++
 		req, ok := l.storesByID[msg.ReqID]
 		if !ok {
-			panic("nocoh l1: write ack for unknown store")
+			l.failf("unknown-write-ack", "write ack req=%d block=%v has no pending store", msg.ReqID, msg.Block)
+			return
 		}
 		delete(l.storesByID, msg.ReqID)
 		l.pending--
@@ -210,20 +243,22 @@ func (l *L1Simple) Deliver(msg *mem.Msg) {
 	case mem.BusAtomAck:
 		req, ok := l.atomicsByID[msg.ReqID]
 		if !ok {
-			panic("nocoh l1: atomic ack for unknown request")
+			l.failf("unknown-atomic-ack", "atomic ack req=%d block=%v has no pending request", msg.ReqID, msg.Block)
+			return
 		}
 		delete(l.atomicsByID, msg.ReqID)
 		l.pending--
 		req.Done(coherence.Completion{Data: msg.Data})
 	default:
-		panic(fmt.Sprintf("nocoh l1: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
 // Flush implements coherence.L1.
 func (l *L1Simple) Flush() {
 	if l.pending != 0 {
-		panic("nocoh l1: flush with outstanding accesses")
+		l.failf("flush-outstanding", "flush with %d outstanding accesses", l.pending)
+		return
 	}
 	l.stats.Flushes++
 	l.array.ForEach(func(c *cache.Line[struct{}]) { l.array.Invalidate(c) })

@@ -5,6 +5,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -34,6 +35,7 @@ type L2Plain struct {
 	// processing time — set for the BL configuration, where there is
 	// no L1 and load values bind here.
 	observeLoads bool
+	fail         *diag.ProtocolError
 }
 
 type plainMiss struct {
@@ -76,14 +78,48 @@ func (l *L2Plain) Pending() int {
 	return n
 }
 
+// failf records the first protocol violation; the bank then drops
+// further input until the simulator surfaces the error.
+func (l *L2Plain) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("plain-l2[%d]", l.bankID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L2.
+func (l *L2Plain) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L2.
+func (l *L2Plain) DumpState() diag.CacheState {
+	return diag.CacheState{
+		Name: "plain-l2", ID: l.bankID, Pending: l.Pending(),
+		MSHRUsed: len(l.miss), InQ: len(l.inQ),
+		OutQ: len(l.outNoC) + len(l.outDRAM), Misses: len(l.miss),
+	}
+}
+
 // Deliver implements coherence.L2.
-func (l *L2Plain) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+func (l *L2Plain) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
+	l.inQ = append(l.inQ, msg)
+}
 
 // DRAMFill implements coherence.L2.
 func (l *L2Plain) DRAMFill(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	m, ok := l.miss[msg.Block]
 	if !ok {
-		panic("plain l2: DRAM fill without outstanding miss")
+		l.failf("orphan-dram-fill", "DRAM fill for %v without outstanding miss", msg.Block)
+		return
 	}
 	delete(l.miss, msg.Block)
 	victim := l.array.Victim(msg.Block, nil)
@@ -176,7 +212,7 @@ func (l *L2Plain) process(msg *mem.Msg, line *cache.Line[struct{}]) {
 			Data: old, Mask: msg.Mask, ReqID: msg.ReqID, Warp: msg.Warp,
 		})
 	default:
-		panic(fmt.Sprintf("plain l2: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -203,7 +239,8 @@ func (l *L2Plain) service(msg *mem.Msg) {
 	case mem.BusAtom:
 		l.stats.Atomics++
 	default:
-		panic(fmt.Sprintf("plain l2: unexpected request %v", msg.Type))
+		l.failf("unexpected-message", "request %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
+		return
 	}
 	l.stats.TagProbes++
 	if m, ok := l.miss[msg.Block]; ok {

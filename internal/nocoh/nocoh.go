@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -40,6 +41,7 @@ type L1Bypass struct {
 	// maxOutstanding bounds in-flight accesses so the shim exerts the
 	// same finite buffering a real LDST path would (default 64).
 	maxOutstanding int
+	fail           *diag.ProtocolError
 }
 
 // NewL1Bypass builds the BL shim for SM smID.
@@ -58,6 +60,30 @@ func (l *L1Bypass) Pending() int { return l.pending }
 
 // Flush implements coherence.L1 (nothing cached, nothing to do).
 func (l *L1Bypass) Flush() {}
+
+// failf records the first protocol violation; the shim then drops
+// further input until the simulator surfaces the error.
+func (l *L1Bypass) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("bl-l1[%d]", l.smID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L1.
+func (l *L1Bypass) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L1.
+func (l *L1Bypass) DumpState() diag.CacheState {
+	return diag.CacheState{
+		Name: "bl-l1", ID: l.smID, Pending: l.pending,
+		MSHRUsed: len(l.reqByID), MSHRCap: l.maxOutstanding, OutQ: len(l.outQ),
+	}
+}
 
 // Access implements coherence.L1.
 func (l *L1Bypass) Access(req *coherence.Request) coherence.AccessResult {
@@ -101,9 +127,13 @@ func (l *L1Bypass) Access(req *coherence.Request) coherence.AccessResult {
 
 // Deliver implements coherence.L1.
 func (l *L1Bypass) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	req, ok := l.reqByID[msg.ReqID]
 	if !ok {
-		panic("nocoh bypass: response for unknown request")
+		l.failf("unknown-response", "response %v req=%d block=%v has no pending request", msg.Type, msg.ReqID, msg.Block)
+		return
 	}
 	delete(l.reqByID, msg.ReqID)
 	l.pending--
@@ -121,7 +151,7 @@ func (l *L1Bypass) Deliver(msg *mem.Msg) {
 	case mem.BusAtomAck:
 		req.Done(coherence.Completion{Data: msg.Data})
 	default:
-		panic(fmt.Sprintf("nocoh bypass: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 

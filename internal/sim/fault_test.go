@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/check"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/fault"
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/noc"
+)
+
+// faultSeeds are the fixed seeds the smoke suite replays. A failure
+// reports the full plan; rerunning the test (or `gtscsim -faultseed
+// <seed>`) reproduces the exact perturbation schedule.
+var faultSeeds = []int64{1, 2, 3}
+
+// faultProtocols lists every coherent protocol; the litmus assertions
+// below run them under SC, where each one's forbidden outcomes are
+// architecturally forbidden.
+var faultProtocols = []struct {
+	name string
+	p    memsys.Protocol
+}{
+	{"gtsc", memsys.GTSC},
+	{"tc", memsys.TC},
+	{"bl", memsys.BL},
+	{"dir", memsys.DIR},
+}
+
+// checkFaultInvariants applies the ordering rule that holds for the
+// protocol under SC to a recorded log.
+func checkFaultInvariants(t *testing.T, p memsys.Protocol, ops []check.Record) {
+	t.Helper()
+	var vio []check.Violation
+	if p == memsys.GTSC {
+		vio = check.CheckTimestampOrder(ops, 3)
+	} else {
+		vio = check.CheckPhysical(ops, 3)
+	}
+	if len(vio) > 0 {
+		t.Fatalf("ordering invariant violated: %v", vio[0].Error())
+	}
+}
+
+// TestLitmusUnderFaults runs the MP and SB litmus tests on every
+// protocol under seeded chaos plans (delivery jitter, cross-pair
+// reordering, injection rejects, DRAM spikes, timestamp stress). The
+// forbidden outcomes must stay forbidden no matter how the fault
+// schedule perturbs timing, and the recorded operation log must still
+// satisfy the protocol's ordering invariant.
+func TestLitmusUnderFaults(t *testing.T) {
+	mp := litmusKernel("mp-faults",
+		[]*gpu.Instr{
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }), // data
+			gpu.Store(lane0(litY), func(*gpu.Thread) uint32 { return 1 }), // flag
+		},
+		[]*gpu.Instr{
+			gpu.Load(0, lane0(litY)), // flag
+			gpu.Load(1, lane0(litX)), // data
+		})
+	sb := litmusKernel("sb-faults",
+		[]*gpu.Instr{
+			gpu.Store(lane0(litX), func(*gpu.Thread) uint32 { return 1 }),
+			gpu.Load(0, lane0(litY)),
+		},
+		[]*gpu.Instr{
+			gpu.Store(lane0(litY), func(*gpu.Thread) uint32 { return 1 }),
+			gpu.Load(0, lane0(litX)),
+		})
+
+	for _, pc := range faultProtocols {
+		for _, seed := range faultSeeds {
+			pc, seed := pc, seed
+			t.Run(fmt.Sprintf("%s/seed%d", pc.name, seed), func(t *testing.T) {
+				t.Parallel()
+				newCfg := func() (Config, *check.Recorder) {
+					cfg := smallConfig(pc.p, gpu.SC)
+					cfg.Mem.NumSMs = 2
+					cfg.Mem.NoC = noc.Config{Latency: 4, InjectQueue: 8}
+					cfg.Mem.Fault = fault.Chaos(seed)
+					rec := check.NewRecorder()
+					cfg.Observer = rec
+					return cfg, rec
+				}
+
+				cfg, rec := newCfg()
+				r := runLitmus(t, cfg, mp)
+				if flag, data := r[1][0], r[1][1]; flag == 1 && data == 0 {
+					t.Fatalf("forbidden MP outcome flag=1,data=0 under [%s]", cfg.Mem.Fault)
+				}
+				checkFaultInvariants(t, pc.p, rec.Ops())
+
+				cfg, rec = newCfg()
+				r = runLitmus(t, cfg, sb)
+				if r[0][0] == 0 && r[1][0] == 0 {
+					t.Fatalf("forbidden SB outcome 0/0 under [%s]", cfg.Mem.Fault)
+				}
+				checkFaultInvariants(t, pc.p, rec.Ops())
+			})
+		}
+	}
+}
+
+// TestInjectQueueOne pins the NoC injection queue to a single entry —
+// maximal backpressure on every controller's retry path — and runs the
+// shared-region stress kernel on all four protocols. The run must
+// complete and the ordering invariants must hold.
+func TestInjectQueueOne(t *testing.T) {
+	const base = mem.Addr(0x40000)
+	for _, pc := range faultProtocols {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(pc.p, gpu.SC)
+			cfg.Mem.NoC = noc.Config{Latency: 4, InjectQueue: 1}
+			rec := check.NewRecorder()
+			cfg.Observer = rec
+			s := New(cfg)
+			if _, err := s.Run(conflictKernel(base, 4, 8)); err != nil {
+				t.Fatal(err)
+			}
+			if rec.Len() == 0 {
+				t.Fatal("no operations observed")
+			}
+			checkFaultInvariants(t, pc.p, rec.Ops())
+		})
+	}
+}
+
+// TestWedgedRunProducesDeadlock wedges the machine outright — every
+// NoC injection attempt is rejected, so no memory request ever leaves
+// an L1 — and asserts the forward-progress watchdog converts the hang
+// into a structured DeadlockError with a populated machine-state dump,
+// long before the MaxCycles budget would expire.
+func TestWedgedRunProducesDeadlock(t *testing.T) {
+	cfg := smallConfig(memsys.GTSC, gpu.RC)
+	cfg.Mem.Fault = fault.Config{Seed: 7, RejectProb: 1.0}
+	cfg.WatchdogWindow = 2_000
+	_, err := New(cfg).Run(writeReadKernel(0x50000))
+	if err == nil {
+		t.Fatal("wedged run completed")
+	}
+	var de *diag.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %T: %v", err, err)
+	}
+	if de.Reason != "no-forward-progress" {
+		t.Fatalf("reason = %q, want no-forward-progress", de.Reason)
+	}
+	if de.StalledFor < cfg.WatchdogWindow {
+		t.Fatalf("stalled %d cycles, want >= %d", de.StalledFor, cfg.WatchdogWindow)
+	}
+	if de.Cycle > 200_000 {
+		t.Fatalf("watchdog fired at cycle %d; should trip shortly after the %d-cycle window",
+			de.Cycle, cfg.WatchdogWindow)
+	}
+	if de.Dump == nil {
+		t.Fatal("no machine-state dump attached")
+	}
+	text := de.Dump.String()
+	if !strings.Contains(text, "machine state") || !strings.Contains(text, "end state") {
+		t.Fatalf("dump not rendered:\n%s", text)
+	}
+	if len(de.Dump.SMs) == 0 {
+		t.Fatal("dump has no SM states")
+	}
+	if de.Dump.Faults == "" {
+		t.Fatal("dump does not record the active fault plan")
+	}
+}
+
+// TestProtocolErrorCarriesDump injects a message outside the G-TSC
+// state machine (a directory-only invalidation) and asserts the run
+// fails with a typed ProtocolError naming the component and event, and
+// carrying the machine-state dump — instead of panicking.
+func TestProtocolErrorCarriesDump(t *testing.T) {
+	cfg := smallConfig(memsys.GTSC, gpu.RC)
+	s := New(cfg)
+	s.Sys.L2s[0].Deliver(&mem.Msg{Type: mem.BusInv, Block: mem.Addr(0x70000).Block(), Src: 1})
+	_, err := s.Run(writeReadKernel(0x70000))
+	if err == nil {
+		t.Fatal("run with poisoned L2 succeeded")
+	}
+	var pe *diag.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want ProtocolError, got %T: %v", err, err)
+	}
+	if pe.Event != "unexpected-message" {
+		t.Fatalf("event = %q, want unexpected-message", pe.Event)
+	}
+	if !strings.Contains(pe.Component, "l2") {
+		t.Fatalf("component = %q, want an L2 bank", pe.Component)
+	}
+	if pe.Dump == nil {
+		t.Fatal("no machine-state dump attached")
+	}
+	if !strings.Contains(err.Error(), "protocol error") {
+		t.Fatalf("error summary %q", err.Error())
+	}
+}
+
+// TestFaultScheduleReproducible runs the same kernel under the same
+// chaos seed twice and asserts cycle-exact equality — the property that
+// makes every harness failure replayable from its seed alone.
+func TestFaultScheduleReproducible(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		cfg := smallConfig(memsys.GTSC, gpu.RC)
+		cfg.Mem.Fault = fault.Chaos(42)
+		r, err := New(cfg).Run(conflictKernel(0x60000, 4, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles, r.SM.InstrIssued, r.NoC.MsgsToL2
+	}
+	c1, i1, m1 := run()
+	c2, i2, m2 := run()
+	if c1 != c2 || i1 != i2 || m1 != m2 {
+		t.Fatalf("same seed diverged: cycles %d/%d instrs %d/%d msgs %d/%d",
+			c1, c2, i1, i2, m1, m2)
+	}
+}

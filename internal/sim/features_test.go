@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/dram"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 	"github.com/gtsc-sim/gtsc/internal/mem"
@@ -11,8 +13,8 @@ import (
 	"github.com/gtsc-sim/gtsc/internal/noc"
 )
 
-// TestMaxCyclesGuard: a kernel that cannot finish reports a deadlock
-// error instead of hanging.
+// TestMaxCyclesGuard: a kernel that cannot finish reports a structured
+// deadlock error instead of hanging.
 func TestMaxCyclesGuard(t *testing.T) {
 	cfg := smallConfig(memsys.GTSC, gpu.RC)
 	cfg.MaxCycles = 200
@@ -25,8 +27,15 @@ func TestMaxCyclesGuard(t *testing.T) {
 		},
 	}
 	_, err := New(cfg).Run(k)
-	if err == nil || !strings.Contains(err.Error(), "exceeded") {
-		t.Fatalf("expected deadlock guard, got %v", err)
+	var de *diag.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if de.Reason != "max-cycles" || de.Kernel != "forever" {
+		t.Fatalf("wrong deadlock detail: %+v", de)
+	}
+	if de.Dump == nil || !strings.Contains(de.Dump.String(), "machine state") {
+		t.Fatal("deadlock error must carry a state dump")
 	}
 }
 

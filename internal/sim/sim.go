@@ -5,9 +5,10 @@
 package sim
 
 import (
-	"fmt"
+	"errors"
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/energy"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 	"github.com/gtsc-sim/gtsc/internal/mem"
@@ -20,9 +21,19 @@ type Config struct {
 	Mem memsys.Config
 	SM  gpu.SMConfig
 
-	// MaxCycles aborts a run that fails to converge (deadlock guard);
-	// default 200M.
+	// MaxCycles aborts a run that fails to converge (hard budget);
+	// default 200M. Exhaustion returns a diag.DeadlockError.
 	MaxCycles uint64
+
+	// WatchdogWindow is how many cycles the machine may go without
+	// forward progress (instructions issued, warps retired, NoC or
+	// DRAM traffic) before the run aborts with a diag.DeadlockError;
+	// default 100k. The watchdog catches deadlocks in seconds where
+	// the MaxCycles budget would grind for minutes.
+	WatchdogWindow uint64
+	// DisableWatchdog turns the forward-progress check off (the
+	// MaxCycles budget still applies).
+	DisableWatchdog bool
 
 	// Observer, when non-nil, receives every performed memory
 	// operation (used by the invariant checkers in internal/check).
@@ -53,6 +64,9 @@ type Simulator struct {
 func New(cfg Config) *Simulator {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 200_000_000
+	}
+	if cfg.WatchdogWindow == 0 {
+		cfg.WatchdogWindow = 100_000
 	}
 	if cfg.Mem.Protocol == memsys.TC {
 		cfg.Mem.TC.Weak = cfg.SM.Consistency == gpu.RC
@@ -98,18 +112,34 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 	}
 
 	start := s.now
+	lastSig := s.progressSig()
+	lastProgress := s.now
 	for {
 		if s.now-start > s.Cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: kernel %q exceeded %d cycles (deadlock?); pending=%d",
-				kernel.Name, s.Cfg.MaxCycles, s.Sys.Pending())
+			return nil, s.deadlock(kernel.Name, "run", "max-cycles", s.now-lastProgress)
 		}
 		s.now++
 		s.Sys.Tick(s.now)
 		for _, sm := range s.SMs {
 			sm.Tick(s.now)
 		}
+		if err := s.Sys.Err(); err != nil {
+			return nil, s.attachDump(err)
+		}
 		if s.done() {
 			break
+		}
+		// Forward-progress watchdog: sample the monotone activity
+		// counters every 64 cycles; a window with no change anywhere in
+		// the machine is a deadlock, reported with a state dump long
+		// before the MaxCycles budget would expire.
+		if !s.Cfg.DisableWatchdog && s.now&63 == 0 {
+			if sig := s.progressSig(); sig != lastSig {
+				lastSig = sig
+				lastProgress = s.now
+			} else if s.now-lastProgress >= s.Cfg.WatchdogWindow {
+				return nil, s.deadlock(kernel.Name, "run", "no-forward-progress", s.now-lastProgress)
+			}
 		}
 	}
 
@@ -132,14 +162,75 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 	for _, l1 := range s.Sys.L1s {
 		l1.Flush()
 	}
+	if err := s.Sys.Err(); err != nil {
+		return nil, s.attachDump(err)
+	}
+	lastSig = s.progressSig()
+	lastProgress = s.now
 	for guard := uint64(0); s.Sys.Pending() != 0; guard++ {
 		if guard > s.Cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: kernel %q flush did not drain", kernel.Name)
+			return nil, s.deadlock(kernel.Name, "drain", "max-cycles", s.now-lastProgress)
 		}
 		s.now++
 		s.Sys.Tick(s.now)
+		if err := s.Sys.Err(); err != nil {
+			return nil, s.attachDump(err)
+		}
+		if !s.Cfg.DisableWatchdog && s.now&63 == 0 {
+			if sig := s.progressSig(); sig != lastSig {
+				lastSig = sig
+				lastProgress = s.now
+			} else if s.now-lastProgress >= s.Cfg.WatchdogWindow {
+				return nil, s.deadlock(kernel.Name, "drain", "no-forward-progress", s.now-lastProgress)
+			}
+		}
 	}
 	return run, nil
+}
+
+// progressSig sums the machine's monotone activity counters; any
+// change between samples means forward progress is being made.
+func (s *Simulator) progressSig() uint64 {
+	var sig uint64
+	for _, sm := range s.SMs {
+		st := sm.Stats()
+		sig += st.InstrIssued + st.WarpsRetired
+	}
+	ns := s.Sys.Net.Stats()
+	sig += ns.MsgsToL2 + ns.MsgsToL1
+	for _, p := range s.Sys.Parts {
+		ds := p.Stats()
+		sig += ds.Reads + ds.Writes
+	}
+	return sig
+}
+
+// dump assembles the machine-state snapshot: the hierarchy's view plus
+// per-SM warp states.
+func (s *Simulator) dump() *diag.StateDump {
+	d := s.Sys.Dump(s.now)
+	for _, sm := range s.SMs {
+		d.SMs = append(d.SMs, sm.DumpState())
+	}
+	return d
+}
+
+// deadlock builds the structured no-forward-progress error.
+func (s *Simulator) deadlock(kernel, phase, reason string, stalled uint64) error {
+	return &diag.DeadlockError{
+		Kernel: kernel, Phase: phase, Reason: reason,
+		Cycle: s.now, StalledFor: stalled, Pending: s.Sys.Pending(),
+		Dump: s.dump(),
+	}
+}
+
+// attachDump decorates a protocol error with the machine state.
+func (s *Simulator) attachDump(err error) error {
+	var pe *diag.ProtocolError
+	if errors.As(err, &pe) && pe.Dump == nil {
+		pe.Dump = s.dump()
+	}
+	return err
 }
 
 func (s *Simulator) done() bool {

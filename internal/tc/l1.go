@@ -5,6 +5,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -48,6 +49,7 @@ type L1 struct {
 	atomicsByID map[uint64]*pendingAtomic
 	nextReqID   uint64
 	pending     int
+	fail        *diag.ProtocolError
 }
 
 // Geometry describes the cache organization (shared with G-TSC runs so
@@ -79,6 +81,30 @@ func (l *L1) Stats() *stats.L1Stats { return &l.stats }
 
 // Pending implements coherence.L1.
 func (l *L1) Pending() int { return l.pending }
+
+// failf records the first protocol violation; the controller then
+// drops further input until the simulator surfaces the error.
+func (l *L1) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("tc-l1[%d]", l.smID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L1.
+func (l *L1) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L1.
+func (l *L1) DumpState() diag.CacheState {
+	return diag.CacheState{
+		Name: "tc-l1", ID: l.smID, Pending: l.pending,
+		MSHRUsed: l.mshr.Len(), MSHRCap: l.mshr.Cap(), OutQ: len(l.outQ),
+	}
+}
 
 // Access implements coherence.L1.
 func (l *L1) Access(req *coherence.Request) coherence.AccessResult {
@@ -147,7 +173,10 @@ func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
 		l.pending++
 		return coherence.Pending
 	}
-	e = l.mshr.Allocate(req.Block)
+	if e = l.mshr.Allocate(req.Block); e == nil {
+		l.failf("mshr-allocate", "allocate for %v failed despite capacity check", req.Block)
+		return coherence.Reject
+	}
 	e.Waiters = append(e.Waiters, waiter{req: req})
 	e.Issued = true
 	l.pending++
@@ -207,6 +236,9 @@ func (l *L1) completeLoad(req *coherence.Request, data *mem.Block) {
 
 // Deliver implements coherence.L1.
 func (l *L1) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	switch msg.Type {
 	case mem.BusFill:
 		l.onFill(msg)
@@ -215,13 +247,14 @@ func (l *L1) Deliver(msg *mem.Msg) {
 	case mem.BusAtomAck:
 		pa, ok := l.atomicsByID[msg.ReqID]
 		if !ok {
-			panic("tc l1: atomic ack for unknown request")
+			l.failf("unknown-atomic-ack", "atomic ack req=%d block=%v has no pending request", msg.ReqID, msg.Block)
+			return
 		}
 		delete(l.atomicsByID, msg.ReqID)
 		l.pending--
 		pa.req.Done(coherence.Completion{Data: msg.Data, GWCT: msg.GWCT})
 	default:
-		panic(fmt.Sprintf("tc l1: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -268,7 +301,8 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 	l.stats.WriteAcks++
 	ps, ok := l.storesByID[msg.ReqID]
 	if !ok {
-		panic("tc l1: write ack for unknown store")
+		l.failf("unknown-write-ack", "write ack req=%d block=%v has no pending store", msg.ReqID, msg.Block)
+		return
 	}
 	delete(l.storesByID, msg.ReqID)
 	l.pending--
@@ -279,7 +313,8 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 // Flush implements coherence.L1 (kernel boundary).
 func (l *L1) Flush() {
 	if l.pending != 0 {
-		panic("tc l1: flush with outstanding accesses")
+		l.failf("flush-outstanding", "flush with %d outstanding accesses", l.pending)
+		return
 	}
 	l.stats.Flushes++
 	l.array.ForEach(func(c *cache.Line[l1Meta]) { l.array.Invalidate(c) })

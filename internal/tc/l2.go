@@ -2,9 +2,11 @@ package tc
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
@@ -47,6 +49,7 @@ type L2 struct {
 
 	stats stats.L2Stats
 	obs   coherence.Observer
+	fail  *diag.ProtocolError
 }
 
 // Geometry describes one bank's organization.
@@ -90,14 +93,52 @@ func (l *L2) Pending() int {
 	return n
 }
 
+// failf records the first protocol violation; the bank then drops
+// further input until the simulator surfaces the error.
+func (l *L2) failf(event, format string, args ...any) {
+	if l.fail == nil {
+		l.fail = diag.Errf(fmt.Sprintf("tc-l2[%d]", l.bankID), event, format, args...)
+	}
+}
+
+// Err implements coherence.L2.
+func (l *L2) Err() error {
+	if l.fail == nil {
+		return nil
+	}
+	return l.fail
+}
+
+// DumpState implements coherence.L2.
+func (l *L2) DumpState() diag.CacheState {
+	blocked := 0
+	for _, q := range l.blocked {
+		blocked += len(q)
+	}
+	return diag.CacheState{
+		Name: "tc-l2", ID: l.bankID, Pending: l.Pending(),
+		InQ: len(l.inQ), OutQ: len(l.outNoC) + len(l.outDRAM),
+		Misses: len(l.miss), Blocked: blocked,
+	}
+}
+
 // Deliver implements coherence.L2.
-func (l *L2) Deliver(msg *mem.Msg) { l.inQ = append(l.inQ, msg) }
+func (l *L2) Deliver(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
+	l.inQ = append(l.inQ, msg)
+}
 
 // DRAMFill implements coherence.L2.
 func (l *L2) DRAMFill(msg *mem.Msg) {
+	if l.fail != nil {
+		return
+	}
 	m, ok := l.miss[msg.Block]
 	if !ok {
-		panic("tc l2: DRAM fill without outstanding miss")
+		l.failf("orphan-dram-fill", "DRAM fill for %v without outstanding miss", msg.Block)
+		return
 	}
 	m.data = msg.Data
 	l.tryInstall(m)
@@ -161,7 +202,7 @@ func (l *L2) process(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	case mem.BusAtom:
 		l.performAtomic(msg, line)
 	default:
-		panic(fmt.Sprintf("tc l2: unexpected message %v", msg.Type))
+		l.failf("unexpected-message", "message %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
 	}
 }
 
@@ -264,12 +305,23 @@ func (l *L2) Tick(now uint64) {
 
 // resumeBlocked re-runs each parked queue whose head write's leases
 // have expired, and counts the stall cycles of those still waiting
-// (the paper's lease-induced stall, §II-D3).
+// (the paper's lease-induced stall, §II-D3). Blocks resume in address
+// order so runs are reproducible.
 func (l *L2) resumeBlocked() {
-	for block, q := range l.blocked {
+	if len(l.blocked) == 0 {
+		return
+	}
+	blocks := make([]mem.BlockAddr, 0, len(l.blocked))
+	for block := range l.blocked {
+		blocks = append(blocks, block)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, block := range blocks {
+		q := l.blocked[block]
 		line := l.array.Lookup(block)
 		if line == nil {
-			panic("tc l2: blocked queue lost its line")
+			l.failf("blocked-line-vanished", "blocked queue for %v lost its line", block)
+			return
 		}
 		if line.Meta.expiry > l.now {
 			l.stats.WriteStalls++
@@ -280,9 +332,21 @@ func (l *L2) resumeBlocked() {
 	}
 }
 
+// retryInstalls re-attempts stalled fills in address order so victim
+// selection is reproducible.
 func (l *L2) retryInstalls() {
-	for _, m := range l.miss {
+	if len(l.miss) == 0 {
+		return
+	}
+	blocks := make([]mem.BlockAddr, 0, len(l.miss))
+	for block, m := range l.miss {
 		if m.data != nil {
+			blocks = append(blocks, block)
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, block := range blocks {
+		if m, ok := l.miss[block]; ok && m.data != nil {
 			l.tryInstall(m)
 		}
 	}
@@ -297,7 +361,8 @@ func (l *L2) service(msg *mem.Msg) {
 	case mem.BusAtom:
 		l.stats.Atomics++
 	default:
-		panic(fmt.Sprintf("tc l2: unexpected request %v", msg.Type))
+		l.failf("unexpected-message", "request %v for block %v from SM %d", msg.Type, msg.Block, msg.Src)
+		return
 	}
 	l.stats.TagProbes++
 
