@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt cover evaluate examples clean check
+.PHONY: all build test bench bench-sim vet fmt cover evaluate examples clean check
 
 all: build test
 
@@ -21,6 +21,12 @@ test:
 # One testing.B benchmark per paper table/figure (+ extensions).
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Simulator performance snapshot: single-sim ns/cycle and allocs, plus
+# Fig-12 grid wall time serial vs parallel (see EXPERIMENTS.md).
+bench-sim:
+	$(GO) run ./cmd/gtscbench -benchsim BENCH_sim.json -scale 1 -sms 4 -banks 4 -j 4
+	@cat BENCH_sim.json
 
 vet:
 	$(GO) vet ./...

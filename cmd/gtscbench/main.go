@@ -9,6 +9,8 @@
 //	gtscbench -exp fig12       # one experiment
 //	gtscbench -exp lease       # an extension (lease, tso, scale, micro, platform, cache)
 //	gtscbench -scale 1 -sms 8  # smaller machine / inputs
+//	gtscbench -j 8             # fan simulations across 8 workers
+//	gtscbench -benchsim BENCH_sim.json  # perf snapshot (see EXPERIMENTS.md)
 package main
 
 import (
@@ -21,12 +23,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: all, table2, fig12..fig17, expiry, vis, combine, lease, tso, scale, micro, platform, cache")
-		scale = flag.Int("scale", 2, "workload scale factor")
-		sms   = flag.Int("sms", 16, "number of SMs")
-		banks = flag.Int("banks", 8, "number of L2 banks")
-		lease = flag.Uint64("gtsc-lease", 10, "G-TSC logical lease")
-		tcl   = flag.Uint64("tc-lease", 400, "TC lease in cycles")
+		exp      = flag.String("exp", "all", "experiment: all, table2, fig12..fig17, expiry, vis, combine, lease, tso, scale, micro, platform, cache")
+		scale    = flag.Int("scale", 2, "workload scale factor")
+		sms      = flag.Int("sms", 16, "number of SMs")
+		banks    = flag.Int("banks", 8, "number of L2 banks")
+		lease    = flag.Uint64("gtsc-lease", 10, "G-TSC logical lease")
+		tcl      = flag.Uint64("tc-lease", 400, "TC lease in cycles")
+		jobs     = flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any -j")
+		benchsim = flag.String("benchsim", "", "write a performance snapshot (wall time, ns/cycle, allocs) to this JSON file and exit")
 	)
 	flag.Parse()
 
@@ -36,6 +40,25 @@ func main() {
 	cfg.NumBanks = *banks
 	cfg.GTSCLease = *lease
 	cfg.TCLease = *tcl
+	cfg.Workers = *jobs
+
+	if *benchsim != "" {
+		b, err := experiments.RunBenchSim(cfg, *jobs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gtscbench:", err)
+			os.Exit(1)
+		}
+		if err := b.WriteJSON(*benchsim); err != nil {
+			fmt.Fprintln(os.Stderr, "gtscbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-sim: %s written (fig12 grid: %d sims, serial %.2fs, parallel %.2fs at %d workers, speedup %.2fx, bit-identical %v)\n",
+			*benchsim, b.Fig12Grid.Simulations,
+			float64(b.Fig12Grid.SerialNs)/1e9, float64(b.Fig12Grid.ParallelNs)/1e9,
+			b.Workers, b.Fig12Grid.Speedup, b.Fig12Grid.BitIdentical)
+		return
+	}
+
 	s := experiments.NewSession(cfg)
 
 	var err error

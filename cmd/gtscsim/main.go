@@ -1,12 +1,15 @@
-// Command gtscsim runs one benchmark on one simulated GPU
-// configuration and reports its statistics — the single-run entry
+// Command gtscsim runs one or more benchmarks on one simulated GPU
+// configuration and reports their statistics — the single-run entry
 // point of the simulator.
 //
 // Usage:
 //
 //	gtscsim -workload CC -protocol gtsc -consistency rc -sms 16 -banks 8
+//	gtscsim -workload BH,CC,STN -j 4     # several workloads in parallel
+//	gtscsim -workload all -j 0           # every workload, GOMAXPROCS workers
 //	gtscsim -list
 //	gtscsim -workload BFS -protocol tc -check
+//	gtscsim -workload CC -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Protocols: gtsc (the paper's contribution), tc (Temporal Coherence;
 // TC-Weak under rc, TC-Strong under sc), bl (no L1 — the paper's
@@ -19,6 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
 
 	"github.com/gtsc-sim/gtsc/internal/check"
 	"github.com/gtsc-sim/gtsc/internal/diag"
@@ -26,12 +33,13 @@ import (
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 	"github.com/gtsc-sim/gtsc/internal/memsys"
 	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/stats"
 	"github.com/gtsc-sim/gtsc/internal/workload"
 )
 
 func main() {
 	var (
-		name     = flag.String("workload", "CC", "workload name (see -list)")
+		name     = flag.String("workload", "CC", "workload name, comma-separated list, or \"all\" (see -list)")
 		proto    = flag.String("protocol", "gtsc", "coherence protocol: gtsc, tc, bl, l1nc, dir")
 		cons     = flag.String("consistency", "rc", "memory consistency model: rc, sc, tso")
 		scale    = flag.Int("scale", 1, "workload scale factor")
@@ -43,11 +51,15 @@ func main() {
 		sched    = flag.String("scheduler", "lrr", "warp scheduler: lrr, gto")
 		doCheck  = flag.Bool("check", false, "verify protocol invariants with the operation checker")
 		list     = flag.Bool("list", false, "list workloads and exit")
+		jobs     = flag.Int("j", 1, "workers for multi-workload runs (0 = GOMAXPROCS); each run is hermetic, so output is identical at any -j")
 
 		maxCycles = flag.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = default 200M)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
 		wdOff     = flag.Bool("watchdog-off", false, "disable the forward-progress watchdog (MaxCycles still applies)")
 		faultSeed = flag.Int64("faultseed", 0, "enable the chaos fault-injection plan with this seed (0 = off)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation(s) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation(s) to this file")
 	)
 	flag.Parse()
 
@@ -71,12 +83,21 @@ func main() {
 		return
 	}
 
-	wl, ok := workload.ByName(*name)
-	if !ok {
-		wl, ok = workload.MicroByName(*name)
-	}
-	if !ok {
-		fatalf("unknown workload %q; try -list", *name)
+	var wls []*workload.Workload
+	if *name == "all" {
+		wls = workload.All()
+	} else {
+		for _, n := range strings.Split(*name, ",") {
+			n = strings.TrimSpace(n)
+			wl, ok := workload.ByName(n)
+			if !ok {
+				wl, ok = workload.MicroByName(n)
+			}
+			if !ok {
+				fatalf("unknown workload %q; try -list", n)
+			}
+			wls = append(wls, wl)
+		}
 	}
 
 	cfg := sim.DefaultConfig()
@@ -107,8 +128,10 @@ func main() {
 		cfg.Mem.Protocol = memsys.BL
 	case "l1nc":
 		cfg.Mem.Protocol = memsys.L1NC
-		if wl.NeedsCoherence {
-			fatalf("workload %s requires coherence and is not runnable under l1nc", wl.Name)
+		for _, wl := range wls {
+			if wl.NeedsCoherence {
+				fatalf("workload %s requires coherence and is not runnable under l1nc", wl.Name)
+			}
 		}
 	case "dir":
 		cfg.Mem.Protocol = memsys.DIR
@@ -134,55 +157,129 @@ func main() {
 		fmt.Printf("fault plan: %s\n", cfg.Mem.Fault)
 	}
 
-	var rec *check.Recorder
-	if *doCheck {
-		rec = check.NewRecorder()
-		cfg.Observer = rec
-	}
-
-	run, err := wl.Build(*scale).Run(cfg)
-	if err != nil {
-		// Structured failures carry a machine-state dump; print it so a
-		// wedged run is diagnosable from the terminal alone.
-		var de *diag.DeadlockError
-		var pe *diag.ProtocolError
-		switch {
-		case errors.As(err, &de):
-			fmt.Fprintln(os.Stderr, de.Dump.String())
-		case errors.As(err, &pe):
-			fmt.Fprintln(os.Stderr, pe.Dump.String())
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
 		}
-		fatalf("run failed: %v", err)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	fmt.Print(run)
 
-	if rec != nil {
-		loads, stores := check.Summary(rec.Ops())
-		fmt.Printf("checker: %d loads, %d stores observed\n", loads, stores)
-		var violations []check.Violation
-		switch cfg.Mem.Protocol {
-		case memsys.GTSC:
-			violations = check.CheckTimestampOrder(rec.Ops(), 10)
-		case memsys.BL, memsys.DIR:
-			violations = check.CheckPhysical(rec.Ops(), 10)
-		case memsys.TC:
-			if cfg.SM.Consistency == gpu.SC {
-				violations = check.CheckPhysical(rec.Ops(), 10)
-			} else {
-				fmt.Println("checker: TC-Weak permits bounded staleness; only functional verification applies")
+	// Run the workloads, fanning out across -j workers when several were
+	// requested. Each run builds a fresh simulator from a copy of cfg
+	// and — when checking — its own check.Recorder: observers record
+	// per-run operation streams and must never be shared between
+	// concurrently running simulations.
+	type result struct {
+		run *stats.Run
+		rec *check.Recorder
+		err error
+	}
+	results := make([]result, len(wls))
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(wls) {
+		workers = len(wls)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, wl := range wls {
+		wg.Add(1)
+		go func(i int, wl *workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runCfg := cfg
+			if *doCheck {
+				results[i].rec = check.NewRecorder()
+				runCfg.Observer = results[i].rec
 			}
-		default:
-			fmt.Println("checker: no ordering invariant applies to this configuration")
+			results[i].run, results[i].err = wl.Build(*scale).Run(runCfg)
+		}(i, wl)
+	}
+	wg.Wait()
+
+	failed := false
+	for i, wl := range wls {
+		res := results[i]
+		if len(wls) > 1 {
+			fmt.Printf("==== %s ====\n", wl.Name)
 		}
-		for _, v := range violations {
-			fmt.Println("VIOLATION:", v.Error())
+		if res.err != nil {
+			// Structured failures carry a machine-state dump; print it so a
+			// wedged run is diagnosable from the terminal alone.
+			var de *diag.DeadlockError
+			var pe *diag.ProtocolError
+			switch {
+			case errors.As(res.err, &de):
+				fmt.Fprintln(os.Stderr, de.Dump.String())
+			case errors.As(res.err, &pe):
+				fmt.Fprintln(os.Stderr, pe.Dump.String())
+			}
+			fmt.Fprintf(os.Stderr, "gtscsim: %s failed: %v\n", wl.Name, res.err)
+			failed = true
+			continue
 		}
-		if len(violations) == 0 {
-			fmt.Println("checker: no ordering violations")
-		} else {
-			os.Exit(1)
+		fmt.Print(res.run)
+		if res.rec != nil && !reportChecker(cfg, res.rec) {
+			failed = true
 		}
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+	}
+
+	if failed {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(1)
+	}
+}
+
+// reportChecker prints the invariant-checker verdict for one run and
+// reports whether it passed.
+func reportChecker(cfg sim.Config, rec *check.Recorder) bool {
+	loads, stores := check.Summary(rec.Ops())
+	fmt.Printf("checker: %d loads, %d stores observed\n", loads, stores)
+	var violations []check.Violation
+	switch cfg.Mem.Protocol {
+	case memsys.GTSC:
+		violations = check.CheckTimestampOrder(rec.Ops(), 10)
+	case memsys.BL, memsys.DIR:
+		violations = check.CheckPhysical(rec.Ops(), 10)
+	case memsys.TC:
+		if cfg.SM.Consistency == gpu.SC {
+			violations = check.CheckPhysical(rec.Ops(), 10)
+		} else {
+			fmt.Println("checker: TC-Weak permits bounded staleness; only functional verification applies")
+		}
+	default:
+		fmt.Println("checker: no ordering invariant applies to this configuration")
+	}
+	for _, v := range violations {
+		fmt.Println("VIOLATION:", v.Error())
+	}
+	if len(violations) == 0 {
+		fmt.Println("checker: no ordering violations")
+		return true
+	}
+	return false
 }
 
 func fatalf(format string, args ...any) {

@@ -2,7 +2,7 @@ package dir
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
@@ -521,7 +521,7 @@ func (l *L2) Tick(now uint64) {
 			stalled = append(stalled, b)
 		}
 	}
-	sort.Slice(stalled, func(i, j int) bool { return stalled[i] < stalled[j] })
+	slices.Sort(stalled)
 	for _, b := range stalled {
 		if m, ok := l.miss[b]; ok && m.data != nil && l.busy[b] == nil {
 			l.tryInstall(m)

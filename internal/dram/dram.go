@@ -7,7 +7,6 @@
 package dram
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/gtsc-sim/gtsc/internal/diag"
@@ -60,6 +59,7 @@ type Partition struct {
 	store     *mem.Store
 	queue     []*mem.Msg
 	fills     fillHeap
+	seqCtr    uint64
 	nextIssue uint64
 	stats     stats.DRAMStats
 	banked    bankedState
@@ -165,7 +165,7 @@ func (p *Partition) serve(msg *mem.Msg, now, latency uint64) {
 			Data:  data,
 			ReqID: msg.ReqID,
 		}
-		heap.Push(&p.fills, fill2{at: now + latency, msg: fill})
+		p.fills.push(fill2{at: now + latency, seq: p.fillSeq(), msg: fill})
 	case mem.DRAMWr:
 		p.stats.Writes++
 		p.store.WriteBlock(msg.Block, msg.Data, msg.Mask)
@@ -180,26 +180,69 @@ func (p *Partition) serve(msg *mem.Msg, now, latency uint64) {
 // deliverDue hands completed fills to the L2.
 func (p *Partition) deliverDue(now uint64) {
 	for len(p.fills) > 0 && p.fills[0].at <= now {
-		f := heap.Pop(&p.fills).(fill2)
+		f := p.fills.pop()
 		p.Deliver(f.msg)
 	}
 }
 
+// fillSeq is the FIFO tiebreak for fills due the same cycle, keeping
+// delivery order deterministic and independent of heap layout.
+func (p *Partition) fillSeq() uint64 { p.seqCtr++; return p.seqCtr }
+
 type fill2 struct {
 	at  uint64
+	seq uint64
 	msg *mem.Msg
 }
 
+// fillHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// replaces container/heap to avoid interface boxing on the fill path;
+// (at, seq) is a total order, so pop order is fully deterministic.
 type fillHeap []fill2
 
-func (h fillHeap) Len() int           { return len(h) }
-func (h fillHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h fillHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *fillHeap) Push(x any)        { *h = append(*h, x.(fill2)) }
-func (h *fillHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h fillHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *fillHeap) push(f fill2) {
+	*h = append(*h, f)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *fillHeap) pop() fill2 {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = fill2{} // drop the msg reference for the GC
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(s) {
+			break
+		}
+		c := l
+		if r < len(s) && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }

@@ -29,6 +29,10 @@ func (s *Session) RunAblationVisibility() (*AblationVisibility, error) {
 		Option1:   map[string]uint64{},
 		Option2:   map[string]uint64{},
 	}
+	if err := s.prewarmGrid(workload.CoherenceSet(), vGTSCRC,
+		variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, oldCopy: true}); err != nil {
+		return nil, err
+	}
 	var ratios []float64
 	for _, wl := range workload.CoherenceSet() {
 		o1, err := s.run(wl, vGTSCRC)
@@ -87,6 +91,10 @@ func (s *Session) RunAblationCombining() (*AblationCombining, error) {
 		ForwardMsgs:  map[string]uint64{},
 		CombineFlits: map[string]uint64{},
 		ForwardFlits: map[string]uint64{},
+	}
+	if err := s.prewarmGrid(workload.CoherenceSet(), vGTSCRC,
+		variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, forwardAll: true}); err != nil {
+		return nil, err
 	}
 	var ratios []float64
 	for _, wl := range workload.CoherenceSet() {

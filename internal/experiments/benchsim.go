@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// BenchSim is the reproducible performance snapshot `make bench-sim`
+// emits as BENCH_sim.json, tracking the perf trajectory of the
+// simulator across PRs: the single-simulation cycle-loop cost and the
+// Fig-12 grid wall time serial vs parallel.
+type BenchSim struct {
+	// Host context: parallel speedup is bounded by available CPUs.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	Workers    int `json:"workers"`
+
+	// Single-simulation cycle-loop cost (BH under G-TSC/RC on the
+	// benchmark machine), averaged over Iterations runs.
+	SingleSim struct {
+		Workload      string  `json:"workload"`
+		Protocol      string  `json:"protocol"`
+		Iterations    int     `json:"iterations"`
+		SimCycles     uint64  `json:"sim_cycles_per_run"`
+		WallNsPerRun  int64   `json:"wall_ns_per_run"`
+		NsPerSimCycle float64 `json:"ns_per_sim_cycle"`
+		AllocsPerRun  uint64  `json:"allocs_per_run"`
+		BytesPerRun   uint64  `json:"bytes_per_run"`
+	} `json:"single_sim"`
+
+	// Fig-12 grid wall time: same grid, Workers=1 vs Workers=N, plus
+	// the bit-identity check between the two result sets.
+	Fig12Grid struct {
+		Simulations  int     `json:"simulations"`
+		SerialNs     int64   `json:"serial_wall_ns"`
+		ParallelNs   int64   `json:"parallel_wall_ns"`
+		Speedup      float64 `json:"speedup"`
+		BitIdentical bool    `json:"bit_identical"`
+	} `json:"fig12_grid"`
+}
+
+// RunBenchSim executes the benchmark harness: cfg sets the machine
+// (tests/CI use a small one), workers the parallel worker count.
+func RunBenchSim(cfg Config, workers int) (*BenchSim, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := &BenchSim{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+	}
+
+	// Single-sim cycle loop: BH under G-TSC/RC. One warmup run, then
+	// timed runs bracketed by runtime.ReadMemStats for allocation
+	// accounting (the runs are strictly sequential, so the deltas are
+	// attributable).
+	var wl *workload.Workload
+	for _, w := range workload.All() {
+		if w.Name == "BH" {
+			wl = w
+		}
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.Mem.Protocol = memsys.GTSC
+	simCfg.Mem.NumSMs = cfg.NumSMs
+	simCfg.Mem.NumBanks = cfg.NumBanks
+	warm, err := wl.Build(cfg.Scale).Run(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	const iters = 5
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := wl.Build(cfg.Scale).Run(simCfg); err != nil {
+			return nil, err
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	ss := &out.SingleSim
+	ss.Workload = wl.Name
+	ss.Protocol = "G-TSC/RC"
+	ss.Iterations = iters
+	ss.SimCycles = warm.Cycles
+	ss.WallNsPerRun = wall.Nanoseconds() / iters
+	ss.NsPerSimCycle = float64(ss.WallNsPerRun) / float64(warm.Cycles)
+	ss.AllocsPerRun = (ms1.Mallocs - ms0.Mallocs) / iters
+	ss.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / iters
+
+	// Fig-12 grid: serial then parallel, fresh sessions so neither
+	// benefits from the other's cache, then bit-identity.
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial := NewSession(serialCfg)
+	t0 = time.Now()
+	if _, err := serial.RunFig12(); err != nil {
+		return nil, err
+	}
+	serialNs := time.Since(t0).Nanoseconds()
+
+	parCfg := cfg
+	parCfg.Workers = workers
+	par := NewSession(parCfg)
+	t0 = time.Now()
+	if _, err := par.RunFig12(); err != nil {
+		return nil, err
+	}
+	parallelNs := time.Since(t0).Nanoseconds()
+
+	g := &out.Fig12Grid
+	g.Simulations = len(serial.CachedRuns())
+	g.SerialNs = serialNs
+	g.ParallelNs = parallelNs
+	g.Speedup = float64(serialNs) / float64(parallelNs)
+	g.BitIdentical = reflect.DeepEqual(serial.CachedRuns(), par.CachedRuns())
+	return out, nil
+}
+
+// WriteJSON writes the snapshot to path, indented for diffability.
+func (b *BenchSim) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

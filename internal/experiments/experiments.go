@@ -10,10 +10,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"github.com/gtsc-sim/gtsc/internal/gpu"
@@ -37,6 +41,12 @@ type Config struct {
 	TCLease uint64
 	// MaxCycles guards against non-convergence.
 	MaxCycles uint64
+	// Workers bounds how many simulations the session runs
+	// concurrently when a driver fans out its grid (0 = GOMAXPROCS,
+	// 1 = fully serial). Every simulation is hermetic — fresh
+	// simulator, store, RNG and observer per run — so the results are
+	// bit-identical for any worker count; only wall-clock time changes.
+	Workers int
 }
 
 // DefaultConfig returns the paper-scale machine at scale 2.
@@ -86,49 +96,180 @@ var (
 	vL1NC   = variant{proto: memsys.L1NC, cons: gpu.RC}
 )
 
-// Session runs and caches simulations for one Config.
+// Session runs and caches simulations for one Config. It is safe for
+// concurrent use: the result cache is single-flight per cache key, so
+// a variant requested by several figures (or several workers) at once
+// is simulated exactly once and every caller shares the result.
 type Session struct {
-	Cfg   Config
-	cache map[string]*stats.Run
+	Cfg Config
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+
+	// executed counts simulations that actually ran (cache misses) —
+	// the observable the cache tests pin down.
+	executed atomic.Uint64
+}
+
+// cacheEntry is one single-flight cache slot: the first requester of a
+// key owns it and runs the simulation; later requesters block on done.
+type cacheEntry struct {
+	done chan struct{}
+	run  *stats.Run
+	err  error
 }
 
 // NewSession builds a session.
 func NewSession(cfg Config) *Session {
 	cfg.fillDefaults()
-	return &Session{Cfg: cfg, cache: make(map[string]*stats.Run)}
+	return &Session{Cfg: cfg, cache: make(map[string]*cacheEntry)}
 }
 
 func (s *Session) key(wl string, v variant) string {
 	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%t", wl, v.proto, v.cons, v.lease, v.forwardAll, v.oldCopy, v.adaptive)
 }
 
-// Run simulates workload wl under variant v (cached).
-func (s *Session) run(wl *workload.Workload, v variant) (*stats.Run, error) {
-	k := s.key(wl.Name, v)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
+// do returns the cached result for key, or runs exec exactly once to
+// produce it. Concurrent callers of the same key block until the
+// owning call completes (single flight); errors are cached too, so a
+// failing variant is not retried by every figure that shares it.
+func (s *Session) do(key string, exec func() (*stats.Run, error)) (*stats.Run, error) {
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.run, e.err
 	}
-	cfg := sim.DefaultConfig()
-	cfg.Mem.Protocol = v.proto
-	cfg.Mem.NumSMs = s.Cfg.NumSMs
-	cfg.Mem.NumBanks = s.Cfg.NumBanks
-	cfg.SM.Consistency = v.cons
-	cfg.MaxCycles = s.Cfg.MaxCycles
-	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
-	cfg.Mem.TC.Lease = s.Cfg.TCLease
-	if v.lease != 0 {
-		cfg.Mem.GTSC.Lease = v.lease
-	}
-	cfg.Mem.GTSC.ForwardAll = v.forwardAll
-	cfg.Mem.GTSC.KeepOldCopy = v.oldCopy
-	cfg.Mem.GTSC.AdaptiveLease = v.adaptive
+	e := &cacheEntry{done: make(chan struct{})}
+	s.cache[key] = e
+	s.mu.Unlock()
+	e.run, e.err = exec()
+	s.executed.Add(1)
+	close(e.done)
+	return e.run, e.err
+}
 
-	run, err := wl.Build(s.Cfg.Scale).Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s/%s: %w", wl.Name, v.proto, v.cons, err)
+// Executed reports how many simulations the session has actually run
+// (cache hits excluded).
+func (s *Session) Executed() uint64 { return s.executed.Load() }
+
+// CachedRuns snapshots every completed, successful simulation keyed by
+// cache key. Used by the determinism tests to compare sessions.
+func (s *Session) CachedRuns() map[string]*stats.Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*stats.Run, len(s.cache))
+	for k, e := range s.cache {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				out[k] = e.run
+			}
+		default: // still in flight
+		}
 	}
-	s.cache[k] = run
-	return run, nil
+	return out
+}
+
+// workers resolves the session's effective worker count.
+func (s *Session) workers() int {
+	if s.Cfg.Workers > 0 {
+		return s.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallel fans jobs out across the session's worker pool and waits
+// for them all. The first error cancels the remaining (not yet
+// started) jobs and is returned. With Workers=1 the jobs run inline in
+// order. Jobs route results through do(), so this is only ever a
+// prewarm: drivers re-read the cache serially afterwards, which makes
+// result assembly independent of completion order.
+func (s *Session) parallel(jobs []func() error) error {
+	workers := s.workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, job := range jobs {
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	defer cancel(nil)
+	feed := make(chan func() error)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range feed {
+				if ctx.Err() != nil {
+					continue // drain without running: a job failed
+				}
+				if err := job(); err != nil {
+					cancel(err)
+				}
+			}
+		}()
+	}
+	for _, job := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		feed <- job
+	}
+	close(feed)
+	wg.Wait()
+	return context.Cause(ctx)
+}
+
+// gridJobs builds one prewarm job per (workload, variant) pair.
+func (s *Session) gridJobs(wls []*workload.Workload, vs ...variant) []func() error {
+	jobs := make([]func() error, 0, len(wls)*len(vs))
+	for _, wl := range wls {
+		for _, v := range vs {
+			wl, v := wl, v
+			jobs = append(jobs, func() error { _, err := s.run(wl, v); return err })
+		}
+	}
+	return jobs
+}
+
+// prewarmGrid simulates every (workload, variant) pair across the
+// worker pool so the driver's serial assembly loop below it only takes
+// cache hits.
+func (s *Session) prewarmGrid(wls []*workload.Workload, vs ...variant) error {
+	return s.parallel(s.gridJobs(wls, vs...))
+}
+
+// run simulates workload wl under variant v (cached, single-flight).
+func (s *Session) run(wl *workload.Workload, v variant) (*stats.Run, error) {
+	return s.do(s.key(wl.Name, v), func() (*stats.Run, error) {
+		cfg := sim.DefaultConfig()
+		cfg.Mem.Protocol = v.proto
+		cfg.Mem.NumSMs = s.Cfg.NumSMs
+		cfg.Mem.NumBanks = s.Cfg.NumBanks
+		cfg.SM.Consistency = v.cons
+		cfg.MaxCycles = s.Cfg.MaxCycles
+		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.TC.Lease = s.Cfg.TCLease
+		if v.lease != 0 {
+			cfg.Mem.GTSC.Lease = v.lease
+		}
+		cfg.Mem.GTSC.ForwardAll = v.forwardAll
+		cfg.Mem.GTSC.KeepOldCopy = v.oldCopy
+		cfg.Mem.GTSC.AdaptiveLease = v.adaptive
+
+		run, err := wl.Build(s.Cfg.Scale).Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s/%s: %w", wl.Name, v.proto, v.cons, err)
+		}
+		return run, nil
+	})
 }
 
 // geomean returns the geometric mean of xs (1.0 for empty input).

@@ -47,6 +47,10 @@ func (s *Session) RunAblationLease() (*AblationLease, error) {
 		FixedCycles:      map[string]uint64{},
 		AdaptiveCycles:   map[string]uint64{},
 	}
+	if err := s.prewarmGrid(workload.CoherenceSet(), vGTSCRC,
+		variant{proto: memsys.GTSC, cons: gpu.RC, adaptive: true}); err != nil {
+		return nil, err
+	}
 	var ratios []float64
 	for _, wl := range workload.CoherenceSet() {
 		fixed, err := s.run(wl, vGTSCRC)
@@ -105,6 +109,10 @@ func (s *Session) RunConsistencySpectrum() (*ConsistencySpectrum, error) {
 	out := &ConsistencySpectrum{
 		Workloads: names(workload.CoherenceSet()),
 		Norm:      map[string]map[string]float64{},
+	}
+	if err := s.prewarmGrid(workload.CoherenceSet(), vGTSCSC, vGTSCRC,
+		variant{proto: memsys.GTSC, cons: gpu.TSO}); err != nil {
+		return nil, err
 	}
 	var tso, rc []float64
 	for _, wl := range workload.CoherenceSet() {
@@ -173,6 +181,18 @@ func (s *Session) RunScalability() (*Scalability, error) {
 		GTSCFlits: map[int]uint64{},
 		TCFlits:   map[int]uint64{},
 	}
+	var jobs []func() error
+	for _, sms := range out.SMCounts {
+		for _, wl := range workload.CoherenceSet() {
+			sms, wl := sms, wl
+			jobs = append(jobs,
+				func() error { _, err := s.runAt(wl, vGTSCRC, sms); return err },
+				func() error { _, err := s.runAt(wl, vTCRC, sms); return err })
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
 	for _, sms := range out.SMCounts {
 		var ratios []float64
 		var gFlits, tFlits uint64
@@ -200,25 +220,22 @@ func (s *Session) RunScalability() (*Scalability, error) {
 // SMs/2, min 2), growing the workload with the machine so every size
 // is fully occupied. Cached separately from the session's main machine.
 func (s *Session) runAt(wl *workload.Workload, v variant, sms int) (*stats.Run, error) {
-	k := fmt.Sprintf("%s@%d", s.key(wl.Name, v), sms)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Mem.Protocol = v.proto
-	cfg.Mem.NumSMs = sms
-	cfg.Mem.NumBanks = maxi(sms/2, 2)
-	cfg.SM.Consistency = v.cons
-	cfg.MaxCycles = s.Cfg.MaxCycles
-	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
-	cfg.Mem.TC.Lease = s.Cfg.TCLease
-	scale := maxi(s.Cfg.Scale, sms/8)
-	run, err := wl.Build(scale).Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s at %d SMs: %w", wl.Name, sms, err)
-	}
-	s.cache[k] = run
-	return run, nil
+	return s.do(fmt.Sprintf("%s@%d", s.key(wl.Name, v), sms), func() (*stats.Run, error) {
+		cfg := sim.DefaultConfig()
+		cfg.Mem.Protocol = v.proto
+		cfg.Mem.NumSMs = sms
+		cfg.Mem.NumBanks = maxi(sms/2, 2)
+		cfg.SM.Consistency = v.cons
+		cfg.MaxCycles = s.Cfg.MaxCycles
+		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.TC.Lease = s.Cfg.TCLease
+		scale := maxi(s.Cfg.Scale, sms/8)
+		run, err := wl.Build(scale).Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s at %d SMs: %w", wl.Name, sms, err)
+		}
+		return run, nil
+	})
 }
 
 // Print renders the sweep.
@@ -256,6 +273,16 @@ func (s *Session) RunMicroTable() (*MicroTable, error) {
 		SelfInval: map[string]uint64{},
 		Atomics:   map[string]uint64{},
 	}
+	var jobs []func() error
+	for _, m := range workload.Micro() {
+		for _, v := range []variant{vGTSCRC, vTCRC, vBL} {
+			m, v := m, v
+			jobs = append(jobs, func() error { _, err := s.runMicro(m, v); return err })
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
 	for _, m := range workload.Micro() {
 		out.Micros = append(out.Micros, m.Name)
 		row := map[string]uint64{}
@@ -281,22 +308,19 @@ func (s *Session) RunMicroTable() (*MicroTable, error) {
 }
 
 func (s *Session) runMicro(m *workload.Workload, v variant) (*stats.Run, error) {
-	k := "micro/" + s.key(m.Name, v)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Mem.Protocol = v.proto
-	cfg.Mem.NumSMs = s.Cfg.NumSMs
-	cfg.Mem.NumBanks = s.Cfg.NumBanks
-	cfg.SM.Consistency = v.cons
-	cfg.MaxCycles = s.Cfg.MaxCycles
-	run, err := m.Build(s.Cfg.Scale).Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("micro %s: %w", m.Name, err)
-	}
-	s.cache[k] = run
-	return run, nil
+	return s.do("micro/"+s.key(m.Name, v), func() (*stats.Run, error) {
+		cfg := sim.DefaultConfig()
+		cfg.Mem.Protocol = v.proto
+		cfg.Mem.NumSMs = s.Cfg.NumSMs
+		cfg.Mem.NumBanks = s.Cfg.NumBanks
+		cfg.SM.Consistency = v.cons
+		cfg.MaxCycles = s.Cfg.MaxCycles
+		run, err := m.Build(s.Cfg.Scale).Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("micro %s: %w", m.Name, err)
+		}
+		return run, nil
+	})
 }
 
 // Print renders the characterization.
@@ -342,6 +366,20 @@ func (s *Session) RunPlatform() (*Platform, error) {
 		Speedup: map[string]float64{},
 		Cycles:  map[string]uint64{},
 	}
+	var jobs []func() error
+	for _, pc := range out.Configs {
+		mesh := pc == "mesh+flat" || pc == "mesh+banked"
+		banked := pc == "xbar+banked" || pc == "mesh+banked"
+		for _, wl := range workload.CoherenceSet() {
+			wl, mesh, banked := wl, mesh, banked
+			jobs = append(jobs,
+				func() error { _, err := s.runPlatform(wl, vGTSCRC, mesh, banked); return err },
+				func() error { _, err := s.runPlatform(wl, vTCRC, mesh, banked); return err })
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
 	for _, pc := range out.Configs {
 		mesh := pc == "mesh+flat" || pc == "mesh+banked"
 		banked := pc == "xbar+banked" || pc == "mesh+banked"
@@ -366,30 +404,27 @@ func (s *Session) RunPlatform() (*Platform, error) {
 }
 
 func (s *Session) runPlatform(wl *workload.Workload, v variant, mesh, banked bool) (*stats.Run, error) {
-	k := fmt.Sprintf("%s/plat/%t/%t", s.key(wl.Name, v), mesh, banked)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Mem.Protocol = v.proto
-	cfg.Mem.NumSMs = s.Cfg.NumSMs
-	cfg.Mem.NumBanks = s.Cfg.NumBanks
-	cfg.SM.Consistency = v.cons
-	cfg.MaxCycles = s.Cfg.MaxCycles
-	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
-	cfg.Mem.TC.Lease = s.Cfg.TCLease
-	if mesh {
-		cfg.Mem.NoC = noc.DefaultMeshConfig()
-	}
-	if banked {
-		cfg.Mem.DRAM = dram.DefaultBankedConfig()
-	}
-	run, err := wl.Build(s.Cfg.Scale).Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s on %t/%t: %w", wl.Name, mesh, banked, err)
-	}
-	s.cache[k] = run
-	return run, nil
+	return s.do(fmt.Sprintf("%s/plat/%t/%t", s.key(wl.Name, v), mesh, banked), func() (*stats.Run, error) {
+		cfg := sim.DefaultConfig()
+		cfg.Mem.Protocol = v.proto
+		cfg.Mem.NumSMs = s.Cfg.NumSMs
+		cfg.Mem.NumBanks = s.Cfg.NumBanks
+		cfg.SM.Consistency = v.cons
+		cfg.MaxCycles = s.Cfg.MaxCycles
+		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.TC.Lease = s.Cfg.TCLease
+		if mesh {
+			cfg.Mem.NoC = noc.DefaultMeshConfig()
+		}
+		if banked {
+			cfg.Mem.DRAM = dram.DefaultBankedConfig()
+		}
+		run, err := wl.Build(s.Cfg.Scale).Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %t/%t: %w", wl.Name, mesh, banked, err)
+		}
+		return run, nil
+	})
 }
 
 // Print renders the sweep.
@@ -426,6 +461,18 @@ func (s *Session) RunCacheSweep() (*CacheSweep, error) {
 		{"64KB/64mshr", 128, 64},
 	}
 	out := &CacheSweep{Speedup: map[string]float64{}, HitRate: map[string]float64{}}
+	var jobs []func() error
+	for _, pt := range points {
+		for _, wl := range workload.CoherenceSet() {
+			pt, wl := pt, wl
+			jobs = append(jobs,
+				func() error { _, err := s.runCache(wl, vGTSCRC, pt.sets, pt.mshrs); return err },
+				func() error { _, err := s.runCache(wl, vTCRC, pt.sets, pt.mshrs); return err })
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
 	for _, pt := range points {
 		out.Points = append(out.Points, pt.name)
 		var ratios []float64
@@ -450,26 +497,23 @@ func (s *Session) RunCacheSweep() (*CacheSweep, error) {
 }
 
 func (s *Session) runCache(wl *workload.Workload, v variant, sets, mshrs int) (*stats.Run, error) {
-	k := fmt.Sprintf("%s/cache/%d/%d", s.key(wl.Name, v), sets, mshrs)
-	if r, ok := s.cache[k]; ok {
-		return r, nil
-	}
-	cfg := sim.DefaultConfig()
-	cfg.Mem.Protocol = v.proto
-	cfg.Mem.NumSMs = s.Cfg.NumSMs
-	cfg.Mem.NumBanks = s.Cfg.NumBanks
-	cfg.Mem.L1Sets = sets
-	cfg.Mem.L1MSHRs = mshrs
-	cfg.SM.Consistency = v.cons
-	cfg.MaxCycles = s.Cfg.MaxCycles
-	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
-	cfg.Mem.TC.Lease = s.Cfg.TCLease
-	run, err := wl.Build(s.Cfg.Scale).Run(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s at %d sets: %w", wl.Name, sets, err)
-	}
-	s.cache[k] = run
-	return run, nil
+	return s.do(fmt.Sprintf("%s/cache/%d/%d", s.key(wl.Name, v), sets, mshrs), func() (*stats.Run, error) {
+		cfg := sim.DefaultConfig()
+		cfg.Mem.Protocol = v.proto
+		cfg.Mem.NumSMs = s.Cfg.NumSMs
+		cfg.Mem.NumBanks = s.Cfg.NumBanks
+		cfg.Mem.L1Sets = sets
+		cfg.Mem.L1MSHRs = mshrs
+		cfg.SM.Consistency = v.cons
+		cfg.MaxCycles = s.Cfg.MaxCycles
+		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.TC.Lease = s.Cfg.TCLease
+		run, err := wl.Build(s.Cfg.Scale).Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s at %d sets: %w", wl.Name, sets, err)
+		}
+		return run, nil
+	})
 }
 
 // Print renders the sweep.
@@ -524,6 +568,20 @@ func (s *Session) RunDirectoryCompare() (*DirectoryCompare, error) {
 		Recalls:       map[string]uint64{},
 		Writebacks:    map[string]uint64{},
 	}
+	vDIR := variant{proto: memsys.DIR, cons: gpu.RC}
+	smCounts := []int{4, 8, 16, 32}
+	jobs := s.gridJobs(workload.CoherenceSet(), vDIR, vGTSCRC)
+	for _, sms := range smCounts {
+		for _, wl := range workload.CoherenceSet() {
+			sms, wl := sms, wl
+			jobs = append(jobs,
+				func() error { _, err := s.runAt(wl, vDIR, sms); return err },
+				func() error { _, err := s.runAt(wl, vGTSCRC, sms); return err })
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
 	var ratios []float64
 	for _, wl := range workload.CoherenceSet() {
 		d, err := s.run(wl, variant{proto: memsys.DIR, cons: gpu.RC})
@@ -559,7 +617,7 @@ func (s *Session) RunDirectoryCompare() (*DirectoryCompare, error) {
 
 	// Scaling sweep: the paper's argument is that invalidation costs
 	// grow with the thread count; measure it.
-	out.SMCounts = []int{4, 8, 16, 32}
+	out.SMCounts = smCounts
 	out.SpeedupAt = map[int]float64{}
 	out.InvsAt = map[int]uint64{}
 	out.DirBitsAt = map[int]int{}

@@ -25,6 +25,9 @@ func (s *Session) RunTableII() (*TableII, error) {
 		BLCycles:  map[string]uint64{},
 		TCCycles:  map[string]uint64{},
 	}
+	if err := s.prewarmGrid(workload.All(), vBL, vTCRC); err != nil {
+		return nil, err
+	}
 	for _, wl := range workload.All() {
 		bl, err := s.run(wl, vBL)
 		if err != nil {
@@ -85,6 +88,11 @@ func (s *Session) RunFig12() (*Fig12, error) {
 		Coherent:    names(workload.CoherenceSet()),
 		NonCoherent: names(workload.NonCoherenceSet()),
 		Norm:        map[string]map[string]float64{},
+	}
+	jobs := s.gridJobs(workload.All(), vBL, vGTSCRC, vGTSCSC, vTCRC, vTCSC)
+	jobs = append(jobs, s.gridJobs(workload.NonCoherenceSet(), vL1NC)...)
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
 	}
 	var rcOverTCRC, scOverTCRC, rcOverTCSC, rcOverSC, overhead []float64
 	for _, wl := range workload.All() {
@@ -178,6 +186,9 @@ func (s *Session) RunFig13() (*Fig13, error) {
 		NonCoherent: names(workload.NonCoherenceSet()),
 		Norm:        map[string]map[string]float64{},
 	}
+	if err := s.prewarmGrid(workload.All(), vBL, vGTSCRC, vGTSCSC, vTCRC, vTCSC); err != nil {
+		return nil, err
+	}
 	var set1, set2 []float64
 	for _, wl := range workload.All() {
 		bl, err := s.run(wl, vBL)
@@ -256,6 +267,14 @@ func (s *Session) RunFig14() (*Fig14, error) {
 		Workloads: names(workload.CoherenceSet()),
 		Norm:      map[string]map[uint64]float64{},
 	}
+	leaseVariants := make([]variant, 0, len(out.Leases)+1)
+	leaseVariants = append(leaseVariants, variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, lease: 10})
+	for _, lease := range out.Leases {
+		leaseVariants = append(leaseVariants, variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, lease: lease})
+	}
+	if err := s.prewarmGrid(workload.CoherenceSet(), leaseVariants...); err != nil {
+		return nil, err
+	}
 	for _, wl := range workload.CoherenceSet() {
 		base, err := s.run(wl, variant{proto: vGTSCRC.proto, cons: vGTSCRC.cons, lease: 10})
 		if err != nil {
@@ -316,6 +335,9 @@ func (s *Session) RunFig15() (*Fig15, error) {
 		Coherent:    names(workload.CoherenceSet()),
 		NonCoherent: names(workload.NonCoherenceSet()),
 		Norm:        map[string]map[string]float64{},
+	}
+	if err := s.prewarmGrid(workload.All(), vBL, vGTSCRC, vGTSCSC, vTCRC, vTCSC); err != nil {
+		return nil, err
 	}
 	var redRC, redSC []float64
 	for _, wl := range workload.All() {
@@ -391,6 +413,9 @@ func (s *Session) RunFig16() (*Fig16, error) {
 		NonCoherent: names(workload.NonCoherenceSet()),
 		Norm:        map[string]map[string]float64{},
 	}
+	if err := s.prewarmGrid(workload.All(), vBL, vGTSCRC, vGTSCSC, vTCRC, vTCSC); err != nil {
+		return nil, err
+	}
 	var vsTC, vsBL []float64
 	for _, wl := range workload.All() {
 		bl, err := s.run(wl, vBL)
@@ -464,6 +489,9 @@ func (s *Session) RunFig17() (*Fig17, error) {
 		NonCoherent: names(workload.NonCoherenceSet()),
 		Joules:      map[string]map[string]float64{},
 	}
+	if err := s.prewarmGrid(workload.All(), vGTSCRC, vGTSCSC, vTCRC, vTCSC); err != nil {
+		return nil, err
+	}
 	var gtscSum, tcSum float64
 	for _, wl := range workload.All() {
 		row := map[string]float64{}
@@ -532,6 +560,9 @@ func (s *Session) RunExpiryMiss() (*ExpiryMiss, error) {
 		GTSCExpired: map[string]uint64{},
 		GTSCRefetch: map[string]uint64{},
 		TC:          map[string]uint64{},
+	}
+	if err := s.prewarmGrid(workload.CoherenceSet(), vGTSCRC, vTCRC); err != nil {
+		return nil, err
 	}
 	var ratios []float64
 	for _, wl := range workload.CoherenceSet() {

@@ -91,7 +91,7 @@ func runSM(t *testing.T, cfg SMConfig, k *Kernel, l1 *fakeL1, autorelease bool, 
 }
 
 func TestCoalescerMergesBlocks(t *testing.T) {
-	w := &Warp{pendingRegs: map[int]int{}}
+	w := &Warp{}
 	for lane := 0; lane < WarpWidth; lane++ {
 		w.Threads[lane] = &Thread{Lane: lane, GTID: lane, Regs: make([]uint32, 4)}
 	}
@@ -461,7 +461,7 @@ func TestGTOStickiness(t *testing.T) {
 // TestAtomicCoalescingPrefix: three lanes adding to the same word are
 // warp-aggregated, and each lane reconstructs its serial old value.
 func TestAtomicCoalescingPrefix(t *testing.T) {
-	w := &Warp{pendingRegs: map[int]int{}}
+	w := &Warp{}
 	for lane := 0; lane < WarpWidth; lane++ {
 		w.Threads[lane] = &Thread{Lane: lane, GTID: lane, Regs: make([]uint32, 4)}
 	}

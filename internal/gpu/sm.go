@@ -119,7 +119,8 @@ type SM struct {
 
 	ldst       []*memJob
 	rr         int
-	lastIssued *Warp // GTO greediness
+	lastIssued *Warp   // GTO greediness
+	scanBuf    []*Warp // reusable scheduler scan order (hot path)
 
 	stats stats.SMStats
 }
@@ -214,6 +215,11 @@ func (s *SM) DumpState() diag.SMState {
 func (s *SM) Tick(now uint64) {
 	s.now = now
 	s.stats.Cycles++
+	if s.liveWarps == 0 && len(s.ldst) == 0 {
+		// Provably idle: no resident work and nothing streaming through
+		// the LDST unit. pumpLDST and issue would both no-op; skip them.
+		return
+	}
 	s.pumpLDST()
 	s.issue()
 }
@@ -248,8 +254,10 @@ func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.Acc
 	if instr.Op == OpAtomic {
 		req.Atomic = true
 		req.Atom = instr.Atom
-		data := acc.data
-		req.Data = &data
+		// acc.data is never written after coalesce and the controllers
+		// only read request payloads, so the access aliases it directly
+		// instead of copying the 128-byte block per dispatch.
+		req.Data = &acc.data
 		dst := instr.Dst
 		lanes := acc.lanes
 		kind := instr.Atom
@@ -262,7 +270,7 @@ func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.Acc
 				w.Threads[lt.lane].Regs[dst] = old
 			}
 			w.pendingAcc--
-			w.pendingRegs[dst]--
+			w.addPendingReg(dst, -1)
 			if c.GWCT > w.gwct {
 				w.gwct = c.GWCT
 			}
@@ -270,8 +278,7 @@ func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.Acc
 		return s.l1.Access(req)
 	}
 	if instr.Op == OpStore {
-		data := acc.data
-		req.Data = &data
+		req.Data = &acc.data
 		req.Done = func(c coherence.Completion) {
 			w.pendingStores--
 			if c.GWCT > w.gwct {
@@ -286,7 +293,7 @@ func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.Acc
 				w.Threads[lt.lane].Regs[dst] = c.Data.Words[lt.word]
 			}
 			w.pendingAcc--
-			w.pendingRegs[dst]--
+			w.addPendingReg(dst, -1)
 		}
 	}
 	return s.l1.Access(req)
@@ -354,13 +361,14 @@ func (s *SM) issue() {
 // scanOrder yields warps in scheduler priority order. LRR starts
 // after the last issuer; GTO tries the last issuer first and then the
 // oldest resident warps (resident order approximates age: CTAs are
-// appended at launch).
+// appended at launch). The returned slice aliases a per-SM scratch
+// buffer reused every cycle — valid only until the next call.
 func (s *SM) scanOrder() []*Warp {
 	n := len(s.warps)
 	if n == 0 {
 		return nil
 	}
-	out := make([]*Warp, 0, n)
+	out := s.scanBuf[:0]
 	if s.cfg.Scheduler == GTO {
 		if s.lastIssued != nil && !s.lastIssued.finished {
 			out = append(out, s.lastIssued)
@@ -370,11 +378,13 @@ func (s *SM) scanOrder() []*Warp {
 				out = append(out, w)
 			}
 		}
+		s.scanBuf = out
 		return out
 	}
 	for i := 0; i < n; i++ {
 		out = append(out, s.warps[(s.rr+i)%n])
 	}
+	s.scanBuf = out
 	return out
 }
 
@@ -419,7 +429,7 @@ func (s *SM) tryIssue(w *Warp) (bool, blockReason) {
 		if !w.RegsReady(instr.SrcRegs...) {
 			return false, blockedMem
 		}
-		if (instr.Op == OpLoad || instr.Op == OpAtomic) && w.pendingRegs[instr.Dst] > 0 {
+		if (instr.Op == OpLoad || instr.Op == OpAtomic) && w.pendingReg(instr.Dst) > 0 {
 			return false, blockedMem // WAW on the destination register
 		}
 	}
@@ -486,14 +496,14 @@ func (s *SM) issueMem(w *Warp, instr *Instr) (bool, blockReason) {
 	switch instr.Op {
 	case OpLoad:
 		w.pendingAcc += n
-		w.pendingRegs[instr.Dst] += n
+		w.addPendingReg(instr.Dst, n)
 		s.stats.LoadsIssued++
 	case OpAtomic:
 		// An atomic returns data (like a load) and writes (ordered
 		// like a store); it counts against the load tracking so SC,
 		// TSO and fences all wait for it.
 		w.pendingAcc += n
-		w.pendingRegs[instr.Dst] += n
+		w.addPendingReg(instr.Dst, n)
 		s.stats.AtomicsIssued++
 	default:
 		w.pendingStores += n
@@ -573,7 +583,7 @@ func (d *Dispatcher) next(s *SM) *CTA {
 	cta := &CTA{ID: id}
 	ctaSize := k.WarpsPerCTA * WarpWidth
 	for wi := 0; wi < k.WarpsPerCTA; wi++ {
-		w := &Warp{CTA: cta, InCTA: wi, pendingRegs: make(map[int]int)}
+		w := &Warp{CTA: cta, InCTA: wi, pendingRegs: make([]int, regs)}
 		for lane := 0; lane < WarpWidth; lane++ {
 			tid := wi*WarpWidth + lane
 			w.Threads[lane] = &Thread{

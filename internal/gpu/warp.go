@@ -16,10 +16,10 @@ type Warp struct {
 	busyUntil uint64 // OpComp completion time
 
 	// Memory tracking.
-	pendingAcc    int         // in-flight accesses of blocking ops (loads under SC/RC)
-	pendingStores int         // stores issued but not yet acknowledged
-	pendingRegs   map[int]int // register -> in-flight load count (RC scoreboard)
-	gwct          uint64      // max GWCT of this warp's stores (TC-Weak)
+	pendingAcc    int    // in-flight accesses of blocking ops (loads under SC/RC)
+	pendingStores int    // stores issued but not yet acknowledged
+	pendingRegs   []int  // per-register in-flight load count (RC scoreboard)
+	gwct          uint64 // max GWCT of this warp's stores (TC-Weak)
 
 	// dispatching marks a memory instruction currently streaming its
 	// coalesced accesses through the LDST unit.
@@ -34,11 +34,28 @@ func (w *Warp) Reg(lane, idx int) uint32 { return w.Threads[lane].Regs[idx] }
 // can be resolved yet.
 func (w *Warp) RegsReady(regs ...int) bool {
 	for _, r := range regs {
-		if w.pendingRegs[r] > 0 {
+		if w.pendingReg(r) > 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// pendingReg returns the in-flight load count targeting register r.
+func (w *Warp) pendingReg(r int) int {
+	if r < len(w.pendingRegs) {
+		return w.pendingRegs[r]
+	}
+	return 0
+}
+
+// addPendingReg adjusts the in-flight load count for register r,
+// growing the scoreboard on first use of a high register index.
+func (w *Warp) addPendingReg(r, delta int) {
+	for r >= len(w.pendingRegs) {
+		w.pendingRegs = append(w.pendingRegs, 0)
+	}
+	w.pendingRegs[r] += delta
 }
 
 // Finished reports whether the warp has retired.

@@ -8,7 +8,6 @@
 package noc
 
 import (
-	"container/heap"
 	"sort"
 
 	"github.com/gtsc-sim/gtsc/internal/diag"
@@ -44,13 +43,14 @@ func DefaultMeshConfig() Config {
 // ports. Delivery callbacks hand arrived messages to the receiving
 // controller.
 type Network struct {
-	cfg   Config
-	now   uint64
-	toL2  []*port // one per SM
-	toL1  []*port // one per L2 bank
-	wire  arrivalHeap
-	stats stats.NoCStats
-	mesh  meshState
+	cfg    Config
+	now    uint64
+	toL2   []*port // one per SM
+	toL1   []*port // one per L2 bank
+	wire   arrivalHeap
+	seqCtr uint64
+	stats  stats.NoCStats
+	mesh   meshState
 
 	// DeliverL2 receives messages addressed to bank Dst.
 	DeliverL2 func(bank int, msg *mem.Msg)
@@ -98,13 +98,13 @@ func (n *Network) Pending() int { return n.inFlight }
 func (n *Network) DumpState() diag.NoCState {
 	s := diag.NoCState{InFlight: n.inFlight, WireTotal: len(n.wire)}
 	for i, p := range n.toL2 {
-		if len(p.q) > 0 || p.busyUntil > n.now {
-			s.ToL2 = append(s.ToL2, diag.PortState{ID: i, Queue: len(p.q), BusyUntil: p.busyUntil})
+		if p.len() > 0 || p.busyUntil > n.now {
+			s.ToL2 = append(s.ToL2, diag.PortState{ID: i, Queue: p.len(), BusyUntil: p.busyUntil})
 		}
 	}
 	for i, p := range n.toL1 {
-		if len(p.q) > 0 || p.busyUntil > n.now {
-			s.ToL1 = append(s.ToL1, diag.PortState{ID: i, Queue: len(p.q), BusyUntil: p.busyUntil})
+		if p.len() > 0 || p.busyUntil > n.now {
+			s.ToL1 = append(s.ToL1, diag.PortState{ID: i, Queue: p.len(), BusyUntil: p.busyUntil})
 		}
 	}
 	wire := make([]arrival, len(n.wire))
@@ -157,7 +157,7 @@ func (n *Network) Tick(now uint64) {
 		n.drainPort(p, false, now)
 	}
 	for len(n.wire) > 0 && n.wire[0].at <= now {
-		a := heap.Pop(&n.wire).(arrival)
+		a := n.wire.pop()
 		n.inFlight--
 		if a.toL2 {
 			n.DeliverL2(a.msg.Dst, a.msg)
@@ -168,10 +168,10 @@ func (n *Network) Tick(now uint64) {
 }
 
 func (n *Network) drainPort(p *port, toL2 bool, now uint64) {
-	for len(p.q) > 0 && p.busyUntil <= now {
-		msg := p.q[0].msg
-		n.stats.QueueDelay += now - p.q[0].enq
-		p.q = p.q[1:]
+	for p.len() > 0 && p.busyUntil <= now {
+		head := p.pop()
+		msg := head.msg
+		n.stats.QueueDelay += now - head.enq
 		flits := uint64(msg.Flits())
 		p.busyUntil = now + flits
 		bytes := uint64(msg.WireBytes())
@@ -189,31 +189,50 @@ func (n *Network) drainPort(p *port, toL2 bool, now uint64) {
 			lat = n.meshLatency(msg, toL2)
 			lat += n.bisectionDelay(msg, toL2, now+flits)
 		}
-		heap.Push(&n.wire, arrival{at: now + flits + lat, seq: n.seq(), msg: msg, toL2: toL2})
+		n.wire.push(arrival{at: now + flits + lat, seq: n.seq(), msg: msg, toL2: toL2})
 	}
 }
 
-var seqCounter uint64
-
-func (n *Network) seq() uint64 { seqCounter++; return seqCounter }
+// seq is a per-network monotone counter used as the FIFO tiebreak for
+// same-cycle arrivals. It is a Network field (not a package global) so
+// that concurrently running simulations never share mutable state.
+func (n *Network) seq() uint64 { n.seqCtr++; return n.seqCtr }
 
 type queued struct {
 	msg *mem.Msg
 	enq uint64
 }
 
+// port is a bounded FIFO injection queue. Dequeue advances a head
+// index instead of reslicing so the backing array is reused once the
+// queue drains, keeping the per-message cost allocation-free in
+// steady state.
 type port struct {
 	q         []queued
+	head      int
 	cap       int
 	busyUntil uint64
 }
 
+func (p *port) len() int { return len(p.q) - p.head }
+
 func (p *port) push(m *mem.Msg, now uint64) bool {
-	if len(p.q) >= p.cap {
+	if p.len() >= p.cap {
 		return false
 	}
 	p.q = append(p.q, queued{msg: m, enq: now})
 	return true
+}
+
+func (p *port) pop() queued {
+	v := p.q[p.head]
+	p.q[p.head] = queued{} // drop the msg reference for the GC
+	p.head++
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+	}
+	return v
 }
 
 type arrival struct {
@@ -223,21 +242,55 @@ type arrival struct {
 	toL2 bool
 }
 
+// arrivalHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// It replaces container/heap to avoid the interface boxing that
+// allocated on every wire push/pop; (at, seq) is a total order (seq is
+// unique per network), so pop order is identical.
 type arrivalHeap []arrival
 
-func (h arrivalHeap) Len() int { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool {
+func (h arrivalHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h arrivalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(arrival)) }
-func (h *arrivalHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+func (h *arrivalHeap) push(a arrival) {
+	*h = append(*h, a)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *arrivalHeap) pop() arrival {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = arrival{} // drop the msg reference for the GC
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(s) {
+			break
+		}
+		c := l
+		if r < len(s) && s.less(r, l) {
+			c = r
+		}
+		if !s.less(c, i) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	return top
 }

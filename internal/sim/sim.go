@@ -37,6 +37,11 @@ type Config struct {
 
 	// Observer, when non-nil, receives every performed memory
 	// operation (used by the invariant checkers in internal/check).
+	// An observer belongs to exactly one run: it is called from the
+	// simulation goroutine without locking, so concurrent simulations
+	// (the experiment engine's worker pool, gtscsim -j) must each
+	// attach their own — e.g. one check.Recorder per run, never a
+	// shared instance.
 	Observer coherence.Observer
 }
 
@@ -115,7 +120,7 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 	lastSig := s.progressSig()
 	lastProgress := s.now
 	for {
-		if s.now-start > s.Cfg.MaxCycles {
+		if s.budgetExhausted(s.now - start) {
 			return nil, s.deadlock(kernel.Name, "run", "max-cycles", s.now-lastProgress)
 		}
 		s.now++
@@ -168,7 +173,7 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 	lastSig = s.progressSig()
 	lastProgress = s.now
 	for guard := uint64(0); s.Sys.Pending() != 0; guard++ {
-		if guard > s.Cfg.MaxCycles {
+		if s.budgetExhausted(guard) {
 			return nil, s.deadlock(kernel.Name, "drain", "max-cycles", s.now-lastProgress)
 		}
 		s.now++
@@ -186,6 +191,16 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 		}
 	}
 	return run, nil
+}
+
+// budgetExhausted reports whether a phase that has already executed
+// elapsed cycles has used up the MaxCycles budget. Both the run phase
+// and the drain phase route their checks through here, so the budget
+// semantics are identical by construction: each phase executes at most
+// MaxCycles cycles, and the check fires before the cycle that would
+// exceed the budget.
+func (s *Simulator) budgetExhausted(elapsed uint64) bool {
+	return elapsed >= s.Cfg.MaxCycles
 }
 
 // progressSig sums the machine's monotone activity counters; any

@@ -2,7 +2,7 @@ package tc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/gtsc-sim/gtsc/internal/cache"
 	"github.com/gtsc-sim/gtsc/internal/coherence"
@@ -47,9 +47,10 @@ type L2 struct {
 	outNoC   []*mem.Msg
 	outDRAM  []*mem.Msg
 
-	stats stats.L2Stats
-	obs   coherence.Observer
-	fail  *diag.ProtocolError
+	stats   stats.L2Stats
+	obs     coherence.Observer
+	fail    *diag.ProtocolError
+	scratch []mem.BlockAddr // reusable sorted-block buffer (hot path)
 }
 
 // Geometry describes one bank's organization.
@@ -311,11 +312,12 @@ func (l *L2) resumeBlocked() {
 	if len(l.blocked) == 0 {
 		return
 	}
-	blocks := make([]mem.BlockAddr, 0, len(l.blocked))
+	blocks := l.scratch[:0]
 	for block := range l.blocked {
 		blocks = append(blocks, block)
 	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	l.scratch = blocks
+	slices.Sort(blocks)
 	for _, block := range blocks {
 		q := l.blocked[block]
 		line := l.array.Lookup(block)
@@ -338,13 +340,14 @@ func (l *L2) retryInstalls() {
 	if len(l.miss) == 0 {
 		return
 	}
-	blocks := make([]mem.BlockAddr, 0, len(l.miss))
+	blocks := l.scratch[:0]
 	for block, m := range l.miss {
 		if m.data != nil {
 			blocks = append(blocks, block)
 		}
 	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	l.scratch = blocks
+	slices.Sort(blocks)
 	for _, block := range blocks {
 		if m, ok := l.miss[block]; ok && m.data != nil {
 			l.tryInstall(m)
