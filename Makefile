@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sim vet fmt cover evaluate examples clean check
+.PHONY: all build test bench bench-sim vet fmt cover evaluate examples clean check smoke
 
 all: build test
 
@@ -11,6 +11,11 @@ all: build test
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -run 'TestLitmusUnderFaults|TestWorkloadsUnderFaults' ./internal/sim ./internal/harness
+
+# Kill-and-resume smoke: interrupt real binaries with real signals,
+# resume from checkpoint/journal, and diff against uninterrupted runs.
+smoke:
+	bash scripts/kill_resume_smoke.sh
 
 build:
 	$(GO) build ./...

@@ -10,18 +10,41 @@
 //	gtscbench -exp lease       # an extension (lease, tso, scale, micro, platform, cache)
 //	gtscbench -scale 1 -sms 8  # smaller machine / inputs
 //	gtscbench -j 8             # fan simulations across 8 workers
+//	gtscbench -journal sweep.jrnl       # crash-safe: rerun with the same journal to resume
+//	gtscbench -timeout 10m              # bound wall-clock time (suspends gracefully)
+//	gtscbench -keep-going               # survive per-run failures; print partial figures
 //	gtscbench -benchsim BENCH_sim.json  # perf snapshot (see EXPERIMENTS.md)
+//
+// A sweep run with -journal survives kill -9: every completed
+// simulation is fsynced to the journal before its result is used, and
+// rerunning the same command replays the journal and re-executes only
+// the missing runs. SIGINT/SIGTERM suspend the sweep gracefully (exit
+// 3); a second signal aborts immediately (exit 130).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/experiments"
 )
 
-func main() {
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitInterrupted = 3
+	exitSecondSig   = 130
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment: all, table2, fig12..fig17, expiry, vis, combine, lease, tso, scale, micro, platform, cache")
 		scale    = flag.Int("scale", 2, "workload scale factor")
@@ -31,6 +54,12 @@ func main() {
 		tcl      = flag.Uint64("tc-lease", 400, "TC lease in cycles")
 		jobs     = flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any -j")
 		benchsim = flag.String("benchsim", "", "write a performance snapshot (wall time, ns/cycle, allocs) to this JSON file and exit")
+
+		journal   = flag.String("journal", "", "crash-safe run journal: completed simulations are persisted here and replayed on restart")
+		timeout   = flag.Duration("timeout", 0, "bound wall-clock time; on expiry the sweep suspends gracefully and exits 3")
+		keepGoing = flag.Bool("keep-going", false, "survive individual run failures: assemble partial figures plus a missing-runs manifest")
+		faultSeed = flag.Int64("faultseed", 0, "run every simulation under the chaos fault-injection plan with this seed (0 = off)")
+		retry     = flag.Int("retry", 0, "retries (with backoff and derived seeds) for transient fault-injected failures")
 	)
 	flag.Parse()
 
@@ -41,25 +70,68 @@ func main() {
 	cfg.GTSCLease = *lease
 	cfg.TCLease = *tcl
 	cfg.Workers = *jobs
+	cfg.FaultSeed = *faultSeed
+	cfg.RetryTransient = *retry
+	cfg.KeepGoing = *keepGoing
 
 	if *benchsim != "" {
 		b, err := experiments.RunBenchSim(cfg, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gtscbench:", err)
-			os.Exit(1)
+			return exitFailure
 		}
 		if err := b.WriteJSON(*benchsim); err != nil {
 			fmt.Fprintln(os.Stderr, "gtscbench:", err)
-			os.Exit(1)
+			return exitFailure
 		}
 		fmt.Printf("bench-sim: %s written (fig12 grid: %d sims, serial %.2fs, parallel %.2fs at %d workers, speedup %.2fx, bit-identical %v)\n",
 			*benchsim, b.Fig12Grid.Simulations,
 			float64(b.Fig12Grid.SerialNs)/1e9, float64(b.Fig12Grid.ParallelNs)/1e9,
 			b.Workers, b.Fig12Grid.Speedup, b.Fig12Grid.BitIdentical)
-		return
+		return exitOK
 	}
 
-	s := experiments.NewSession(cfg)
+	// First SIGINT/SIGTERM: cancel the session; in-flight simulations
+	// suspend at their next poll point, the journal already holds every
+	// completed run, and we exit 3. Second signal: abort hard, 130.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+	ctx, stop := context.WithCancelCause(ctx)
+	defer stop(nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "gtscbench: caught %v; finishing gracefully (send again to abort hard)\n", sig)
+		stop(fmt.Errorf("caught signal %v: %w", sig, context.Canceled))
+		<-sigc
+		os.Exit(exitSecondSig)
+	}()
+
+	s := experiments.NewSession(cfg).WithContext(ctx)
+	if *journal != "" {
+		replayed, err := s.AttachJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gtscbench:", err)
+			return exitFailure
+		}
+		defer func() {
+			if err := s.CloseJournal(); err != nil {
+				fmt.Fprintln(os.Stderr, "gtscbench: journal:", err)
+			}
+		}()
+		if s.JournalDroppedTail() {
+			fmt.Fprintf(os.Stderr, "gtscbench: journal %s had a torn final record (crash mid-append); dropped it\n", *journal)
+		}
+		if replayed > 0 {
+			fmt.Printf("journal: replayed %d completed run(s) from %s; only missing runs will execute\n", replayed, *journal)
+		}
+	}
 
 	var err error
 	if *exp == "all" {
@@ -68,7 +140,22 @@ func main() {
 		err = s.RunOne(*exp, os.Stdout)
 	}
 	if err != nil {
+		var ce *diag.CanceledError
+		if errors.As(err, &ce) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "gtscbench: interrupted: %v\n", err)
+			fmt.Fprintf(os.Stderr, "gtscbench: %d simulation(s) had completed", len(s.CachedRuns()))
+			if *journal != "" {
+				fmt.Fprintf(os.Stderr, " and are journaled; rerun with -journal %s to resume", *journal)
+			}
+			fmt.Fprintln(os.Stderr)
+			return exitInterrupted
+		}
 		fmt.Fprintln(os.Stderr, "gtscbench:", err)
-		os.Exit(1)
+		return exitFailure
 	}
+	if missing := s.Missing(); len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "gtscbench: completed with %d failed run(s); see the PARTIAL OUTPUT manifests above\n", len(missing))
+		return exitFailure
+	}
+	return exitOK
 }

@@ -10,24 +10,36 @@
 //	gtscsim -list
 //	gtscsim -workload BFS -protocol tc -check
 //	gtscsim -workload CC -cpuprofile cpu.pprof -memprofile mem.pprof
+//	gtscsim -workload CC -checkpoint CC.ckpt            # killable: ^C writes a checkpoint
+//	gtscsim -workload CC -checkpoint CC.ckpt -resume    # continue a killed run
+//	gtscsim -workload CC -timeout 30s                   # bound wall-clock time
 //
 // Protocols: gtsc (the paper's contribution), tc (Temporal Coherence;
 // TC-Weak under rc, TC-Strong under sc), bl (no L1 — the paper's
 // baseline), l1nc (non-coherent L1; only valid for the second
 // benchmark set).
+//
+// Exit status: 0 on success, 1 on failure, 3 when the run was
+// interrupted (signal or -timeout) and suspended gracefully, 130 when
+// a second signal forced an immediate abort.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"github.com/gtsc-sim/gtsc/internal/check"
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/fault"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
@@ -37,7 +49,19 @@ import (
 	"github.com/gtsc-sim/gtsc/internal/workload"
 )
 
-func main() {
+// Exit codes. A graceful interruption (signal or timeout) is
+// distinguishable from a failure, so wrappers and CI can tell "killed
+// mid-run, resumable" apart from "broken".
+const (
+	exitOK          = 0
+	exitFailure     = 1
+	exitInterrupted = 3
+	exitSecondSig   = 130
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
 		name     = flag.String("workload", "CC", "workload name, comma-separated list, or \"all\" (see -list)")
 		proto    = flag.String("protocol", "gtsc", "coherence protocol: gtsc, tc, bl, l1nc, dir")
@@ -57,6 +81,10 @@ func main() {
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
 		wdOff     = flag.Bool("watchdog-off", false, "disable the forward-progress watchdog (MaxCycles still applies)")
 		faultSeed = flag.Int64("faultseed", 0, "enable the chaos fault-injection plan with this seed (0 = off)")
+
+		timeout = flag.Duration("timeout", 0, "bound wall-clock time; on expiry the run suspends gracefully and exits 3")
+		ckpt    = flag.String("checkpoint", "", "checkpoint file: an interrupted run writes its resume coordinate here (single workload only)")
+		resume  = flag.Bool("resume", false, "resume from -checkpoint if it exists (verified deterministic replay)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulation(s) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the simulation(s) to this file")
@@ -80,7 +108,7 @@ func main() {
 			fmt.Printf("%s %-5s %s\n", coh, w.Name, w.Description)
 		}
 		fmt.Println("(* requires coherence; not runnable under -protocol l1nc)")
-		return
+		return exitOK
 	}
 
 	var wls []*workload.Workload
@@ -157,6 +185,29 @@ func main() {
 		fmt.Printf("fault plan: %s\n", cfg.Mem.Fault)
 	}
 
+	// Cancellation: -timeout bounds wall-clock time; the first
+	// SIGINT/SIGTERM suspends the run gracefully (stats flushed, the
+	// checkpoint written) and exits 3; a second signal aborts
+	// immediately with 130.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+	}
+	ctx, stop := context.WithCancelCause(ctx)
+	defer stop(nil)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "gtscsim: caught %v; suspending gracefully (send again to abort hard)\n", sig)
+		stop(fmt.Errorf("caught signal %v: %w", sig, context.Canceled))
+		<-sigc
+		os.Exit(exitSecondSig)
+	}()
+
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -167,6 +218,13 @@ func main() {
 			fatalf("cpuprofile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *ckpt != "" {
+		if len(wls) != 1 {
+			fatalf("-checkpoint tracks a single execution; run one workload (got %d)", len(wls))
+		}
+		return runCheckpointed(ctx, wls[0], cfg, *scale, *ckpt, *resume)
 	}
 
 	// Run the workloads, fanning out across -j workers when several were
@@ -200,12 +258,12 @@ func main() {
 				results[i].rec = check.NewRecorder()
 				runCfg.Observer = results[i].rec
 			}
-			results[i].run, results[i].err = wl.Build(*scale).Run(runCfg)
+			results[i].run, results[i].err = wl.Build(*scale).RunContext(ctx, runCfg)
 		}(i, wl)
 	}
 	wg.Wait()
 
-	failed := false
+	failed, interrupted := false, false
 	for i, wl := range wls {
 		res := results[i]
 		if len(wls) > 1 {
@@ -213,10 +271,19 @@ func main() {
 		}
 		if res.err != nil {
 			// Structured failures carry a machine-state dump; print it so a
-			// wedged run is diagnosable from the terminal alone.
+			// wedged run is diagnosable from the terminal alone. An
+			// interruption is not a failure: report where the run stopped
+			// and exit with the distinct status below.
+			var ce *diag.CanceledError
 			var de *diag.DeadlockError
 			var pe *diag.ProtocolError
 			switch {
+			case errors.As(res.err, &ce):
+				fmt.Fprintf(os.Stderr, "gtscsim: %s interrupted at cycle %d (%s, kernel %s): %v\n",
+					wl.Name, ce.Cycle, ce.Phase, ce.Kernel, ce.Cause)
+				fmt.Fprintln(os.Stderr, "gtscsim: no -checkpoint given; partial state discarded")
+				interrupted = true
+				continue
 			case errors.As(res.err, &de):
 				fmt.Fprintln(os.Stderr, de.Dump.String())
 			case errors.As(res.err, &pe):
@@ -244,12 +311,76 @@ func main() {
 		}
 	}
 
-	if failed {
-		if *cpuProfile != "" {
-			pprof.StopCPUProfile()
-		}
-		os.Exit(1)
+	switch {
+	case failed:
+		return exitFailure
+	case interrupted:
+		return exitInterrupted
 	}
+	return exitOK
+}
+
+// runCheckpointed executes one workload through the checkpoint layer:
+// an interruption (signal or timeout) suspends the machine, writes its
+// resume coordinate to path and exits 3; a later -resume invocation
+// rebuilds the exact machine by verified deterministic replay and
+// continues. Results are bit-identical however many times the run is
+// killed and resumed.
+func runCheckpointed(ctx context.Context, wl *workload.Workload, cfg sim.Config, scale int, path string, resume bool) int {
+	inst := wl.Build(scale)
+	var e *checkpoint.Execution
+	if resume {
+		switch ck, err := checkpoint.LoadFile(path); {
+		case err == nil:
+			start := time.Now()
+			e, err = checkpoint.ResumeExecution(ck, cfg, inst, wl.Name, scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gtscsim: resume: %v\n", err)
+				return exitFailure
+			}
+			fmt.Printf("resumed %s at cycle %d (%s, %d kernels done; replay digest verified in %v)\n",
+				wl.Name, ck.Cycle, ck.Phase, ck.KernelIndex, time.Since(start).Round(time.Millisecond))
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no checkpoint at %s; starting %s from cycle 0\n", path, wl.Name)
+			e = checkpoint.NewExecution(cfg, inst, wl.Name, scale)
+		default:
+			fmt.Fprintf(os.Stderr, "gtscsim: resume: %v\n", err)
+			return exitFailure
+		}
+	} else {
+		e = checkpoint.NewExecution(cfg, inst, wl.Name, scale)
+	}
+
+	run, err := e.Run(ctx)
+	if err != nil {
+		var ce *diag.CanceledError
+		if errors.As(err, &ce) {
+			ck := e.Checkpoint()
+			if serr := ck.SaveFile(path); serr != nil {
+				fmt.Fprintf(os.Stderr, "gtscsim: interrupted, but checkpoint save failed: %v\n", serr)
+				return exitFailure
+			}
+			fmt.Fprintf(os.Stderr, "gtscsim: %s interrupted at cycle %d (%s, kernel %s): %v\n",
+				wl.Name, ce.Cycle, ce.Phase, ce.Kernel, ce.Cause)
+			fmt.Fprintf(os.Stderr, "gtscsim: checkpoint written to %s; rerun with -resume to continue\n", path)
+			return exitInterrupted
+		}
+		var de *diag.DeadlockError
+		var pe *diag.ProtocolError
+		switch {
+		case errors.As(err, &de):
+			fmt.Fprintln(os.Stderr, de.Dump.String())
+		case errors.As(err, &pe):
+			fmt.Fprintln(os.Stderr, pe.Dump.String())
+		}
+		fmt.Fprintf(os.Stderr, "gtscsim: %s failed: %v\n", wl.Name, err)
+		return exitFailure
+	}
+	fmt.Print(run)
+	// The run completed; a stale checkpoint would otherwise replay a
+	// finished execution on the next -resume.
+	os.Remove(path)
+	return exitOK
 }
 
 // reportChecker prints the invariant-checker verdict for one run and

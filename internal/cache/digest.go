@@ -1,0 +1,49 @@
+package cache
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// DigestInto writes a canonical rendering of every valid line: way
+// position, tag, dirty bit, LRU stamp, protocol metadata and data.
+// Lines are visited in array order (set-major), which is stable and
+// identical across processes. The metadata payload M must be a plain
+// value type (no pointers, maps or funcs) so its %+v rendering is
+// process-independent — every protocol's meta in this codebase is.
+func (a *Array[M]) DigestInto(w io.Writer) {
+	for i := range a.lines {
+		l := &a.lines[i]
+		if !l.Valid {
+			continue
+		}
+		fmt.Fprintf(w, "ln %d %#x d=%t u=%d m=%+v %x\n",
+			i, uint64(l.Addr), l.Dirty, l.LastUse, l.Meta, l.Data.Words)
+	}
+}
+
+// DigestInto writes a canonical rendering of the MSHR table in
+// ascending block order. Waiter payloads carry completion callbacks
+// (func values), which cannot be rendered process-independently; the
+// digest therefore records the waiter count only. The waiters' effect
+// on the machine is still covered: the warps they will wake are
+// digested through the SM state, and replay reproduces the callbacks
+// themselves.
+func (m *MSHR[W]) DigestInto(w io.Writer) {
+	if len(m.entries) == 0 {
+		return
+	}
+	keys := make([]mem.BlockAddr, 0, len(m.entries))
+	for b := range m.entries {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, b := range keys {
+		e := m.entries[b]
+		fmt.Fprintf(w, "mshr %#x w=%d iss=%t inf=%d id=%d\n",
+			uint64(b), len(e.Waiters), e.Issued, e.InFlight, e.ReqID)
+	}
+}

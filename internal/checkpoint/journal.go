@@ -1,0 +1,108 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+const jrnlMagic = "GTSCJRNL"
+
+// Journal is a crash-safe append-only record log. Each record is a
+// length/CRC-framed opaque payload; appends are synced to disk before
+// returning, so a record that Append reported durable survives a kill
+// at any later point. A torn tail — the partial record a crash
+// mid-append leaves behind — is detected on open by its short frame or
+// CRC mismatch, dropped, and truncated away; every record before it
+// replays intact. The experiments session journals completed runs
+// through this (keyed by the result-cache key) so a restarted sweep
+// re-executes only what is missing.
+type Journal struct {
+	f *os.File
+	// DroppedTail reports that Open found and discarded a torn final
+	// record (the expected aftermath of a crash mid-append).
+	DroppedTail bool
+}
+
+// OpenJournal opens (or creates) the journal at path and replays every
+// intact existing record, in append order, through replay. A torn
+// final record is truncated, not fatal; a corrupt header (wrong magic
+// or version) is fatal — the file is not a journal. The returned
+// journal is positioned for appends.
+func OpenJournal(path string, replay func(payload []byte) error) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f}
+	if err := j.init(replay); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) init(replay func(payload []byte) error) error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() == 0 {
+		if _, err := io.WriteString(j.f, jrnlMagic); err != nil {
+			return err
+		}
+		if err := binary.Write(j.f, binary.LittleEndian, uint32(codecVersion)); err != nil {
+			return err
+		}
+		return j.f.Sync()
+	}
+	magic := make([]byte, len(jrnlMagic))
+	if _, err := io.ReadFull(j.f, magic); err != nil || string(magic) != jrnlMagic {
+		return fmt.Errorf("%w: not a journal (bad magic)", ErrCorrupt)
+	}
+	var version uint32
+	if err := binary.Read(j.f, binary.LittleEndian, &version); err != nil {
+		return fmt.Errorf("%w: not a journal (short version)", ErrCorrupt)
+	}
+	if version != codecVersion {
+		return fmt.Errorf("checkpoint: unsupported journal version %d (this binary speaks %d)", version, codecVersion)
+	}
+	// Replay records until the clean end of the file or the torn tail.
+	offset := int64(len(jrnlMagic)) + 4
+	for {
+		payload, err := readFrame(j.f)
+		if errors.Is(err, io.EOF) {
+			break // clean end: the last append completed
+		}
+		if err != nil {
+			// A partial or corrupt trailing frame is the residue of a
+			// crash mid-append: truncate to the last intact record and
+			// continue from there.
+			if err := j.f.Truncate(offset); err != nil {
+				return err
+			}
+			j.DroppedTail = true
+			break
+		}
+		if err := replay(payload); err != nil {
+			return err
+		}
+		offset += 8 + int64(len(payload))
+	}
+	_, err = j.f.Seek(offset, io.SeekStart)
+	return err
+}
+
+// Append durably writes one record: the frame is written and fsynced
+// before Append returns.
+func (j *Journal) Append(payload []byte) error {
+	if err := writeFrame(j.f, payload); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -16,6 +16,8 @@
 package coherence
 
 import (
+	"io"
+
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
@@ -113,6 +115,21 @@ type L2 interface {
 	DumpState() diag.CacheState
 	// Stats exposes the bank's counters.
 	Stats() *stats.L2Stats
+}
+
+// StateDigester is implemented by controllers that can write a
+// canonical, process-independent rendering of their complete
+// microarchitectural state (tag arrays with protocol metadata, MSHRs,
+// pending-transaction tables, backpressured queues). The rendering
+// must contain no pointer values, func values, or unordered map
+// iterations, so equal digests produced in different processes imply
+// equal machine state. Checkpoint restore hashes this rendering to
+// verify that deterministic replay reproduced the suspended machine.
+//
+// All four protocol families implement it; the memsys layer falls
+// back to DumpState for any controller that does not.
+type StateDigester interface {
+	DigestState(w io.Writer)
 }
 
 // Sender abstracts the transport a controller injects messages into.

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// DigestState implements coherence.StateDigester: a canonical,
+// process-independent rendering of the G-TSC L1's complete state.
+// Pending-store records carry the access's completion callback via
+// their *coherence.Request; the request pointer is skipped and every
+// architectural field of the record (data, mask, lock accounting) is
+// rendered by value — replay reproduces the callbacks.
+func (l *L1) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "gtsc-l1[%d] now=%d epoch=%d next=%d pend=%d\n",
+		l.smID, l.now, l.epoch, l.nextReqID, l.pending)
+	fmt.Fprintf(w, "warpts %d\n", l.warpTS)
+	l.array.DigestInto(w)
+	l.mshr.DigestInto(w)
+	mem.DigestMsgs(w, "outq", l.outQ)
+	ids := make([]uint64, 0, len(l.storesByID))
+	for id := range l.storesByID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ps := l.storesByID[id]
+		fmt.Fprintf(w, "st %d %#x wp=%d m=%#x hit=%t %x\n",
+			ps.reqID, uint64(ps.block), ps.warp, uint32(ps.mask), ps.lineHit, ps.data.Words)
+	}
+	// storesByBlock holds the same records in per-block send order;
+	// digest the order, not the records again.
+	mem.DigestBlockMap(w, l.storesByBlock, func(w io.Writer, b mem.BlockAddr, stores []*pendingStore) {
+		fmt.Fprintf(w, "stblk %#x", uint64(b))
+		for _, ps := range stores {
+			fmt.Fprintf(w, " %d", ps.reqID)
+		}
+		io.WriteString(w, "\n")
+	})
+	mem.DigestIDTable(w, "atom", l.atomicsByID)
+}
+
+// DigestState implements coherence.StateDigester for a G-TSC L2 bank.
+func (l *L2) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "gtsc-l2[%d] now=%d memts=%d epoch=%d\n", l.bankID, l.now, l.memTS, l.epoch)
+	l.array.DigestInto(w)
+	mem.DigestBlockMap(w, l.miss, func(w io.Writer, b mem.BlockAddr, m *l2Miss) {
+		fmt.Fprintf(w, "miss %#x\n", uint64(b))
+		mem.DigestMsgs(w, "wait", m.waiting)
+	})
+	mem.DigestMsgs(w, "inq", l.inQ)
+	mem.DigestMsgs(w, "outnoc", l.outNoC)
+	mem.DigestMsgs(w, "outdram", l.outDRAM)
+	l.renewDist.DigestInto(w)
+}

@@ -66,6 +66,54 @@ func (e *DeadlockError) Error() string {
 		e.Kernel, e.Phase, e.Cycle, e.Reason, e.StalledFor, e.Pending)
 }
 
+// CanceledError reports that a run was suspended by context
+// cancellation (Ctrl-C, -timeout deadline, or a session shutdown)
+// rather than by a failure. The machine state behind it is intact and
+// paused: the cycle coordinate it carries, replayed deterministically,
+// reproduces the exact machine state — which is what checkpoints store.
+type CanceledError struct {
+	Kernel string
+	// Phase is "run" or "drain", as for DeadlockError.
+	Phase string
+	// Cycle is the global clock at suspension: the machine has executed
+	// exactly this many cycles since construction.
+	Cycle uint64
+	// KernelIndex counts the kernels that had fully completed on this
+	// simulator before the canceled one.
+	KernelIndex int
+	// Cause is the context's cancellation cause (context.Canceled,
+	// context.DeadlineExceeded, or a caller-supplied cause).
+	Cause error
+}
+
+// Error implements error with a one-line summary.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("canceled: kernel %q %s at cycle %d (kernel index %d): %v",
+		e.Kernel, e.Phase, e.Cycle, e.KernelIndex, e.Cause)
+}
+
+// Unwrap exposes the cancellation cause, so errors.Is(err,
+// context.Canceled) works through a CanceledError.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// WorkerPanicError reports a panic captured inside an experiment
+// worker and converted into a typed error, so one panicking run aborts
+// only its own (workload, variant) cell instead of the whole process.
+type WorkerPanicError struct {
+	// Key identifies the run (the session cache key).
+	Key string
+	// Value is the recovered panic value, rendered.
+	Value string
+	// Stack is the goroutine stack at the panic site.
+	Stack string
+}
+
+// Error implements error with a one-line summary; the stack is
+// available via the Stack field.
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("worker panic in %s: %s", e.Key, e.Value)
+}
+
 // StateDump is a structured snapshot of the whole machine, assembled
 // when a run fails: per-SM warp states, per-controller occupancy, NoC
 // queue depths and the in-flight transaction table.

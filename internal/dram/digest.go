@@ -1,0 +1,37 @@
+package dram
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// DigestState writes a canonical, process-independent rendering of the
+// partition: the request queue in arrival order and the scheduled fill
+// heap sorted by (completion, sequence). The issue/sequence cursors
+// are included because they determine all future scheduling.
+func (p *Partition) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "dram[%d] seq=%d next=%d\n", p.id, p.seqCtr, p.nextIssue)
+	mem.DigestMsgs(w, "q", p.queue)
+	fills := make([]fill2, len(p.fills))
+	copy(fills, p.fills)
+	sort.Slice(fills, func(i, j int) bool {
+		if fills[i].at != fills[j].at {
+			return fills[i].at < fills[j].at
+		}
+		return fills[i].seq < fills[j].seq
+	})
+	for _, f := range fills {
+		fmt.Fprintf(w, "fill %d %d ", f.at, f.seq)
+		f.msg.DigestInto(w)
+	}
+	for i := range p.banked.banks {
+		b := &p.banked.banks[i]
+		if !b.rowValid && b.busyTill == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "bank %d row=%d v=%t busy=%d\n", i, b.openRow, b.rowValid, b.busyTill)
+	}
+}

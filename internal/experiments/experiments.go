@@ -19,7 +19,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"text/tabwriter"
+	"time"
 
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/fault"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 	"github.com/gtsc-sim/gtsc/internal/memsys"
 	"github.com/gtsc-sim/gtsc/internal/sim"
@@ -47,6 +50,30 @@ type Config struct {
 	// simulator, store, RNG and observer per run — so the results are
 	// bit-identical for any worker count; only wall-clock time changes.
 	Workers int
+
+	// FaultSeed, when non-zero, runs every simulation under the chaos
+	// fault-injection plan with that seed (see internal/fault). Runs
+	// stay deterministic per seed; the seed is part of the cache key
+	// and of the journal's config signature.
+	FaultSeed int64
+	// RetryTransient bounds how many times a transient fault-injected
+	// failure (a deadlock while a fault plan is active) is retried.
+	// Each attempt derives a fresh fault seed — the simulator is
+	// deterministic, so retrying the same seed would reproduce the
+	// same failure — and waits exponentially longer before rerunning.
+	// 0 disables retry.
+	RetryTransient int
+	// KeepGoing makes a sweep survive individual run failures: a
+	// failed (workload, variant) cell no longer aborts the driver;
+	// figure/table assembly skips the missing cells and reports them
+	// in the result's Missing manifest (see also Session.Missing).
+	KeepGoing bool
+	// WatchdogWindow overrides each simulation's forward-progress
+	// window in simulated cycles (0 = simulator default). The window
+	// counts simulated cycles only, so oversubscribed worker pools
+	// (Workers > GOMAXPROCS) cannot trip it; TestWatchdogOversubscribed
+	// pins that.
+	WatchdogWindow uint64
 }
 
 // DefaultConfig returns the paper-scale machine at scale 2.
@@ -107,8 +134,26 @@ type Session struct {
 	cache map[string]*cacheEntry
 
 	// executed counts simulations that actually ran (cache misses) —
-	// the observable the cache tests pin down.
+	// the observable the cache tests pin down. Journal replay fills
+	// the cache WITHOUT touching this counter, which is how the
+	// resume tests prove a completed run is never re-executed.
 	executed atomic.Uint64
+
+	// ctx, when set via WithContext, cancels in-flight and not-yet-
+	// started simulations (graceful shutdown on SIGINT/SIGTERM).
+	ctx context.Context
+
+	// journal, when attached, durably records every completed run so
+	// a restarted session re-executes only what is missing.
+	jmu        sync.Mutex
+	journal    *checkpoint.Journal
+	journalErr error
+	dropped    bool
+
+	// Test seams: sleep backs the retry backoff; runSim executes one
+	// simulation. Both default to the real thing in NewSession.
+	sleep  func(time.Duration)
+	runSim func(ctx context.Context, inst *workload.Instance, cfg sim.Config) (*stats.Run, error)
 }
 
 // cacheEntry is one single-flight cache slot: the first requester of a
@@ -122,17 +167,45 @@ type cacheEntry struct {
 // NewSession builds a session.
 func NewSession(cfg Config) *Session {
 	cfg.fillDefaults()
-	return &Session{Cfg: cfg, cache: make(map[string]*cacheEntry)}
+	s := &Session{Cfg: cfg, cache: make(map[string]*cacheEntry), sleep: time.Sleep}
+	s.runSim = func(ctx context.Context, inst *workload.Instance, cfg sim.Config) (*stats.Run, error) {
+		return inst.RunContext(ctx, cfg)
+	}
+	return s
+}
+
+// WithContext makes ctx govern every simulation the session runs:
+// canceling it suspends in-flight runs (at the engine's next poll
+// point) and prevents not-yet-started ones from running. Completed,
+// journaled results are unaffected — a later session resumes from
+// them. Returns s for chaining.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	s.ctx = ctx
+	return s
+}
+
+// context resolves the session context.
+func (s *Session) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
 }
 
 func (s *Session) key(wl string, v variant) string {
-	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%t", wl, v.proto, v.cons, v.lease, v.forwardAll, v.oldCopy, v.adaptive)
+	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%t/%d", wl, v.proto, v.cons, v.lease, v.forwardAll, v.oldCopy, v.adaptive, s.Cfg.FaultSeed)
 }
 
 // do returns the cached result for key, or runs exec exactly once to
 // produce it. Concurrent callers of the same key block until the
 // owning call completes (single flight); errors are cached too, so a
 // failing variant is not retried by every figure that shares it.
+//
+// The executing call is panic-isolated: a panic inside exec becomes a
+// *diag.WorkerPanicError cached for this key, so one blown-up run
+// fails its own cell instead of the whole process. Successful runs
+// are appended to the attached journal (if any) before anyone can
+// observe the result, so a kill after do returns cannot lose it.
 func (s *Session) do(key string, exec func() (*stats.Run, error)) (*stats.Run, error) {
 	s.mu.Lock()
 	if e, ok := s.cache[key]; ok {
@@ -143,8 +216,11 @@ func (s *Session) do(key string, exec func() (*stats.Run, error)) (*stats.Run, e
 	e := &cacheEntry{done: make(chan struct{})}
 	s.cache[key] = e
 	s.mu.Unlock()
-	e.run, e.err = exec()
+	e.run, e.err = s.protect(key, exec)
 	s.executed.Add(1)
+	if e.err == nil {
+		s.journalRun(key, e.run)
+	}
 	close(e.done)
 	return e.run, e.err
 }
@@ -181,10 +257,13 @@ func (s *Session) workers() int {
 
 // parallel fans jobs out across the session's worker pool and waits
 // for them all. The first error cancels the remaining (not yet
-// started) jobs and is returned. With Workers=1 the jobs run inline in
-// order. Jobs route results through do(), so this is only ever a
-// prewarm: drivers re-read the cache serially afterwards, which makes
-// result assembly independent of completion order.
+// started) jobs and is returned — unless the session runs KeepGoing,
+// in which case every job is attempted, failures stay cached per-key
+// (surfacing in Missing()), and only session-context cancellation
+// aborts the fan-out. With Workers=1 the jobs run inline in order.
+// Jobs route results through do(), so this is only ever a prewarm:
+// drivers re-read the cache serially afterwards, which makes result
+// assembly independent of completion order.
 func (s *Session) parallel(jobs []func() error) error {
 	workers := s.workers()
 	if workers > len(jobs) {
@@ -192,13 +271,16 @@ func (s *Session) parallel(jobs []func() error) error {
 	}
 	if workers <= 1 {
 		for _, job := range jobs {
-			if err := job(); err != nil {
+			if err := s.context().Err(); err != nil {
+				return context.Cause(s.context())
+			}
+			if err := job(); err != nil && !s.Cfg.KeepGoing {
 				return err
 			}
 		}
 		return nil
 	}
-	ctx, cancel := context.WithCancelCause(context.Background())
+	ctx, cancel := context.WithCancelCause(s.context())
 	defer cancel(nil)
 	feed := make(chan func() error)
 	var wg sync.WaitGroup
@@ -210,7 +292,7 @@ func (s *Session) parallel(jobs []func() error) error {
 				if ctx.Err() != nil {
 					continue // drain without running: a job failed
 				}
-				if err := job(); err != nil {
+				if err := job(); err != nil && !s.Cfg.KeepGoing {
 					cancel(err)
 				}
 			}
@@ -247,29 +329,54 @@ func (s *Session) prewarmGrid(wls []*workload.Workload, vs ...variant) error {
 }
 
 // run simulates workload wl under variant v (cached, single-flight).
+// Transient fault-injected failures are retried up to
+// Cfg.RetryTransient times with exponential backoff; each attempt
+// derives a fresh fault seed, because the deterministic engine would
+// otherwise reproduce the identical failure.
 func (s *Session) run(wl *workload.Workload, v variant) (*stats.Run, error) {
 	return s.do(s.key(wl.Name, v), func() (*stats.Run, error) {
-		cfg := sim.DefaultConfig()
-		cfg.Mem.Protocol = v.proto
-		cfg.Mem.NumSMs = s.Cfg.NumSMs
-		cfg.Mem.NumBanks = s.Cfg.NumBanks
-		cfg.SM.Consistency = v.cons
-		cfg.MaxCycles = s.Cfg.MaxCycles
-		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
-		cfg.Mem.TC.Lease = s.Cfg.TCLease
-		if v.lease != 0 {
-			cfg.Mem.GTSC.Lease = v.lease
+		var lastErr error
+		for attempt := 0; attempt <= s.Cfg.RetryTransient; attempt++ {
+			if attempt > 0 {
+				s.sleep(retryBackoff(attempt))
+			}
+			run, err := s.runSim(s.context(), wl.Build(s.Cfg.Scale), s.simConfig(v, attempt))
+			if err == nil {
+				return run, nil
+			}
+			lastErr = fmt.Errorf("%s under %s/%s (attempt %d): %w", wl.Name, v.proto, v.cons, attempt+1, err)
+			if !s.transient(err) {
+				break
+			}
 		}
-		cfg.Mem.GTSC.ForwardAll = v.forwardAll
-		cfg.Mem.GTSC.KeepOldCopy = v.oldCopy
-		cfg.Mem.GTSC.AdaptiveLease = v.adaptive
-
-		run, err := wl.Build(s.Cfg.Scale).Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s under %s/%s: %w", wl.Name, v.proto, v.cons, err)
-		}
-		return run, nil
+		return nil, lastErr
 	})
+}
+
+// simConfig assembles the simulator configuration for one attempt of
+// one variant. The attempt index only varies the derived fault seed;
+// with fault injection off every attempt is identical (and there is
+// only ever one).
+func (s *Session) simConfig(v variant, attempt int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Mem.Protocol = v.proto
+	cfg.Mem.NumSMs = s.Cfg.NumSMs
+	cfg.Mem.NumBanks = s.Cfg.NumBanks
+	cfg.SM.Consistency = v.cons
+	cfg.MaxCycles = s.Cfg.MaxCycles
+	cfg.WatchdogWindow = s.Cfg.WatchdogWindow
+	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+	cfg.Mem.TC.Lease = s.Cfg.TCLease
+	if v.lease != 0 {
+		cfg.Mem.GTSC.Lease = v.lease
+	}
+	cfg.Mem.GTSC.ForwardAll = v.forwardAll
+	cfg.Mem.GTSC.KeepOldCopy = v.oldCopy
+	cfg.Mem.GTSC.AdaptiveLease = v.adaptive
+	if s.Cfg.FaultSeed != 0 {
+		cfg.Mem.Fault = fault.Chaos(deriveFaultSeed(s.Cfg.FaultSeed, attempt))
+	}
+	return cfg
 }
 
 // geomean returns the geometric mean of xs (1.0 for empty input).

@@ -16,6 +16,9 @@ type TableII struct {
 	Workloads []string
 	BLCycles  map[string]uint64
 	TCCycles  map[string]uint64
+	// Missing lists failed runs the table omits (KeepGoing sessions);
+	// empty when every cell completed.
+	Missing []string
 }
 
 // RunTableII executes the Table II matrix.
@@ -31,32 +34,56 @@ func (s *Session) RunTableII() (*TableII, error) {
 	for _, wl := range workload.All() {
 		bl, err := s.run(wl, vBL)
 		if err != nil {
+			if s.Cfg.KeepGoing {
+				continue // row omitted; Missing records why
+			}
 			return nil, err
 		}
 		// The paper pairs plain TC with each model; its Table II column
 		// is TC under the protocol's natural (RC/TC-Weak) setting.
 		tc, err := s.run(wl, vTCRC)
 		if err != nil {
+			if s.Cfg.KeepGoing {
+				continue
+			}
 			return nil, err
 		}
 		out.BLCycles[wl.Name] = bl.Cycles
 		out.TCCycles[wl.Name] = tc.Cycles
 	}
+	out.Missing = s.Missing()
 	return out, nil
 }
 
-// Print renders the table.
+// Print renders the table. Rows whose runs failed (KeepGoing partial
+// output) are skipped and the missing-runs manifest printed instead.
 func (r *TableII) Print(w io.Writer) {
 	fmt.Fprintln(w, "Table II: absolute execution cycles of BL and TC (this simulator)")
 	t := newTable(w)
 	t.row("Benchmark", "BL (cycles)", "TC (cycles)", "TC/BL")
 	for _, n := range r.Workloads {
+		if _, ok := r.BLCycles[n]; !ok {
+			continue
+		}
 		t.row(n,
 			fmt.Sprintf("%d", r.BLCycles[n]),
 			fmt.Sprintf("%d", r.TCCycles[n]),
 			fmt.Sprintf("%.2f", float64(r.TCCycles[n])/float64(r.BLCycles[n])))
 	}
 	t.flush()
+	printMissing(w, r.Missing)
+}
+
+// printMissing renders the missing-runs manifest of a partial figure
+// or table (no output when nothing is missing).
+func printMissing(w io.Writer, missing []string) {
+	if len(missing) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "PARTIAL OUTPUT: %d run(s) failed and are omitted above:\n", len(missing))
+	for _, k := range missing {
+		fmt.Fprintf(w, "  missing %s\n", k)
+	}
 }
 
 // Fig12 reproduces Figure 12: performance of G-TSC and TC under RC and
@@ -77,6 +104,12 @@ type Fig12 struct {
 	GTSCvsL1NCOverhead float64
 	// RC/SC speedup for G-TSC on the coherence set (paper: ~12%).
 	GTSCRCoverSC float64
+
+	// Missing lists failed runs (KeepGoing sessions): the bars they
+	// would have fed are absent from Norm and the geomeans above are
+	// taken over the workloads that completed. Empty when every cell
+	// completed.
+	Missing []string
 }
 
 // Fig12Series lists the bar order of the figure.
@@ -98,6 +131,9 @@ func (s *Session) RunFig12() (*Fig12, error) {
 	for _, wl := range workload.All() {
 		bl, err := s.run(wl, vBL)
 		if err != nil {
+			if s.Cfg.KeepGoing {
+				continue // no baseline, no row; Missing records why
+			}
 			return nil, err
 		}
 		row := map[string]float64{}
@@ -112,19 +148,32 @@ func (s *Session) RunFig12() (*Fig12, error) {
 		for label, v := range runs {
 			r, err := s.run(wl, v)
 			if err != nil {
+				if s.Cfg.KeepGoing {
+					continue // bar omitted; ratios below skip it
+				}
 				return nil, err
 			}
 			res[label] = float64(r.Cycles)
 			row[label] = float64(bl.Cycles) / float64(r.Cycles)
 		}
 		out.Norm[wl.Name] = row
+		// Each headline ratio is taken only when both of its operands
+		// completed, so a partial row degrades the geomeans gracefully
+		// instead of poisoning them.
+		ratio := func(dst *[]float64, num, den string) {
+			n, okN := res[num]
+			d, okD := res[den]
+			if okN && okD {
+				*dst = append(*dst, n/d)
+			}
+		}
 		if wl.NeedsCoherence {
-			rcOverTCRC = append(rcOverTCRC, res["TC-RC"]/res["G-TSC-RC"])
-			scOverTCRC = append(scOverTCRC, res["TC-RC"]/res["G-TSC-SC"])
-			rcOverTCSC = append(rcOverTCSC, res["TC-SC"]/res["G-TSC-RC"])
-			rcOverSC = append(rcOverSC, res["G-TSC-SC"]/res["G-TSC-RC"])
+			ratio(&rcOverTCRC, "TC-RC", "G-TSC-RC")
+			ratio(&scOverTCRC, "TC-RC", "G-TSC-SC")
+			ratio(&rcOverTCSC, "TC-SC", "G-TSC-RC")
+			ratio(&rcOverSC, "G-TSC-SC", "G-TSC-RC")
 		} else {
-			overhead = append(overhead, res["G-TSC-RC"]/res["Baseline-w/L1"])
+			ratio(&overhead, "G-TSC-RC", "Baseline-w/L1")
 		}
 	}
 	out.GTSCRCoverTCRC = geomean(rcOverTCRC)
@@ -132,6 +181,7 @@ func (s *Session) RunFig12() (*Fig12, error) {
 	out.GTSCRCoverTCSC = geomean(rcOverTCSC)
 	out.GTSCRCoverSC = geomean(rcOverSC)
 	out.GTSCvsL1NCOverhead = geomean(overhead) - 1
+	out.Missing = s.Missing()
 	return out, nil
 }
 
@@ -162,6 +212,7 @@ func (r *Fig12) Print(w io.Writer) {
 	fmt.Fprintf(w, "geomean over coherence set: G-TSC-RC/TC-SC = %.2fx (paper ~1.84x)\n", r.GTSCRCoverTCSC)
 	fmt.Fprintf(w, "geomean G-TSC RC-over-SC speedup = %.2fx (paper ~1.12x)\n", r.GTSCRCoverSC)
 	fmt.Fprintf(w, "G-TSC overhead vs non-coherent L1 (second set) = %.0f%% (paper ~11%%)\n", 100*r.GTSCvsL1NCOverhead)
+	printMissing(w, r.Missing)
 }
 
 // Fig13 reproduces Figure 13: pipeline stalls due to memory delay,

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// smallCfg is a fast machine for resilience tests: tiny inputs, tiny
+// geometry, serial by default so journal record order is stable.
+func smallCfg() Config {
+	return Config{Scale: 1, NumSMs: 2, NumBanks: 2, Workers: 1}
+}
+
+// smallGrid prewarms a 2-workload x 2-variant grid and returns an
+// error only if the session reports one.
+func smallGrid(s *Session) error {
+	return s.prewarmGrid(workload.All()[:2], vGTSCRC, vTCRC)
+}
+
+// TestJournalReplayNoReexec is the resume acceptance gate at the
+// sweep level: a session restarted on an existing journal restores
+// every completed run from disk and re-executes NOTHING — pinned by
+// the executed run-counter — while producing bit-identical results.
+func TestJournalReplayNoReexec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jrnl")
+
+	s1 := NewSession(smallCfg())
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatalf("attach 1: %v", err)
+	}
+	if err := smallGrid(s1); err != nil {
+		t.Fatalf("grid 1: %v", err)
+	}
+	if err := s1.CloseJournal(); err != nil {
+		t.Fatalf("close 1: %v", err)
+	}
+	want := s1.CachedRuns()
+	if len(want) != 4 || s1.Executed() != 4 {
+		t.Fatalf("session 1 ran %d sims with %d cached, want 4/4", s1.Executed(), len(want))
+	}
+
+	s2 := NewSession(smallCfg())
+	replayed, err := s2.AttachJournal(path)
+	if err != nil {
+		t.Fatalf("attach 2: %v", err)
+	}
+	if replayed != 4 {
+		t.Fatalf("replayed %d runs, want 4", replayed)
+	}
+	if s2.JournalDroppedTail() {
+		t.Error("clean journal reported a torn tail")
+	}
+	if err := smallGrid(s2); err != nil {
+		t.Fatalf("grid 2: %v", err)
+	}
+	if got := s2.Executed(); got != 0 {
+		t.Errorf("restarted session re-executed %d runs, want 0", got)
+	}
+	if got := s2.CachedRuns(); !reflect.DeepEqual(got, want) {
+		t.Error("journal-replayed results differ from the originals")
+	}
+	if err := s2.CloseJournal(); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+}
+
+// TestJournalTornTailResume kills the journal the hard way — a
+// truncated final record, as a crash mid-append leaves — and proves
+// the restart drops ONLY the torn record: the intact ones replay, and
+// exactly one simulation re-executes.
+func TestJournalTornTailResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jrnl")
+
+	s1 := NewSession(smallCfg())
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatalf("attach 1: %v", err)
+	}
+	if err := smallGrid(s1); err != nil {
+		t.Fatalf("grid 1: %v", err)
+	}
+	if err := s1.CloseJournal(); err != nil {
+		t.Fatalf("close 1: %v", err)
+	}
+	want := s1.CachedRuns()
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewSession(smallCfg())
+	replayed, err := s2.AttachJournal(path)
+	if err != nil {
+		t.Fatalf("attach on torn journal must not be fatal: %v", err)
+	}
+	if !s2.JournalDroppedTail() {
+		t.Error("torn tail not reported")
+	}
+	if replayed != 3 {
+		t.Errorf("replayed %d runs, want 3 (torn record dropped)", replayed)
+	}
+	if err := smallGrid(s2); err != nil {
+		t.Fatalf("grid 2: %v", err)
+	}
+	if got := s2.Executed(); got != 1 {
+		t.Errorf("re-executed %d runs, want exactly the 1 torn-away run", got)
+	}
+	if got := s2.CachedRuns(); !reflect.DeepEqual(got, want) {
+		t.Error("post-repair results differ from the originals")
+	}
+	if err := s2.CloseJournal(); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+}
+
+// TestJournalConfigSignature: a journal must only feed a session with
+// the same result-affecting configuration — but scheduling knobs
+// (Workers) are excluded, so -j can change between runs.
+func TestJournalConfigSignature(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jrnl")
+	s1 := NewSession(smallCfg())
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := s1.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := smallCfg()
+	bad.NumSMs = 4
+	if _, err := NewSession(bad).AttachJournal(path); err == nil {
+		t.Error("journal accepted by a session with different machine geometry")
+	}
+
+	ok := smallCfg()
+	ok.Workers = 7 // scheduling only; results are identical at any -j
+	s2 := NewSession(ok)
+	if _, err := s2.AttachJournal(path); err != nil {
+		t.Errorf("worker-count change rejected the journal: %v", err)
+	}
+	s2.CloseJournal()
+}
+
+// TestPanicIsolation: a panic inside one simulation becomes a typed
+// *diag.WorkerPanicError cached for that cell only; sibling runs
+// complete and KeepGoing assembly reports the cell in Missing().
+func TestPanicIsolation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.KeepGoing = true
+	s := NewSession(cfg)
+	s.runSim = func(ctx context.Context, inst *workload.Instance, c sim.Config) (*stats.Run, error) {
+		if c.Mem.Protocol == vTCRC.proto {
+			panic("injected test panic")
+		}
+		return &stats.Run{Cycles: 42}, nil
+	}
+
+	wl := workload.All()[0]
+	if err := s.parallel(s.gridJobs([]*workload.Workload{wl}, vGTSCRC, vTCRC)); err != nil {
+		t.Fatalf("KeepGoing fan-out returned an error: %v", err)
+	}
+
+	if run, err := s.run(wl, vGTSCRC); err != nil || run.Cycles != 42 {
+		t.Errorf("sibling run damaged by the panic: run=%v err=%v", run, err)
+	}
+	_, err := s.run(wl, vTCRC)
+	var wp *diag.WorkerPanicError
+	if !errors.As(err, &wp) {
+		t.Fatalf("panicking cell error = %v, want *diag.WorkerPanicError", err)
+	}
+	if wp.Value != "injected test panic" || wp.Stack == "" {
+		t.Errorf("panic not captured: value=%q stackLen=%d", wp.Value, len(wp.Stack))
+	}
+	missing := s.Missing()
+	if len(missing) != 1 || missing[0] != s.key(wl.Name, vTCRC) {
+		t.Errorf("Missing() = %v, want exactly the panicked key", missing)
+	}
+}
+
+// TestRetryTransient: transient fault-injected failures (deadlocks
+// under an active fault plan) are retried with exponential backoff
+// and a fresh derived seed per attempt; success on a later attempt
+// yields the run, and the retry budget is bounded.
+func TestRetryTransient(t *testing.T) {
+	cfg := smallCfg()
+	cfg.FaultSeed = 7
+	cfg.RetryTransient = 3
+	s := NewSession(cfg)
+
+	var slept []time.Duration
+	s.sleep = func(d time.Duration) { slept = append(slept, d) }
+	var seeds []int64
+	s.runSim = func(ctx context.Context, inst *workload.Instance, c sim.Config) (*stats.Run, error) {
+		seeds = append(seeds, c.Mem.Fault.Seed)
+		if len(seeds) <= 2 {
+			return nil, &diag.DeadlockError{Kernel: "k", Cycle: 99, Reason: "injected"}
+		}
+		return &stats.Run{Cycles: 7}, nil
+	}
+
+	wl := workload.All()[0]
+	run, err := s.run(wl, vGTSCRC)
+	if err != nil || run.Cycles != 7 {
+		t.Fatalf("run after transient failures: run=%v err=%v", run, err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("made %d attempts, want 3", len(seeds))
+	}
+	if seeds[0] != 7 || seeds[0] == seeds[1] || seeds[1] == seeds[2] {
+		t.Errorf("retries must derive fresh seeds (deterministic engine reproduces the same failure): %v", seeds)
+	}
+	if want := []time.Duration{25 * time.Millisecond, 50 * time.Millisecond}; !reflect.DeepEqual(slept, want) {
+		t.Errorf("backoff = %v, want %v", slept, want)
+	}
+
+	// Exhaustion: a cell that never recovers fails after 1+RetryTransient
+	// attempts with the last error.
+	attempts := 0
+	s2 := NewSession(cfg)
+	s2.sleep = func(time.Duration) {}
+	s2.runSim = func(ctx context.Context, inst *workload.Instance, c sim.Config) (*stats.Run, error) {
+		attempts++
+		return nil, &diag.DeadlockError{Kernel: "k", Cycle: 1, Reason: "stuck"}
+	}
+	if _, err := s2.run(wl, vGTSCRC); err == nil {
+		t.Fatal("exhausted retries still reported success")
+	}
+	if attempts != 4 {
+		t.Errorf("made %d attempts, want 1 + RetryTransient = 4", attempts)
+	}
+}
+
+// TestRetryOnlyTransient: without a fault plan, or for non-deadlock
+// errors, there is exactly one attempt — retry must never mask a
+// genuine protocol bug.
+func TestRetryOnlyTransient(t *testing.T) {
+	wl := workload.All()[0]
+
+	// No fault plan: a deadlock is a real bug, not noise.
+	cfg := smallCfg()
+	cfg.RetryTransient = 3
+	s := NewSession(cfg)
+	s.sleep = func(time.Duration) { t.Error("backoff slept without a fault plan") }
+	attempts := 0
+	s.runSim = func(ctx context.Context, inst *workload.Instance, c sim.Config) (*stats.Run, error) {
+		attempts++
+		return nil, &diag.DeadlockError{Kernel: "k", Cycle: 1, Reason: "real"}
+	}
+	if _, err := s.run(wl, vGTSCRC); err == nil || attempts != 1 {
+		t.Errorf("deadlock without fault plan: attempts=%d err=%v, want 1 attempt + error", attempts, err)
+	}
+
+	// Fault plan active, but a protocol violation: never retried.
+	cfg2 := smallCfg()
+	cfg2.FaultSeed = 7
+	cfg2.RetryTransient = 3
+	s2 := NewSession(cfg2)
+	s2.sleep = func(time.Duration) { t.Error("backoff slept for a non-transient error") }
+	attempts2 := 0
+	s2.runSim = func(ctx context.Context, inst *workload.Instance, c sim.Config) (*stats.Run, error) {
+		attempts2++
+		return nil, &diag.ProtocolError{Component: "l1[0]", Event: "stale-value", Detail: "injected"}
+	}
+	if _, err := s2.run(wl, vGTSCRC); err == nil || attempts2 != 1 {
+		t.Errorf("protocol error under fault plan: attempts=%d err=%v, want 1 attempt + error", attempts2, err)
+	}
+}
+
+// TestSessionContextCancel: a canceled session context stops the
+// sweep with the cancellation cause instead of running anything.
+func TestSessionContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSession(smallCfg()).WithContext(ctx)
+	err := smallGrid(s)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled session ran anyway: %v", err)
+	}
+}
+
+// TestWatchdogOversubscribed pins the satellite requirement that the
+// forward-progress watchdog counts SIMULATED cycles only: a worker
+// pool oversubscribed far past GOMAXPROCS parks runs for long
+// wall-clock stretches, but a parked run makes no simulated progress
+// and therefore cannot trip even a tight window.
+func TestWatchdogOversubscribed(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	cfg := smallCfg()
+	cfg.Workers = 8 // 8 workers on 1 OS thread: heavy descheduling
+	cfg.WatchdogWindow = 10_000
+	s := NewSession(cfg)
+	if err := s.prewarmGrid(workload.All()[:4], vGTSCRC, vTCRC); err != nil {
+		t.Fatalf("oversubscribed sweep tripped: %v", err)
+	}
+	if got := s.Executed(); got != 8 {
+		t.Fatalf("executed %d runs, want 8", got)
+	}
+
+	// Same machine, serial: bit-identical results prove the watchdog
+	// (and the oversubscription) fed nothing back into the simulations.
+	ref := NewSession(Config{Scale: 1, NumSMs: 2, NumBanks: 2, Workers: 1, WatchdogWindow: 10_000})
+	if err := ref.prewarmGrid(workload.All()[:4], vGTSCRC, vTCRC); err != nil {
+		t.Fatalf("serial reference sweep failed: %v", err)
+	}
+	if !reflect.DeepEqual(s.CachedRuns(), ref.CachedRuns()) {
+		t.Error("oversubscribed results differ from serial reference")
+	}
+}

@@ -150,3 +150,8 @@ func (in *Injector) WrapSender(s coherence.Sender) coherence.Sender {
 		return s.TrySend(msg)
 	})
 }
+
+// RNGState exposes the injector's current RNG position, for checkpoint
+// state digests: two machines with equal state must also agree on
+// every future perturbation draw.
+func (in *Injector) RNGState() uint64 { return in.rng.s }

@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"fmt"
+	"io"
 	"sort"
 
 	"github.com/gtsc-sim/gtsc/internal/mem"
@@ -123,3 +125,19 @@ func (d *DelayShim) Pending() int { return d.count }
 
 // Name identifies the shim in diagnostics.
 func (d *DelayShim) Name() string { return d.name }
+
+// DigestState writes a canonical rendering of the shim's held
+// messages, in sorted pair order and per-pair FIFO order, for
+// checkpoint state digests.
+func (d *DelayShim) DigestState(w io.Writer) {
+	if d.count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "shim %s now=%d held=%d\n", d.name, d.now, d.count)
+	for _, key := range d.keys {
+		for _, h := range d.pairs[key].items {
+			fmt.Fprintf(w, "held %d %d ", h.due, h.dst)
+			h.msg.DigestInto(w)
+		}
+	}
+}

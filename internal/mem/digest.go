@@ -1,0 +1,91 @@
+package mem
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DigestInto writes a canonical rendering of the store's contents: the
+// full sparse block image in ascending block-address order. The
+// rendering is process-independent — it contains no pointer values —
+// so equal digests across two processes mean equal memory images.
+//
+// Zero-filled blocks that were allocated but never written digest
+// identically to absent blocks would not; they are included because
+// their presence is an architectural effect of the write path and is
+// reproduced exactly by deterministic replay.
+func (s *Store) DigestInto(w io.Writer) {
+	keys := make([]BlockAddr, 0, len(s.blocks))
+	for b := range s.blocks {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, b := range keys {
+		fmt.Fprintf(w, "blk %#x %x\n", uint64(b), s.blocks[b].Words)
+	}
+}
+
+// DigestInto writes a canonical rendering of the message. Every field
+// is rendered by value (the Data payload is dereferenced into its
+// words), so the output is identical across processes for equal
+// messages.
+func (m *Msg) DigestInto(w io.Writer) {
+	fmt.Fprintf(w, "msg %d %#x %d>%d w%d r%d wt%d g%d m%#x id%d wp%d a%d rs%t e%d",
+		m.Type, uint64(m.Block), m.Src, m.Dst,
+		m.WTS, m.RTS, m.WarpTS, m.GWCT,
+		uint32(m.Mask), m.ReqID, m.Warp, m.Atom, m.Reset, m.Epoch)
+	if m.Data != nil {
+		fmt.Fprintf(w, " d%x", m.Data.Words)
+	}
+	io.WriteString(w, "\n")
+}
+
+// DigestMsgs renders an ordered message queue under a label. Queue
+// order is architectural (FIFO order), so it is preserved verbatim.
+func DigestMsgs(w io.Writer, label string, msgs []*Msg) {
+	if len(msgs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s n=%d\n", label, len(msgs))
+	for _, m := range msgs {
+		m.DigestInto(w)
+	}
+}
+
+// DigestBlockMap visits a block-keyed table in ascending block order,
+// handing each entry to render. It gives controllers a deterministic
+// iteration over their transient-state maps (outstanding misses,
+// blocked writes, directory busy entries) regardless of Go's map
+// ordering.
+func DigestBlockMap[V any](w io.Writer, m map[BlockAddr]V, render func(io.Writer, BlockAddr, V)) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]BlockAddr, 0, len(m))
+	for b := range m {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, b := range keys {
+		render(w, b, m[b])
+	}
+}
+
+// DigestIDTable renders a request-ID-keyed in-flight table as its
+// sorted IDs under a label. It is used for tables whose values hold
+// completion callbacks (not renderable process-independently); the
+// IDs pin the table's occupancy and correlation state, and the
+// entries' architectural content is digested where it lives — in the
+// messages carrying it and the warps awaiting it.
+func DigestIDTable[V any](w io.Writer, label string, m map[uint64]V) {
+	if len(m) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Fprintf(w, "%s %d\n", label, ids)
+}

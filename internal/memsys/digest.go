@@ -1,0 +1,52 @@
+package memsys
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+)
+
+// DigestState writes a canonical, process-independent rendering of the
+// whole memory system: the architected store image, every controller's
+// microarchitectural state, the interconnect, the DRAM partitions, the
+// overflow-reset epoch and the fault machinery (held messages and the
+// injector's RNG position). Two equal digests from different processes
+// imply the same memory-system state and the same future behavior.
+func (s *System) DigestState(w io.Writer) {
+	io.WriteString(w, "store\n")
+	s.Store.DigestInto(w)
+	for i, l1 := range s.L1s {
+		digestController(w, "l1", i, l1)
+	}
+	for i, l2 := range s.L2s {
+		digestController(w, "l2", i, l2)
+	}
+	s.Net.DigestState(w)
+	for _, p := range s.Parts {
+		p.DigestState(w)
+	}
+	if s.Resets != nil {
+		fmt.Fprintf(w, "resets epoch=%d count=%d\n", s.Resets.Epoch(), s.Resets.Resets())
+	}
+	if s.inj != nil {
+		fmt.Fprintf(w, "rng %#x\n", s.inj.RNGState())
+	}
+	for _, sh := range s.shims {
+		sh.DigestState(w)
+	}
+}
+
+// digestController renders one cache controller. Every controller in
+// this repository implements coherence.StateDigester; the DumpState
+// fallback keeps the digest total (if coarser) for out-of-tree ones.
+func digestController(w io.Writer, kind string, id int, c interface {
+	DumpState() diag.CacheState
+}) {
+	if d, ok := c.(coherence.StateDigester); ok {
+		d.DigestState(w)
+		return
+	}
+	fmt.Fprintf(w, "%s[%d] %+v\n", kind, id, c.DumpState())
+}

@@ -1,0 +1,44 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DigestState writes a canonical, process-independent rendering of the
+// interconnect: per-port queues in port order, and the full in-flight
+// wire sorted by (arrival, sequence) — unlike DumpState's diagnostic
+// view, nothing is capped. The sequence counter is included because it
+// seeds future arrival ordering.
+func (n *Network) DigestState(w io.Writer) {
+	fmt.Fprintf(w, "noc now=%d seq=%d inflight=%d bis=%d\n",
+		n.now, n.seqCtr, n.inFlight, n.mesh.bisFree)
+	digestPorts(w, "toL2", n.toL2)
+	digestPorts(w, "toL1", n.toL1)
+	wire := make([]arrival, len(n.wire))
+	copy(wire, n.wire)
+	sort.Slice(wire, func(i, j int) bool {
+		if wire[i].at != wire[j].at {
+			return wire[i].at < wire[j].at
+		}
+		return wire[i].seq < wire[j].seq
+	})
+	for _, a := range wire {
+		fmt.Fprintf(w, "wire %d %d %t ", a.at, a.seq, a.toL2)
+		a.msg.DigestInto(w)
+	}
+}
+
+func digestPorts(w io.Writer, label string, ports []*port) {
+	for i, p := range ports {
+		if p.len() == 0 && p.busyUntil == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "port %s[%d] busy=%d\n", label, i, p.busyUntil)
+		for j := p.head; j < len(p.q); j++ {
+			fmt.Fprintf(w, "q enq=%d ", p.q[j].enq)
+			p.q[j].msg.DigestInto(w)
+		}
+	}
+}

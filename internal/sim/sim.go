@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
@@ -30,6 +31,13 @@ type Config struct {
 	// DRAM traffic) before the run aborts with a diag.DeadlockError;
 	// default 100k. The watchdog catches deadlocks in seconds where
 	// the MaxCycles budget would grind for minutes.
+	//
+	// The window counts SIMULATED cycles only — never wall-clock time.
+	// A run that is descheduled for seconds by the OS (worker pools
+	// oversubscribed past GOMAXPROCS, -j fan-out, CI contention) makes
+	// no simulated progress while parked and therefore cannot trip the
+	// watchdog; only a machine that ticks without any counter moving
+	// does. TestWatchdogOversubscribed pins this.
 	WatchdogWindow uint64
 	// DisableWatchdog turns the forward-progress check off (the
 	// MaxCycles budget still applies).
@@ -54,6 +62,40 @@ func DefaultConfig() Config {
 	}
 }
 
+// run phases of one kernel execution.
+const (
+	phaseRun   = iota // main cycle loop until all warps retire
+	phaseDrain        // kernel-boundary flush + hierarchy drain
+)
+
+// ctxPollMask throttles context-cancellation checks on the hot cycle
+// loop: ctx.Err() is sampled every 1024 simulated cycles. Cancellation
+// latency is therefore bounded in simulated cycles (microseconds of
+// wall clock), and — critically — polling reads no state that feeds
+// back into the simulation, so runs are bit-identical with or without
+// a cancelable context.
+const ctxPollMask = 1023
+
+// runState is the engine state of one in-progress kernel execution.
+// It lives on the Simulator between RunUntil/Resume calls, which is
+// what makes a run pausable at an arbitrary cycle: exiting the cycle
+// loop loses no machine state, and re-entering it continues exactly
+// where the loop stopped.
+type runState struct {
+	kernel *gpu.Kernel
+	phase  int
+	start  uint64 // s.now when the run phase began
+	guard  uint64 // drain-phase budget counter
+
+	// Forward-progress watchdog sampling state (simulated-cycle based).
+	lastSig      uint64
+	lastProgress uint64
+
+	// run holds the assembled stats once the run phase completes; the
+	// drain phase only advances the hierarchy.
+	run *stats.Run
+}
+
 // Simulator executes kernels over one assembled machine.
 type Simulator struct {
 	Cfg   Config
@@ -61,6 +103,9 @@ type Simulator struct {
 	Sys   *memsys.System
 	SMs   []*gpu.SM
 	now   uint64
+
+	cur         *runState // non-nil while a kernel is paused mid-execution
+	kernelsDone int       // kernels run to completion on this simulator
 }
 
 // New builds a simulator. The TC variant is matched to the consistency
@@ -90,6 +135,13 @@ func New(cfg Config) *Simulator {
 // Now returns the current cycle.
 func (s *Simulator) Now() uint64 { return s.now }
 
+// KernelsDone returns how many kernels have run to completion.
+func (s *Simulator) KernelsDone() int { return s.kernelsDone }
+
+// Paused reports whether a kernel execution is suspended mid-flight
+// (after RunUntil hit its stop cycle or a context was canceled).
+func (s *Simulator) Paused() bool { return s.cur != nil }
+
 // ReadWord returns the architected value of a global-memory word
 // (L2-or-DRAM), for verifying kernel results.
 func (s *Simulator) ReadWord(a mem.Addr) uint32 { return s.Sys.ReadWord(a) }
@@ -98,6 +150,53 @@ func (s *Simulator) ReadWord(a mem.Addr) uint32 { return s.Sys.ReadWord(a) }
 // Multiple kernels may be run back-to-back on the same simulator; the
 // paper's per-kernel L1 flush and timestamp reset happen between runs.
 func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
+	return s.RunContext(context.Background(), kernel)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled (or its
+// deadline passes) the cycle loop stops within ctxPollMask+1 simulated
+// cycles and returns a *diag.CanceledError. The machine state is left
+// intact and paused — the caller may Snapshot() it for a checkpoint or
+// Resume() it with a fresh context. Cancellation never perturbs the
+// simulation itself: a run that completes under a canceled-too-late
+// context is bit-identical to one run without a context.
+func (s *Simulator) RunContext(ctx context.Context, kernel *gpu.Kernel) (*stats.Run, error) {
+	run, paused, err := s.RunUntil(ctx, kernel, 0)
+	if err != nil {
+		return nil, err
+	}
+	if paused {
+		// Unreachable with stopAt 0, but keep the invariant explicit.
+		return nil, errors.New("sim: run paused without a stop cycle")
+	}
+	return run, nil
+}
+
+// RunUntil executes kernel but pauses the machine once the global
+// clock reaches stopAt (0 = never): it returns paused=true with all
+// state retained, and Resume continues the same kernel. A pause is a
+// pure suspension — the eventual stats.Run of the kernel is
+// bit-identical however many times the execution is paused and
+// resumed, which is what makes checkpoint/restore exact.
+func (s *Simulator) RunUntil(ctx context.Context, kernel *gpu.Kernel, stopAt uint64) (*stats.Run, bool, error) {
+	if s.cur != nil {
+		return nil, false, errors.New("sim: a kernel is already in flight; use Resume")
+	}
+	s.beginKernel(kernel)
+	return s.advance(ctx, stopAt)
+}
+
+// Resume continues a paused kernel until completion or until stopAt
+// (0 = run to completion). See RunUntil.
+func (s *Simulator) Resume(ctx context.Context, stopAt uint64) (*stats.Run, bool, error) {
+	if s.cur == nil {
+		return nil, false, errors.New("sim: no paused kernel to resume")
+	}
+	return s.advance(ctx, stopAt)
+}
+
+// beginKernel initializes backing store and dispatches the grid.
+func (s *Simulator) beginKernel(kernel *gpu.Kernel) {
 	if kernel.Init != nil {
 		kernel.Init(s.Store)
 	}
@@ -115,13 +214,62 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 			}
 		}
 	}
+	s.cur = &runState{
+		kernel:       kernel,
+		phase:        phaseRun,
+		start:        s.now,
+		lastSig:      s.progressSig(),
+		lastProgress: s.now,
+	}
+}
 
-	start := s.now
-	lastSig := s.progressSig()
-	lastProgress := s.now
+// advance drives the current kernel forward. It returns the kernel's
+// stats when it completes, paused=true when stopAt (or a context
+// cancellation) suspended it, or an error. The order of checks inside
+// each loop iteration is part of the determinism contract: a pause
+// suspends the machine "after N completed cycles", and capture (a
+// canceled run) and replay (RunUntil to the recorded cycle) evaluate
+// the same checks at the same points, so they suspend at the identical
+// machine state.
+func (s *Simulator) advance(ctx context.Context, stopAt uint64) (*stats.Run, bool, error) {
+	st := s.cur
+	if st.phase == phaseRun {
+		paused, err := s.runPhase(ctx, stopAt)
+		if err != nil {
+			return nil, false, err
+		}
+		if paused {
+			return nil, true, nil
+		}
+		if err := s.endRunPhase(); err != nil {
+			return nil, false, err
+		}
+	}
+	paused, err := s.drainPhase(ctx, stopAt)
+	if err != nil {
+		return nil, false, err
+	}
+	if paused {
+		return nil, true, nil
+	}
+	run := st.run
+	s.cur = nil
+	s.kernelsDone++
+	return run, false, nil
+}
+
+// runPhase executes the main cycle loop until every warp retires.
+func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
+	st := s.cur
 	for {
-		if s.budgetExhausted(s.now - start) {
-			return nil, s.deadlock(kernel.Name, "run", "max-cycles", s.now-lastProgress)
+		if stopAt != 0 && s.now >= stopAt {
+			return true, nil
+		}
+		if s.now&ctxPollMask == 0 && ctx.Err() != nil {
+			return true, s.canceled(ctx, "run")
+		}
+		if s.budgetExhausted(s.now - st.start) {
+			return false, s.deadlock(st.kernel.Name, "run", "max-cycles", s.now-st.lastProgress)
 		}
 		s.now++
 		s.Sys.Tick(s.now)
@@ -129,30 +277,36 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 			sm.Tick(s.now)
 		}
 		if err := s.Sys.Err(); err != nil {
-			return nil, s.attachDump(err)
+			return false, s.attachDump(err)
 		}
 		if s.done() {
-			break
+			return false, nil
 		}
 		// Forward-progress watchdog: sample the monotone activity
 		// counters every 64 cycles; a window with no change anywhere in
 		// the machine is a deadlock, reported with a state dump long
 		// before the MaxCycles budget would expire.
 		if !s.Cfg.DisableWatchdog && s.now&63 == 0 {
-			if sig := s.progressSig(); sig != lastSig {
-				lastSig = sig
-				lastProgress = s.now
-			} else if s.now-lastProgress >= s.Cfg.WatchdogWindow {
-				return nil, s.deadlock(kernel.Name, "run", "no-forward-progress", s.now-lastProgress)
+			if sig := s.progressSig(); sig != st.lastSig {
+				st.lastSig = sig
+				st.lastProgress = s.now
+			} else if s.now-st.lastProgress >= s.Cfg.WatchdogWindow {
+				return false, s.deadlock(st.kernel.Name, "run", "no-forward-progress", s.now-st.lastProgress)
 			}
 		}
 	}
+}
 
+// endRunPhase assembles the kernel's statistics and starts the
+// kernel-boundary flush, transitioning the state machine to the drain
+// phase.
+func (s *Simulator) endRunPhase() error {
+	st := s.cur
 	run := &stats.Run{
-		Kernel:      kernel.Name,
+		Kernel:      st.kernel.Name,
 		Protocol:    s.Cfg.Mem.Protocol.String(),
 		Consistency: s.Cfg.SM.Consistency.String(),
-		Cycles:      s.now - start,
+		Cycles:      s.now - st.start,
 	}
 	for _, sm := range s.SMs {
 		run.SM.Add(sm.Stats())
@@ -168,29 +322,56 @@ func (s *Simulator) Run(kernel *gpu.Kernel) (*stats.Run, error) {
 		l1.Flush()
 	}
 	if err := s.Sys.Err(); err != nil {
-		return nil, s.attachDump(err)
+		return s.attachDump(err)
 	}
-	lastSig = s.progressSig()
-	lastProgress = s.now
-	for guard := uint64(0); s.Sys.Pending() != 0; guard++ {
-		if s.budgetExhausted(guard) {
-			return nil, s.deadlock(kernel.Name, "drain", "max-cycles", s.now-lastProgress)
+	st.run = run
+	st.phase = phaseDrain
+	st.guard = 0
+	st.lastSig = s.progressSig()
+	st.lastProgress = s.now
+	return nil
+}
+
+// drainPhase ticks the hierarchy until no in-flight work remains.
+func (s *Simulator) drainPhase(ctx context.Context, stopAt uint64) (bool, error) {
+	st := s.cur
+	for ; s.Sys.Pending() != 0; st.guard++ {
+		if stopAt != 0 && s.now >= stopAt {
+			return true, nil
+		}
+		if s.now&ctxPollMask == 0 && ctx.Err() != nil {
+			return true, s.canceled(ctx, "drain")
+		}
+		if s.budgetExhausted(st.guard) {
+			return false, s.deadlock(st.kernel.Name, "drain", "max-cycles", s.now-st.lastProgress)
 		}
 		s.now++
 		s.Sys.Tick(s.now)
 		if err := s.Sys.Err(); err != nil {
-			return nil, s.attachDump(err)
+			return false, s.attachDump(err)
 		}
 		if !s.Cfg.DisableWatchdog && s.now&63 == 0 {
-			if sig := s.progressSig(); sig != lastSig {
-				lastSig = sig
-				lastProgress = s.now
-			} else if s.now-lastProgress >= s.Cfg.WatchdogWindow {
-				return nil, s.deadlock(kernel.Name, "drain", "no-forward-progress", s.now-lastProgress)
+			if sig := s.progressSig(); sig != st.lastSig {
+				st.lastSig = sig
+				st.lastProgress = s.now
+			} else if s.now-st.lastProgress >= s.Cfg.WatchdogWindow {
+				return false, s.deadlock(st.kernel.Name, "drain", "no-forward-progress", s.now-st.lastProgress)
 			}
 		}
 	}
-	return run, nil
+	return false, nil
+}
+
+// canceled builds the structured cancellation error. The machine stays
+// paused: s.cur is retained so the caller can Snapshot() or Resume().
+func (s *Simulator) canceled(ctx context.Context, phase string) error {
+	return &diag.CanceledError{
+		Kernel:      s.cur.kernel.Name,
+		Phase:       phase,
+		Cycle:       s.now,
+		KernelIndex: s.kernelsDone,
+		Cause:       context.Cause(ctx),
+	}
 }
 
 // budgetExhausted reports whether a phase that has already executed
@@ -204,7 +385,10 @@ func (s *Simulator) budgetExhausted(elapsed uint64) bool {
 }
 
 // progressSig sums the machine's monotone activity counters; any
-// change between samples means forward progress is being made.
+// change between samples means forward progress is being made. The
+// signature is a pure function of simulated state — it deliberately
+// reads no clocks, so scheduling delays cannot masquerade as (or mask)
+// a deadlock.
 func (s *Simulator) progressSig() uint64 {
 	var sig uint64
 	for _, sm := range s.SMs {

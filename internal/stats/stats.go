@@ -9,6 +9,7 @@ package stats
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 )
@@ -203,6 +204,24 @@ type Run struct {
 	EnergyJ EnergyBreakdown
 }
 
+// Accumulate adds o's counters into r (identity fields are left
+// alone). Multi-kernel workloads sum per-kernel runs into one
+// aggregate; partial-figure assembly sums whatever completed.
+func (r *Run) Accumulate(o *Run) {
+	r.Cycles += o.Cycles
+	r.SM.Add(&o.SM)
+	r.L1.Add(&o.L1)
+	r.L2.Add(&o.L2)
+	r.NoC.Add(&o.NoC)
+	r.DRAM.Add(&o.DRAM)
+	r.EnergyJ.L1 += o.EnergyJ.L1
+	r.EnergyJ.L2 += o.EnergyJ.L2
+	r.EnergyJ.NoC += o.EnergyJ.NoC
+	r.EnergyJ.DRAM += o.EnergyJ.DRAM
+	r.EnergyJ.Core += o.EnergyJ.Core
+	r.EnergyJ.Static += o.EnergyJ.Static
+}
+
 // EnergyBreakdown holds joules per component, filled in by the energy model.
 type EnergyBreakdown struct {
 	L1     float64
@@ -251,6 +270,24 @@ func (h *Histogram) Observe(v uint64) {
 
 // Count returns the number of samples observed.
 func (h *Histogram) Count() uint64 { return h.total }
+
+// DigestInto writes the histogram's contents in ascending bucket
+// order — a canonical rendering for checkpoint state digests.
+func (h *Histogram) DigestInto(w io.Writer) {
+	if h.total == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(h.buckets))
+	for v := range h.buckets {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Fprintf(w, "hist n=%d", h.total)
+	for _, v := range keys {
+		fmt.Fprintf(w, " %d:%d", v, h.buckets[v])
+	}
+	fmt.Fprintln(w)
+}
 
 // Mean returns the sample mean (0 for an empty histogram).
 func (h *Histogram) Mean() float64 {

@@ -20,6 +20,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/gtsc-sim/gtsc/internal/gpu"
@@ -51,22 +52,34 @@ type Instance struct {
 // Run executes the instance on a fresh simulator for cfg, verifies the
 // result, and returns the aggregated statistics of all its kernels.
 func (inst *Instance) Run(cfg sim.Config) (*stats.Run, error) {
+	return inst.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run honoring a context: cancellation or deadline
+// expiry suspends the simulation and surfaces a *diag.CanceledError.
+func (inst *Instance) RunContext(ctx context.Context, cfg sim.Config) (*stats.Run, error) {
 	s := sim.New(cfg)
-	return inst.RunOn(s)
+	return inst.RunOnContext(ctx, s)
 }
 
 // RunOn executes the instance on an existing simulator.
 func (inst *Instance) RunOn(s *sim.Simulator) (*stats.Run, error) {
+	return inst.RunOnContext(context.Background(), s)
+}
+
+// RunOnContext executes the instance on an existing simulator,
+// honoring ctx between and within kernels.
+func (inst *Instance) RunOnContext(ctx context.Context, s *sim.Simulator) (*stats.Run, error) {
 	var agg *stats.Run
 	for _, k := range inst.Kernels {
-		run, err := s.Run(k)
+		run, err := s.RunContext(ctx, k)
 		if err != nil {
 			return nil, err
 		}
 		if agg == nil {
 			agg = run
 		} else {
-			accumulate(agg, run)
+			agg.Accumulate(run)
 		}
 	}
 	if inst.Verify != nil {
@@ -75,21 +88,6 @@ func (inst *Instance) RunOn(s *sim.Simulator) (*stats.Run, error) {
 		}
 	}
 	return agg, nil
-}
-
-func accumulate(agg, run *stats.Run) {
-	agg.Cycles += run.Cycles
-	agg.SM.Add(&run.SM)
-	agg.L1.Add(&run.L1)
-	agg.L2.Add(&run.L2)
-	agg.NoC.Add(&run.NoC)
-	agg.DRAM.Add(&run.DRAM)
-	agg.EnergyJ.L1 += run.EnergyJ.L1
-	agg.EnergyJ.L2 += run.EnergyJ.L2
-	agg.EnergyJ.NoC += run.EnergyJ.NoC
-	agg.EnergyJ.DRAM += run.EnergyJ.DRAM
-	agg.EnergyJ.Core += run.EnergyJ.Core
-	agg.EnergyJ.Static += run.EnergyJ.Static
 }
 
 // All returns the full suite in the paper's presentation order:

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke test, run by CI on every push.
+#
+# Exercises the resilience surface end to end, outside the Go test
+# harness (real binaries, real signals, real files):
+#
+#   1. gtscsim: a single run is interrupted (-timeout), must exit 3
+#      and write a checkpoint; -resume must complete it with output
+#      bit-identical to an uninterrupted reference run.
+#   2. gtscbench: a sweep with a journal is killed by SIGTERM, must
+#      exit 3; rerunning with the same journal must replay the
+#      completed simulations, finish the rest, and print the same
+#      table as an uninterrupted reference sweep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/gtscsim" ./cmd/gtscsim
+go build -o "$workdir/gtscbench" ./cmd/gtscbench
+
+fail() { echo "kill_resume_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== gtscsim: interrupt, checkpoint, resume =="
+sim_flags=(-workload CC -scale 64)
+
+set +e
+"$workdir/gtscsim" "${sim_flags[@]}" -checkpoint "$workdir/cc.ckpt" -timeout 400ms \
+  >"$workdir/sim_interrupted.out" 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || fail "interrupted gtscsim exited $rc, want 3 (output: $(cat "$workdir/sim_interrupted.out"))"
+[ -f "$workdir/cc.ckpt" ] || fail "no checkpoint written on interrupt"
+
+"$workdir/gtscsim" "${sim_flags[@]}" -checkpoint "$workdir/cc.ckpt" -resume \
+  >"$workdir/sim_resumed.out" 2>&1 || fail "resume failed: $(cat "$workdir/sim_resumed.out")"
+grep -q "replay digest verified" "$workdir/sim_resumed.out" || fail "resume did not verify the replay digest"
+[ ! -f "$workdir/cc.ckpt" ] || fail "checkpoint not cleaned up after completion"
+
+"$workdir/gtscsim" "${sim_flags[@]}" >"$workdir/sim_reference.out" 2>&1
+# Drop the resume banner; everything else (all stats) must match the
+# uninterrupted run exactly.
+grep -v "^resumed " "$workdir/sim_resumed.out" >"$workdir/sim_resumed_stats.out"
+diff -u "$workdir/sim_reference.out" "$workdir/sim_resumed_stats.out" \
+  || fail "resumed run differs from uninterrupted reference"
+echo "   OK: exit 3 on interrupt, verified resume, bit-identical stats"
+
+echo "== gtscbench: SIGTERM mid-sweep, journal resume =="
+bench_flags=(-exp table2 -scale 4 -sms 8 -banks 4 -j 4)
+
+set +e
+"$workdir/gtscbench" "${bench_flags[@]}" -journal "$workdir/sweep.jrnl" \
+  >"$workdir/bench_interrupted.out" 2>&1 &
+bench_pid=$!
+sleep 0.8
+kill -TERM "$bench_pid" 2>/dev/null
+wait "$bench_pid"
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || fail "interrupted gtscbench exited $rc, want 3 (output: $(cat "$workdir/bench_interrupted.out"))"
+[ -f "$workdir/sweep.jrnl" ] || fail "no journal written"
+
+"$workdir/gtscbench" "${bench_flags[@]}" -journal "$workdir/sweep.jrnl" \
+  >"$workdir/bench_resumed.out" 2>&1 || fail "journal resume failed: $(cat "$workdir/bench_resumed.out")"
+grep -q "^journal: replayed " "$workdir/bench_resumed.out" || fail "resume did not replay journaled runs"
+
+"$workdir/gtscbench" "${bench_flags[@]}" >"$workdir/bench_reference.out" 2>&1
+grep -v "^journal: " "$workdir/bench_resumed.out" >"$workdir/bench_resumed_table.out"
+diff -u "$workdir/bench_reference.out" "$workdir/bench_resumed_table.out" \
+  || fail "resumed sweep differs from uninterrupted reference"
+echo "   OK: exit 3 on SIGTERM, journal replayed, bit-identical table"
+
+echo "kill_resume_smoke: PASS"
