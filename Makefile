@@ -27,10 +27,11 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Simulator performance snapshot: single-sim ns/cycle and allocs, plus
-# Fig-12 grid wall time serial vs parallel (see EXPERIMENTS.md).
+# Simulator performance snapshot: single-sim ns/cycle and allocs at
+# simworkers 1 vs N (with the skipped-cycle breakdown), plus Fig-12
+# grid wall time serial vs parallel (see EXPERIMENTS.md).
 bench-sim:
-	$(GO) run ./cmd/gtscbench -benchsim BENCH_sim.json -scale 1 -sms 4 -banks 4 -j 4
+	$(GO) run ./cmd/gtscbench -benchsim BENCH_sim.json -scale 1 -sms 4 -banks 4 -j 4 -simworkers 4
 	@cat BENCH_sim.json
 
 vet:

@@ -10,6 +10,7 @@
 //	gtscbench -exp lease       # an extension (lease, tso, scale, micro, platform, cache)
 //	gtscbench -scale 1 -sms 8  # smaller machine / inputs
 //	gtscbench -j 8             # fan simulations across 8 workers
+//	gtscbench -j 4 -simworkers 2  # also tick SMs in parallel inside each simulation
 //	gtscbench -journal sweep.jrnl       # crash-safe: rerun with the same journal to resume
 //	gtscbench -timeout 10m              # bound wall-clock time (suspends gracefully)
 //	gtscbench -keep-going               # survive per-run failures; print partial figures
@@ -29,11 +30,34 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/experiments"
 )
+
+// clampSimWorkers resolves -simworkers against -j: each of the j
+// session workers drives its own simulation, so the goroutine budget
+// is j*simworkers. The product is clamped to 2*GOMAXPROCS — results
+// are bit-identical at any setting, so the clamp only bounds scheduler
+// oversubscription, never changes output.
+func clampSimWorkers(jobs, simw int) int {
+	maxprocs := runtime.GOMAXPROCS(0)
+	if jobs <= 0 {
+		jobs = maxprocs
+	}
+	if simw <= 0 {
+		simw = maxprocs
+	}
+	if budget := 2 * maxprocs; jobs*simw > budget {
+		simw = budget / jobs
+	}
+	if simw < 1 {
+		simw = 1
+	}
+	return simw
+}
 
 const (
 	exitOK          = 0
@@ -53,6 +77,7 @@ func realMain() int {
 		lease    = flag.Uint64("gtsc-lease", 10, "G-TSC logical lease")
 		tcl      = flag.Uint64("tc-lease", 400, "TC lease in cycles")
 		jobs     = flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any -j")
+		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); goroutine budget is j*simworkers, clamped so it stays <= 2*GOMAXPROCS; results are bit-identical at any setting")
 		benchsim = flag.String("benchsim", "", "write a performance snapshot (wall time, ns/cycle, allocs) to this JSON file and exit")
 
 		journal   = flag.String("journal", "", "crash-safe run journal: completed simulations are persisted here and replayed on restart")
@@ -70,12 +95,13 @@ func realMain() int {
 	cfg.GTSCLease = *lease
 	cfg.TCLease = *tcl
 	cfg.Workers = *jobs
+	cfg.SimWorkers = clampSimWorkers(*jobs, *simw)
 	cfg.FaultSeed = *faultSeed
 	cfg.RetryTransient = *retry
 	cfg.KeepGoing = *keepGoing
 
 	if *benchsim != "" {
-		b, err := experiments.RunBenchSim(cfg, *jobs)
+		b, err := experiments.RunBenchSim(cfg, *jobs, *simw)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gtscbench:", err)
 			return exitFailure
@@ -88,6 +114,12 @@ func realMain() int {
 			*benchsim, b.Fig12Grid.Simulations,
 			float64(b.Fig12Grid.SerialNs)/1e9, float64(b.Fig12Grid.ParallelNs)/1e9,
 			b.Workers, b.Fig12Grid.Speedup, b.Fig12Grid.BitIdentical)
+		fmt.Printf("bench-sim: single-sim %s: %d/%d run cycles skipped, %d/%d drain cycles skipped; simworkers %d: %.2fx vs serial, tick efficiency %.2f, bit-identical %v\n",
+			b.SingleSim.Workload,
+			b.SingleSim.RunCyclesSkipped, b.SingleSim.RunCyclesExecuted+b.SingleSim.RunCyclesSkipped,
+			b.SingleSim.DrainCyclesSkipped, b.SingleSim.DrainCyclesExecuted+b.SingleSim.DrainCyclesSkipped,
+			b.ParallelTick.SimWorkers, b.ParallelTick.Speedup,
+			b.ParallelTick.ParallelTickEfficiency, b.ParallelTick.BitIdentical)
 		return exitOK
 	}
 

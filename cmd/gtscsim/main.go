@@ -7,6 +7,7 @@
 //	gtscsim -workload CC -protocol gtsc -consistency rc -sms 16 -banks 8
 //	gtscsim -workload BH,CC,STN -j 4     # several workloads in parallel
 //	gtscsim -workload all -j 0           # every workload, GOMAXPROCS workers
+//	gtscsim -workload CC -simworkers 4   # tick SMs on 4 workers inside the run
 //	gtscsim -list
 //	gtscsim -workload BFS -protocol tc -check
 //	gtscsim -workload CC -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -61,6 +62,28 @@ const (
 
 func main() { os.Exit(realMain()) }
 
+// clampSimWorkers resolves -simworkers against the multi-workload
+// worker count: each worker drives its own simulation, so the
+// goroutine budget is jobs*simworkers. The product is clamped to
+// 2*GOMAXPROCS — results are bit-identical at any setting, so the
+// clamp only bounds scheduler oversubscription, never changes output.
+func clampSimWorkers(jobs, simw int) int {
+	maxprocs := runtime.GOMAXPROCS(0)
+	if jobs <= 0 {
+		jobs = maxprocs
+	}
+	if simw <= 0 {
+		simw = maxprocs
+	}
+	if budget := 2 * maxprocs; jobs*simw > budget {
+		simw = budget / jobs
+	}
+	if simw < 1 {
+		simw = 1
+	}
+	return simw
+}
+
 func realMain() int {
 	var (
 		name     = flag.String("workload", "CC", "workload name, comma-separated list, or \"all\" (see -list)")
@@ -76,6 +99,7 @@ func realMain() int {
 		doCheck  = flag.Bool("check", false, "verify protocol invariants with the operation checker")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jobs     = flag.Int("j", 1, "workers for multi-workload runs (0 = GOMAXPROCS); each run is hermetic, so output is identical at any -j")
+		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); with multi-workload -j the goroutine budget is j*simworkers, clamped to 2*GOMAXPROCS; output is bit-identical at any setting")
 
 		maxCycles = flag.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = default 200M)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
@@ -224,6 +248,7 @@ func realMain() int {
 		if len(wls) != 1 {
 			fatalf("-checkpoint tracks a single execution; run one workload (got %d)", len(wls))
 		}
+		cfg.SimWorkers = clampSimWorkers(1, *simw)
 		return runCheckpointed(ctx, wls[0], cfg, *scale, *ckpt, *resume)
 	}
 
@@ -235,6 +260,7 @@ func realMain() int {
 	type result struct {
 		run *stats.Run
 		rec *check.Recorder
+		eng *sim.EngineStats
 		err error
 	}
 	results := make([]result, len(wls))
@@ -245,6 +271,7 @@ func realMain() int {
 	if workers > len(wls) {
 		workers = len(wls)
 	}
+	cfg.SimWorkers = clampSimWorkers(workers, *simw)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, wl := range wls {
@@ -258,7 +285,9 @@ func realMain() int {
 				results[i].rec = check.NewRecorder()
 				runCfg.Observer = results[i].rec
 			}
-			results[i].run, results[i].err = wl.Build(*scale).RunContext(ctx, runCfg)
+			s := sim.New(runCfg)
+			results[i].run, results[i].err = wl.Build(*scale).RunOnContext(ctx, s)
+			results[i].eng = s.Engine()
 		}(i, wl)
 	}
 	wg.Wait()
@@ -294,6 +323,10 @@ func realMain() int {
 			continue
 		}
 		fmt.Print(res.run)
+		if eng := res.eng; eng != nil {
+			fmt.Printf("engine: simworkers=%d skipped_cycles=%d parallel_tick_efficiency=%.2f\n",
+				cfg.SimWorkers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
+		}
 		if res.rec != nil && !reportChecker(cfg, res.rec) {
 			failed = true
 		}
@@ -377,6 +410,9 @@ func runCheckpointed(ctx context.Context, wl *workload.Workload, cfg sim.Config,
 		return exitFailure
 	}
 	fmt.Print(run)
+	eng := e.Sim().Engine()
+	fmt.Printf("engine: simworkers=%d skipped_cycles=%d parallel_tick_efficiency=%.2f\n",
+		cfg.SimWorkers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
 	// The run completed; a stale checkpoint would otherwise replay a
 	// finished execution on the next -resume.
 	os.Remove(path)

@@ -92,6 +92,13 @@ type L1 interface {
 	DumpState() diag.CacheState
 	// Stats exposes the controller's counters.
 	Stats() *stats.L1Stats
+	// Quiescent reports that Tick would be a pure no-op at any future
+	// cycle until a new message or access arrives: no queued output, no
+	// retry loops, no per-cycle counter updates. The cycle-skipping
+	// engine only fast-forwards the clock when every component is
+	// quiescent, so Quiescent must never return true while the
+	// controller still mutates state (or stats) on its own clock.
+	Quiescent() bool
 }
 
 // L2 is a shared cache bank controller.
@@ -115,6 +122,15 @@ type L2 interface {
 	DumpState() diag.CacheState
 	// Stats exposes the bank's counters.
 	Stats() *stats.L2Stats
+	// Quiescent reports that Tick would be a pure no-op until new input
+	// arrives (see L1.Quiescent). Banks with time-based retry loops
+	// (TC lease-expiry unblocking, stalled fill replays) must report
+	// non-quiescent while any such loop is armed.
+	Quiescent() bool
+	// Drained reports that no in-flight work remains at all — the O(1)
+	// equivalent of Pending() == 0, used by the drain loop every cycle
+	// where the full Pending scan would dominate short kernels.
+	Drained() bool
 }
 
 // StateDigester is implemented by controllers that can write a

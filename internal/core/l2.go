@@ -112,6 +112,20 @@ func (l *L2) Pending() int {
 	return n
 }
 
+// Quiescent implements coherence.L2. Outstanding misses do not block
+// quiescence: fills never stall (installFill evicts unconditionally in
+// this non-inclusive design), so a miss entry only changes state when
+// a DRAM fill message arrives, which the skip engine models as a
+// scheduled event.
+func (l *L2) Quiescent() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0
+}
+
+// Drained implements coherence.L2: O(1) Pending() == 0.
+func (l *L2) Drained() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 && len(l.miss) == 0
+}
+
 // MemTS exposes the bank's memory timestamp (tests, trace tooling).
 func (l *L2) MemTS() uint64 { return l.memTS }
 

@@ -77,6 +77,12 @@ type L2 struct {
 	stats stats.L2Stats
 	obs   coherence.Observer
 	fail  *diag.ProtocolError
+
+	// stalledFills counts misses whose DRAM data has returned but whose
+	// install stalled on a protected victim (m.data != nil). While any
+	// fill is stalled, Tick retries installs (counting EvictStalls and
+	// issuing recalls) every cycle, so the bank is not quiescent.
+	stalledFills int
 }
 
 // L2Geometry describes one bank's organization.
@@ -118,6 +124,22 @@ func (l *L2) Pending() int {
 		n += len(b.waiting) + b.remaining() + 1
 	}
 	return n
+}
+
+// Quiescent implements coherence.L2. Stalled fills bar quiescence
+// (Tick retries them, counting EvictStalls and issuing recalls, every
+// cycle). Plain misses and busy directory transactions do not: both
+// advance only when a message arrives, which the skip engine models
+// as scheduled NoC/DRAM events.
+func (l *L2) Quiescent() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 &&
+		l.stalledFills == 0
+}
+
+// Drained implements coherence.L2: O(1) Pending() == 0.
+func (l *L2) Drained() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 &&
+		len(l.miss) == 0 && len(l.busy) == 0
 }
 
 // failf records the first protocol violation; the bank then drops
@@ -181,6 +203,7 @@ func (l *L2) DRAMFill(msg *mem.Msg) {
 		return
 	}
 	m.data = msg.Data
+	l.stalledFills++
 	l.tryInstall(m)
 }
 
@@ -203,6 +226,7 @@ func (l *L2) tryInstall(m *l2Miss) {
 	victim.Meta.clearOwner()
 	l.stats.DataAccesses++
 	delete(l.miss, m.block)
+	l.stalledFills--
 	waiting := m.waiting
 	l.runQueue(m.block, waiting)
 }
@@ -515,10 +539,14 @@ func (l *L2) Tick(now uint64) {
 	l.drainOut()
 	// Retry stalled installs (their recalls may have completed). Sorted
 	// by block address so replay order is independent of map layout.
+	// The scan is gated on the O(1) stalled-fill count: with none
+	// stalled it built an empty slice anyway, so skipping it is exact.
 	var stalled []mem.BlockAddr
-	for b, m := range l.miss {
-		if m.data != nil && l.busy[b] == nil {
-			stalled = append(stalled, b)
+	if l.stalledFills > 0 {
+		for b, m := range l.miss {
+			if m.data != nil && l.busy[b] == nil {
+				stalled = append(stalled, b)
+			}
 		}
 	}
 	slices.Sort(stalled)

@@ -246,3 +246,23 @@ func (h *fillHeap) pop() fill2 {
 	}
 	return top
 }
+
+// Never is the NextEvent result when no event is scheduled at all.
+const Never = ^uint64(0)
+
+// NextEvent returns the earliest future cycle (> now) at which ticking
+// the partition could change state: the next issue opportunity while
+// requests are queued, or the earliest scheduled fill delivery. The
+// queued-request bound is conservative for the banked model (a free
+// bank may appear later than nextIssue), which only shortens skip
+// windows, never reorders events. Returns Never when idle.
+func (p *Partition) NextEvent(now uint64) uint64 {
+	next := uint64(Never)
+	if len(p.queue) > 0 {
+		next = max(p.nextIssue, now+1)
+	}
+	if len(p.fills) > 0 {
+		next = min(next, max(p.fills[0].at, now+1))
+	}
+	return next
+}

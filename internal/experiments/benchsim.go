@@ -23,7 +23,11 @@ type BenchSim struct {
 	Workers    int `json:"workers"`
 
 	// Single-simulation cycle-loop cost (BH under G-TSC/RC on the
-	// benchmark machine), averaged over Iterations runs.
+	// benchmark machine), averaged over Iterations runs, at
+	// SimWorkers=1 (the serial loop, with quiescence skipping) and at
+	// SimWorkers=N (the barrier-synchronized parallel tick). The
+	// engine breakdown shows where simulated cycles went: executed vs
+	// fast-forwarded, run phase vs drain phase.
 	SingleSim struct {
 		Workload      string  `json:"workload"`
 		Protocol      string  `json:"protocol"`
@@ -33,7 +37,24 @@ type BenchSim struct {
 		NsPerSimCycle float64 `json:"ns_per_sim_cycle"`
 		AllocsPerRun  uint64  `json:"allocs_per_run"`
 		BytesPerRun   uint64  `json:"bytes_per_run"`
+
+		// Engine cycle accounting (identical at any SimWorkers).
+		RunCyclesExecuted   uint64 `json:"run_cycles_executed"`
+		RunCyclesSkipped    uint64 `json:"run_cycles_skipped"`
+		DrainCyclesExecuted uint64 `json:"drain_cycles_executed"`
+		DrainCyclesSkipped  uint64 `json:"drain_cycles_skipped"`
+		SkippedCycles       uint64 `json:"skipped_cycles_total"`
 	} `json:"single_sim"`
+
+	// The same single simulation under the parallel SM tick.
+	ParallelTick struct {
+		SimWorkers             int     `json:"simworkers"`
+		WallNsPerRun           int64   `json:"wall_ns_per_run"`
+		NsPerSimCycle          float64 `json:"ns_per_sim_cycle"`
+		Speedup                float64 `json:"speedup_vs_simworkers_1"`
+		ParallelTickEfficiency float64 `json:"parallel_tick_efficiency"`
+		BitIdentical           bool    `json:"bit_identical"`
+	} `json:"parallel_tick"`
 
 	// Fig-12 grid wall time: same grid, Workers=1 vs Workers=N, plus
 	// the bit-identity check between the two result sets.
@@ -47,10 +68,16 @@ type BenchSim struct {
 }
 
 // RunBenchSim executes the benchmark harness: cfg sets the machine
-// (tests/CI use a small one), workers the parallel worker count.
-func RunBenchSim(cfg Config, workers int) (*BenchSim, error) {
+// (tests/CI use a small one), workers the parallel session worker
+// count, simWorkers the intra-simulation SM tick worker count for the
+// parallel-tick measurement (<=1 skips that section's speedup claim
+// but still records the serial numbers).
+func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if simWorkers <= 0 {
+		simWorkers = runtime.GOMAXPROCS(0)
 	}
 	out := &BenchSim{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -72,10 +99,13 @@ func RunBenchSim(cfg Config, workers int) (*BenchSim, error) {
 	simCfg.Mem.Protocol = memsys.GTSC
 	simCfg.Mem.NumSMs = cfg.NumSMs
 	simCfg.Mem.NumBanks = cfg.NumBanks
-	warm, err := wl.Build(cfg.Scale).Run(simCfg)
+	simCfg.SimWorkers = 1
+	warmSim := sim.New(simCfg)
+	warm, err := wl.Build(cfg.Scale).RunOn(warmSim)
 	if err != nil {
 		return nil, err
 	}
+	warmEng := *warmSim.Engine()
 	const iters = 5
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -97,6 +127,36 @@ func RunBenchSim(cfg Config, workers int) (*BenchSim, error) {
 	ss.NsPerSimCycle = float64(ss.WallNsPerRun) / float64(warm.Cycles)
 	ss.AllocsPerRun = (ms1.Mallocs - ms0.Mallocs) / iters
 	ss.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / iters
+	ss.RunCyclesExecuted = warmEng.RunCycles
+	ss.RunCyclesSkipped = warmEng.RunSkipped
+	ss.DrainCyclesExecuted = warmEng.DrainCycles
+	ss.DrainCyclesSkipped = warmEng.DrainSkipped
+	ss.SkippedCycles = warmEng.SkippedCycles()
+
+	// Same simulation under the barrier-synchronized parallel tick.
+	// Results must be bit-identical to the serial run; the wall-time
+	// comparison is the honest one (same skip policy on both sides).
+	parSimCfg := simCfg
+	parSimCfg.SimWorkers = simWorkers
+	parWarmSim := sim.New(parSimCfg)
+	parWarm, err := wl.Build(cfg.Scale).RunOn(parWarmSim)
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := wl.Build(cfg.Scale).Run(parSimCfg); err != nil {
+			return nil, err
+		}
+	}
+	parWall := time.Since(t0)
+	pt := &out.ParallelTick
+	pt.SimWorkers = simWorkers
+	pt.WallNsPerRun = parWall.Nanoseconds() / iters
+	pt.NsPerSimCycle = float64(pt.WallNsPerRun) / float64(parWarm.Cycles)
+	pt.Speedup = float64(ss.WallNsPerRun) / float64(pt.WallNsPerRun)
+	pt.ParallelTickEfficiency = parWarmSim.Engine().ParallelTickEfficiency()
+	pt.BitIdentical = reflect.DeepEqual(warm, parWarm)
 
 	// Fig-12 grid: serial then parallel, fresh sessions so neither
 	// benefits from the other's cache, then bit-identity.

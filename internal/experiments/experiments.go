@@ -50,6 +50,14 @@ type Config struct {
 	// simulator, store, RNG and observer per run — so the results are
 	// bit-identical for any worker count; only wall-clock time changes.
 	Workers int
+	// SimWorkers is the INTRA-simulation parallelism handed to each
+	// run (sim.Config.SimWorkers): SMs inside one simulation tick
+	// concurrently on a barrier-synchronized pool. Like Workers it is
+	// a pure scheduling knob — results and journals are bit-identical
+	// at any setting — and it multiplies: a fan-out uses up to
+	// Workers x SimWorkers goroutines, so keep the product near
+	// GOMAXPROCS (the CLIs clamp it; see EXPERIMENTS.md).
+	SimWorkers int
 
 	// FaultSeed, when non-zero, runs every simulation under the chaos
 	// fault-injection plan with that seed (see internal/fault). Runs
@@ -365,6 +373,7 @@ func (s *Session) simConfig(v variant, attempt int) sim.Config {
 	cfg.SM.Consistency = v.cons
 	cfg.MaxCycles = s.Cfg.MaxCycles
 	cfg.WatchdogWindow = s.Cfg.WatchdogWindow
+	cfg.SimWorkers = s.Cfg.SimWorkers
 	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
 	cfg.Mem.TC.Lease = s.Cfg.TCLease
 	if v.lease != 0 {

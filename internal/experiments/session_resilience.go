@@ -45,13 +45,14 @@ type journalRecord struct {
 }
 
 // configSig canonically hashes the result-affecting part of the
-// session configuration. Workers, RetryTransient and KeepGoing only
-// change scheduling/error handling — results are bit-identical across
-// them — so they are excluded: a journal written at -j 16 resumes
-// cleanly at -j 1.
+// session configuration. Workers, SimWorkers, RetryTransient and
+// KeepGoing only change scheduling/error handling — results are
+// bit-identical across them — so they are excluded: a journal written
+// at -j 16 -simworkers 4 resumes cleanly at -j 1.
 func (s *Session) configSig() uint64 {
 	cfg := s.Cfg
 	cfg.Workers = 0
+	cfg.SimWorkers = 0
 	cfg.RetryTransient = 0
 	cfg.KeepGoing = false
 	h := fnv.New64a()

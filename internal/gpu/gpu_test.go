@@ -56,6 +56,7 @@ func (f *fakeL1) Deliver(*mem.Msg)           {}
 func (f *fakeL1) Tick(uint64)                {}
 func (f *fakeL1) Flush()                     {}
 func (f *fakeL1) Pending() int               { return len(f.parked) }
+func (f *fakeL1) Quiescent() bool            { return true }
 func (f *fakeL1) Stats() *stats.L1Stats      { return &f.stats }
 func (f *fakeL1) Err() error                 { return nil }
 func (f *fakeL1) DumpState() diag.CacheState { return diag.CacheState{Name: "fake-l1"} }

@@ -122,6 +122,13 @@ type SM struct {
 	lastIssued *Warp   // GTO greediness
 	scanBuf    []*Warp // reusable scheduler scan order (hot path)
 
+	// deferFills redirects CTA refills (which draw from the dispatcher
+	// shared by every SM) to CommitFill, so SMs ticking concurrently
+	// never race on CTA assignment: the simulator commits fills in SM
+	// index order after the parallel compute phase.
+	deferFills  bool
+	pendingFill bool
+
 	stats stats.SMStats
 }
 
@@ -529,7 +536,11 @@ func (s *SM) finishWarp(w *Warp) {
 		for _, cw := range cta.Warps {
 			s.freeIDs = append(s.freeIDs, cw.ID)
 		}
-		s.fill()
+		if s.deferFills {
+			s.pendingFill = true
+		} else {
+			s.fill()
+		}
 	}
 }
 
@@ -596,4 +607,21 @@ func (d *Dispatcher) next(s *SM) *CTA {
 		cta.Warps = append(cta.Warps, w)
 	}
 	return cta
+}
+
+// SetDeferFills switches CTA refills between immediate (the serial
+// loop) and deferred-to-CommitFill (the parallel loop). See the
+// deferFills field.
+func (s *SM) SetDeferFills(v bool) { s.deferFills = v }
+
+// CommitFill performs any CTA refill deferred during a parallel
+// compute phase. The simulator calls it in SM index order, which
+// reproduces the serial loop's dispatcher draw order exactly: within
+// one cycle each SM retires CTAs (and would refill) in SM order.
+func (s *SM) CommitFill() {
+	if !s.pendingFill {
+		return
+	}
+	s.pendingFill = false
+	s.fill()
 }

@@ -147,6 +147,10 @@ type System struct {
 
 	inj   *fault.Injector
 	shims []*fault.DelayShim
+
+	// staged interposes each L1's NoC sender for the two-phase
+	// parallel tick (see parallel.go); index = SM id.
+	staged []*stagedSender
 }
 
 // New builds the hierarchy. obs may be nil.
@@ -230,8 +234,10 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 	if s.inj != nil {
 		sendToL2 = s.inj.WrapSender(sendToL2)
 	}
+	s.staged = make([]*stagedSender, cfg.NumSMs)
 	for i := range s.L1s {
-		send := sendToL2
+		s.staged[i] = &stagedSender{real: sendToL2}
+		send := coherence.Sender(s.staged[i])
 		switch cfg.Protocol {
 		case GTSC:
 			s.L1s[i] = core.NewL1(cfg.GTSC, i, cfg.NumBanks,

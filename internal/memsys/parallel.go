@@ -1,0 +1,140 @@
+// Deterministic intra-simulation parallelism support: staged message
+// injection for the barrier-synchronized parallel SM tick, and the
+// next-event / quiescence queries behind machine-level cycle-skipping.
+//
+// The two-phase tick works like this. During the COMPUTE phase the
+// simulator ticks SMs concurrently; everything an SM touches is
+// SM-private except the message it injects into its NoC port. Each
+// L1's sender is therefore interposed with a stagedSender: while a
+// stage is armed, TrySend reserves injection-queue vacancy (computed
+// before the phase — exact, because only SM i's own L1 fills port i
+// and ports drain only inside Net.Tick, which already ran this cycle)
+// and buffers the message instead of injecting. During the COMMIT
+// phase the simulator replays the staged messages into the NoC in
+// canonical SM-index order, single-threaded. Port FIFO order within an
+// SM is its program order and ports are per-SM, so the observable
+// event sequence is identical to the serial loop at any worker count.
+package memsys
+
+import (
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// Never is the NextEvent result when nothing is scheduled at all.
+const Never = ^uint64(0)
+
+// stagedSender interposes one L1's request path to the NoC. Disarmed
+// (the serial loop, and every non-SM phase of the parallel loop) it is
+// a transparent passthrough.
+type stagedSender struct {
+	real    coherence.Sender
+	staging bool
+	space   int // remaining injection-queue vacancy this cycle
+	buf     []*mem.Msg
+}
+
+// TrySend implements coherence.Sender.
+func (ss *stagedSender) TrySend(msg *mem.Msg) bool {
+	if !ss.staging {
+		return ss.real.TrySend(msg)
+	}
+	if ss.space <= 0 {
+		return false // port would backpressure; L1 queues and retries
+	}
+	ss.space--
+	ss.buf = append(ss.buf, msg)
+	return true
+}
+
+// BeginSMStage arms every L1's staged sender for one parallel SM
+// compute phase, capturing each port's exact vacancy.
+func (s *System) BeginSMStage() {
+	for i, ss := range s.staged {
+		ss.staging = true
+		ss.space = s.Net.InjectSpaceToL2(i)
+		ss.buf = ss.buf[:0]
+	}
+}
+
+// CommitSMStage disarms the staged senders and replays the buffered
+// messages into the NoC in SM-index order. Every replayed send must
+// succeed: staging reserved exactly the vacancy the port had, and
+// nothing else can fill an SM's port between stage and commit.
+func (s *System) CommitSMStage() {
+	for _, ss := range s.staged {
+		ss.staging = false
+		for j, msg := range ss.buf {
+			if !ss.real.TrySend(msg) {
+				panic("memsys: staged send rejected at commit")
+			}
+			ss.buf[j] = nil // drop the reference for the GC
+		}
+		ss.buf = ss.buf[:0]
+	}
+}
+
+// ParallelSafe reports whether SMs may tick concurrently. Fault
+// injection shares one RNG across every wrapped sender, so perturbed
+// runs stay on the serial loop.
+func (s *System) ParallelSafe() bool { return s.inj == nil }
+
+// SkipSafe reports whether the cycle-skipping engine may fast-forward
+// the clock. Fault shims hold messages with wall-of-cycle release
+// schedules the next-event query does not model, so perturbed runs
+// tick every cycle.
+func (s *System) SkipSafe() bool { return s.inj == nil }
+
+// NextEvent returns the earliest future cycle (> now) at which ticking
+// the hierarchy could change any state. While any controller is
+// non-quiescent the answer is now+1 (it mutates state every tick);
+// otherwise only the NoC wire/ports and DRAM schedules hold events.
+func (s *System) NextEvent(now uint64) uint64 {
+	if s.inj != nil {
+		return now + 1
+	}
+	for _, l2 := range s.L2s {
+		if !l2.Quiescent() {
+			return now + 1
+		}
+	}
+	for _, l1 := range s.L1s {
+		if !l1.Quiescent() {
+			return now + 1
+		}
+	}
+	next := s.Net.NextEvent(now)
+	for _, p := range s.Parts {
+		next = min(next, p.NextEvent(now))
+	}
+	return next
+}
+
+// Drained is the O(1)-per-component equivalent of Pending() == 0,
+// cheap enough for the drain loop to evaluate every cycle.
+func (s *System) Drained() bool {
+	if s.Net.Pending() != 0 {
+		return false
+	}
+	for _, sh := range s.shims {
+		if sh.Pending() != 0 {
+			return false
+		}
+	}
+	for _, p := range s.Parts {
+		if p.Pending() != 0 {
+			return false
+		}
+	}
+	for _, l1 := range s.L1s {
+		if l1.Pending() != 0 {
+			return false
+		}
+	}
+	for _, l2 := range s.L2s {
+		if !l2.Drained() {
+			return false
+		}
+	}
+	return true
+}

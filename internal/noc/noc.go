@@ -294,3 +294,40 @@ func (h *arrivalHeap) pop() arrival {
 	}
 	return top
 }
+
+// Never is the NextEvent result when no event is scheduled at all.
+const Never = ^uint64(0)
+
+// NextEvent returns the earliest future cycle (> now) at which ticking
+// the network could change any state: the earliest cycle a non-empty
+// injection port can serialize its head onto the wire, or the earliest
+// wire arrival. It returns Never when the network is completely empty.
+// The cycle-skipping engine uses this to fast-forward the clock across
+// provably idle cycles without perturbing delivery order.
+func (n *Network) NextEvent(now uint64) uint64 {
+	next := uint64(Never)
+	for _, p := range n.toL2 {
+		if p.len() > 0 {
+			next = min(next, max(p.busyUntil, now+1))
+		}
+	}
+	for _, p := range n.toL1 {
+		if p.len() > 0 {
+			next = min(next, max(p.busyUntil, now+1))
+		}
+	}
+	if len(n.wire) > 0 {
+		next = min(next, max(n.wire[0].at, now+1))
+	}
+	return next
+}
+
+// InjectSpaceToL2 returns how many more messages SM sm's injection
+// port accepts before backpressuring. The port only drains inside
+// Tick, so during the SM compute phase (which runs after the network
+// tick) the vacancy is exact — the staged-commit machinery uses it to
+// admit precisely the sends that would have succeeded serially.
+func (n *Network) InjectSpaceToL2(sm int) int {
+	p := n.toL2[sm]
+	return p.cap - p.len()
+}

@@ -78,6 +78,18 @@ func (l *L2Plain) Pending() int {
 	return n
 }
 
+// Quiescent implements coherence.L2. Outstanding misses do not block
+// quiescence: fills install unconditionally, so a miss entry only
+// changes state when its DRAM fill arrives (a scheduled event).
+func (l *L2Plain) Quiescent() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0
+}
+
+// Drained implements coherence.L2: O(1) Pending() == 0.
+func (l *L2Plain) Drained() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 && len(l.miss) == 0
+}
+
 // failf records the first protocol violation; the bank then drops
 // further input until the simulator surfaces the error.
 func (l *L2Plain) failf(event, format string, args ...any) {

@@ -58,6 +58,10 @@ func (l *L1Bypass) Stats() *stats.L1Stats { return &l.stats }
 // Pending implements coherence.L1.
 func (l *L1Bypass) Pending() int { return l.pending }
 
+// Quiescent implements coherence.L1: Tick only drains outQ, so an
+// empty output queue means ticking is a pure no-op until new input.
+func (l *L1Bypass) Quiescent() bool { return len(l.outQ) == 0 }
+
 // Flush implements coherence.L1 (nothing cached, nothing to do).
 func (l *L1Bypass) Flush() {}
 

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+)
+
+// EngineStats counts what the cycle ENGINE did, as opposed to what the
+// simulated machine did: how many cycles were actually executed vs
+// fast-forwarded by quiescence skipping, and how many ran through the
+// parallel SM pool. These are scheduling observability counters — they
+// deliberately live outside stats.Run, whose exact rendering is pinned
+// by the 84 golden fingerprints, and outside the checkpoint digests,
+// because the same simulation reaches the same machine state with any
+// engine configuration.
+type EngineStats struct {
+	// Workers is the SM tick parallelism of the most recent run phase
+	// (1 = serial loop).
+	Workers int
+
+	// RunCycles / DrainCycles count cycles the engine executed with a
+	// real tick; RunSkipped / DrainSkipped count cycles bulk-applied by
+	// quiescence skipping. Executed + skipped = simulated cycles.
+	RunCycles    uint64
+	RunSkipped   uint64
+	DrainCycles  uint64
+	DrainSkipped uint64
+
+	// SkipWindows counts fast-forward events (each covers >= 1 cycle).
+	SkipWindows uint64
+
+	// ParallelCycles counts executed run-phase cycles whose SM compute
+	// phase ran on the worker pool.
+	ParallelCycles uint64
+}
+
+// SkippedCycles is the total number of simulated cycles that were
+// never executed: the machine's clock jumped over them because every
+// component was provably quiescent.
+func (e *EngineStats) SkippedCycles() uint64 { return e.RunSkipped + e.DrainSkipped }
+
+// ParallelTickEfficiency is the fraction of executed run-phase cycles
+// that ticked SMs on the worker pool (0 on the serial loop). Low
+// values with SimWorkers > 1 mean the run kept falling back to the
+// serial path (observer attached, fault injection enabled).
+func (e *EngineStats) ParallelTickEfficiency() float64 {
+	if e.RunCycles == 0 {
+		return 0
+	}
+	return float64(e.ParallelCycles) / float64(e.RunCycles)
+}
+
+// Engine returns the engine's scheduling counters, accumulated across
+// every kernel this simulator has run.
+func (s *Simulator) Engine() *EngineStats { return &s.eng }
+
+// effectiveWorkers clamps Config.SimWorkers to [1, len(SMs)]: extra
+// workers beyond one per SM can never have work.
+func (s *Simulator) effectiveWorkers() int {
+	w := s.Cfg.SimWorkers
+	if w < 1 {
+		return 1
+	}
+	if n := len(s.SMs); w > n {
+		return n
+	}
+	return w
+}
+
+// trySkipRun attempts one quiescence fast-forward inside the run
+// phase. It succeeds only when the whole machine is provably inert:
+// the hierarchy's next event lies beyond the next cycle AND every SM
+// probes as a pure stall. It then advances the clock to j — capped at
+// the event horizon, the next watchdog/ctx-poll sampling boundary
+// (multiples of 64; ctx polls at multiples of 1024 are a subset), the
+// MaxCycles budget, and the pause point — bulk-applying the per-cycle
+// stall-counter deltas so the machine state at j is bit-identical to
+// having ticked every cycle. The single Sys.Tick(j) re-synchronizes
+// component-local clocks; it is provably a no-op because j is before
+// the event horizon.
+func (s *Simulator) trySkipRun(st *runState, stopAt uint64) bool {
+	horizon := s.Sys.NextEvent(s.now)
+	if horizon <= s.now+1 {
+		return false
+	}
+	if s.probes == nil {
+		s.probes = make([]gpu.StallProbe, len(s.SMs))
+	}
+	for i, sm := range s.SMs {
+		p, ok := sm.Quiesce()
+		if !ok {
+			return false
+		}
+		s.probes[i] = p
+		if p.Wake < horizon {
+			horizon = p.Wake
+		}
+	}
+	if horizon <= s.now+1 {
+		return false
+	}
+	j := min(horizon-1, (s.now|63)+1, st.start+s.Cfg.MaxCycles)
+	if stopAt != 0 {
+		j = min(j, stopAt)
+	}
+	if j <= s.now {
+		return false
+	}
+	k := j - s.now
+	s.now = j
+	s.Sys.Tick(j)
+	for i, sm := range s.SMs {
+		sm.SkipCycles(j, k, s.probes[i])
+	}
+	s.eng.RunSkipped += k
+	s.eng.SkipWindows++
+	return true
+}
+
+// trySkipDrain is trySkipRun for the drain phase: SMs are not ticked
+// there, so only the hierarchy's event horizon matters, and the budget
+// is the drain guard counter rather than cycles since phase start.
+func (s *Simulator) trySkipDrain(st *runState, stopAt uint64) bool {
+	horizon := s.Sys.NextEvent(s.now)
+	if horizon <= s.now+1 {
+		return false
+	}
+	j := min(horizon-1, (s.now|63)+1, s.now+(s.Cfg.MaxCycles-st.guard))
+	if stopAt != 0 {
+		j = min(j, stopAt)
+	}
+	if j <= s.now {
+		return false
+	}
+	k := j - s.now
+	s.now = j
+	s.Sys.Tick(j)
+	st.guard += k - 1 // the drain loop's post-statement adds the last one
+	s.eng.DrainSkipped += k
+	s.eng.SkipWindows++
+	return true
+}

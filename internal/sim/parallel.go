@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+)
+
+// tickPool is the persistent worker pool behind the parallel SM
+// compute phase. One pool lives for the duration of a run phase; each
+// cycle the master publishes the cycle number and a fresh work cursor,
+// bumps the epoch, and every participant (the master included) claims
+// SM indices off the cursor until it is exhausted. The master then
+// waits for every worker's acknowledgement, which is the cycle
+// barrier: a worker acks only after its claimed SM ticks returned, and
+// it re-enters the claiming loop only after the next epoch is
+// published, so no worker can ever touch a stale cursor or cycle
+// number. All coordination is sync/atomic (sequentially consistent in
+// Go), making the pool race-detector clean, and the acks give the
+// happens-before edge from worker SM writes to the master's commit
+// phase. No channels or locks on the hot path.
+type tickPool struct {
+	sms     []*gpu.SM
+	workers int // pool goroutines, excluding the master
+
+	now    atomic.Uint64
+	epoch  atomic.Uint64
+	cursor atomic.Int64
+	acks   atomic.Int64
+
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// newTickPool spawns workers-1 goroutines (the master is the final
+// participant). workers must be >= 2; the serial loop needs no pool.
+func newTickPool(sms []*gpu.SM, workers int) *tickPool {
+	p := &tickPool{sms: sms, workers: workers - 1}
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// tick runs one parallel compute phase: all SMs tick at cycle now,
+// partitioned dynamically over the pool. It returns only after every
+// SM tick has completed and every worker has acknowledged the cycle.
+func (p *tickPool) tick(now uint64) {
+	p.now.Store(now)
+	p.cursor.Store(0)
+	p.acks.Store(0)
+	p.epoch.Add(1) // release the workers into this cycle
+	p.work(now)
+	for p.acks.Load() != int64(p.workers) {
+		runtime.Gosched()
+	}
+}
+
+// work claims and ticks SMs until the cursor runs out.
+func (p *tickPool) work(now uint64) {
+	n := int64(len(p.sms))
+	for {
+		i := p.cursor.Add(1) - 1
+		if i >= n {
+			return
+		}
+		p.sms[i].Tick(now)
+	}
+}
+
+// worker processes every epoch in order: wait for the epoch to
+// advance, drain the cursor, acknowledge, repeat until shutdown. The
+// master publishes epoch e+1 only after collecting all acks for e, so
+// epochs arrive one at a time.
+func (p *tickPool) worker() {
+	defer p.wg.Done()
+	seen := uint64(0)
+	for {
+		for p.epoch.Load() == seen {
+			if p.stop.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		seen++
+		p.work(p.now.Load())
+		p.acks.Add(1)
+	}
+}
+
+// shutdown terminates the pool's goroutines and waits for them. Only
+// call it between cycles (never mid-tick).
+func (p *tickPool) shutdown() {
+	p.stop.Store(true)
+	p.wg.Wait()
+}

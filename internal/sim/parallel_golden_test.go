@@ -1,0 +1,164 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// TestParallelTickGoldenEquivalence is the determinism gate for
+// intra-simulation parallelism: every golden row must reproduce its
+// pre-parallelism FNV-1a fingerprint bit for bit at every SimWorkers
+// setting. The two-phase tick (concurrent compute into staged buffers,
+// canonical-order commit) and quiescence cycle-skipping are pure
+// engine scheduling — if any worker count shifts a single counter
+// anywhere in the machine, this test names the row and the setting.
+// Run under -race it doubles as the data-race gate for the worker
+// pool (CI runs it with GOMAXPROCS=4; a 1-CPU host would mask
+// scheduling races).
+func TestParallelTickGoldenEquivalence(t *testing.T) {
+	wls := map[string]*workload.Workload{}
+	for _, wl := range workload.All() {
+		wls[wl.Name] = wl
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		for _, row := range goldenRows {
+			row := row
+			t.Run(fmt.Sprintf("w%d/%s/%s", workers, row.workload, row.config), func(t *testing.T) {
+				t.Parallel()
+				wl, ok := wls[row.workload]
+				if !ok {
+					t.Fatalf("unknown workload %q", row.workload)
+				}
+				cfg, ok := goldenConfig(row.config)
+				if !ok {
+					t.Fatalf("unknown config label %q", row.config)
+				}
+				cfg.SimWorkers = workers
+				run, err := wl.Build(1).Run(cfg)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%+v", *run)
+				if got := h.Sum64(); got != row.hash {
+					t.Errorf("simworkers=%d fingerprint = %#x, golden %#x (parallel tick diverged)", workers, got, row.hash)
+				}
+			})
+		}
+	}
+}
+
+// TestKillResumeUnderParallelTick reuses the PR 4 checkpoint-digest
+// machinery under the parallel engine: a run ticking SMs on 4 workers
+// is paused at a fuzzed cycle, round-tripped through the binary codec
+// (digest verified on restore), and — the stronger claim — resumed
+// with a DIFFERENT worker count (serial) and with cycle-skipping
+// inverted. The final fingerprint must still match the golden:
+// checkpoints are coordinates in the simulation, not in the engine's
+// schedule, so a checkpoint taken at any SimWorkers restores under
+// any other.
+func TestKillResumeUnderParallelTick(t *testing.T) {
+	wls := map[string]*workload.Workload{}
+	for _, wl := range workload.All() {
+		wls[wl.Name] = wl
+	}
+	for _, row := range goldenRows {
+		row := row
+		if row.workload != "CC" {
+			continue // one workload across all protocol configs keeps this O(seconds)
+		}
+		t.Run(row.workload+"/"+row.config, func(t *testing.T) {
+			t.Parallel()
+			wl := wls[row.workload]
+			cfg, ok := goldenConfig(row.config)
+			if !ok {
+				t.Fatalf("unknown config label %q", row.config)
+			}
+			cfg.SimWorkers = 4
+			pause := 1 + row.hash%row.cycles
+
+			e1 := checkpoint.NewExecution(cfg, wl.Build(1), row.workload, 1)
+			_, paused, err := e1.RunUntil(context.Background(), pause)
+			if err != nil {
+				t.Fatalf("parallel run to pause cycle %d failed: %v", pause, err)
+			}
+			if !paused {
+				t.Fatalf("execution did not pause at cycle %d", pause)
+			}
+			var buf bytes.Buffer
+			if err := e1.Checkpoint().Encode(&buf); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			ck, err := checkpoint.Decode(&buf)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+
+			// Resume on a deliberately different engine schedule.
+			resumeCfg := cfg
+			resumeCfg.SimWorkers = 1
+			resumeCfg.DisableCycleSkip = !cfg.DisableCycleSkip
+			e2, err := checkpoint.ResumeExecution(ck, resumeCfg, wl.Build(1), row.workload, 1)
+			if err != nil {
+				t.Fatalf("resume (verified replay to cycle %d): %v", ck.Cycle, err)
+			}
+			run, err := e2.Run(context.Background())
+			if err != nil {
+				t.Fatalf("post-resume run failed: %v", err)
+			}
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%+v", *run)
+			if got := h.Sum64(); got != row.hash {
+				t.Errorf("parallel-pause/serial-resume fingerprint = %#x, golden %#x (pause at %d)", got, row.hash, pause)
+			}
+		})
+	}
+}
+
+// TestEngineCountersConsistent sanity-checks the EngineStats
+// bookkeeping on one memory-bound golden row: executed + skipped run
+// cycles must equal the simulated kernel cycles, and with skipping
+// disabled the skip counters must stay zero while the fingerprint is
+// unchanged.
+func TestEngineCountersConsistent(t *testing.T) {
+	wl, ok := workload.ByName("BH")
+	if !ok {
+		t.Fatal("workload BH missing")
+	}
+	cfg, _ := goldenConfig("gtsc-rc")
+
+	s := sim.New(cfg)
+	run, err := wl.Build(1).RunOn(s)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	eng := s.Engine()
+	if eng.RunCycles+eng.RunSkipped != run.Cycles {
+		t.Errorf("run cycles executed+skipped = %d+%d, want %d", eng.RunCycles, eng.RunSkipped, run.Cycles)
+	}
+
+	cfg2 := cfg
+	cfg2.DisableCycleSkip = true
+	s2 := sim.New(cfg2)
+	run2, err := wl.Build(1).RunOn(s2)
+	if err != nil {
+		t.Fatalf("run (skip disabled): %v", err)
+	}
+	if e2 := s2.Engine(); e2.SkippedCycles() != 0 {
+		t.Errorf("DisableCycleSkip still skipped %d cycles", e2.SkippedCycles())
+	}
+	h1, h2 := fnv.New64a(), fnv.New64a()
+	fmt.Fprintf(h1, "%+v", *run)
+	fmt.Fprintf(h2, "%+v", *run2)
+	if h1.Sum64() != h2.Sum64() {
+		t.Error("DisableCycleSkip changed the stats fingerprint")
+	}
+}

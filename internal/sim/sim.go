@@ -51,6 +51,24 @@ type Config struct {
 	// attach their own — e.g. one check.Recorder per run, never a
 	// shared instance.
 	Observer coherence.Observer
+
+	// SimWorkers ticks SMs concurrently on a persistent worker pool
+	// during the run phase (1 or 0 = the serial loop). This is a pure
+	// SCHEDULING knob: the two-phase tick stages every SM's outbound
+	// message and commits them in canonical SM order, so results —
+	// every stat, every golden fingerprint, every checkpoint digest —
+	// are bit-identical at any worker count. Observer-attached and
+	// fault-injected runs fall back to the serial loop (their hooks
+	// are not thread-safe). See DESIGN.md §7.
+	SimWorkers int
+
+	// DisableCycleSkip turns off quiescence fast-forwarding, which
+	// advances the clock over provably idle cycles (all SMs stalled,
+	// no NoC/DRAM event due). Also a pure scheduling knob: skipping is
+	// gated on proofs that the skipped ticks were no-ops, so results
+	// are bit-identical either way. Exposed for debugging and for the
+	// engine benchmarks' baseline measurements.
+	DisableCycleSkip bool
 }
 
 // DefaultConfig returns the paper's machine: 16 SMs x 48 warps over a
@@ -106,6 +124,9 @@ type Simulator struct {
 
 	cur         *runState // non-nil while a kernel is paused mid-execution
 	kernelsDone int       // kernels run to completion on this simulator
+
+	eng    EngineStats      // engine scheduling counters (see engine.go)
+	probes []gpu.StallProbe // per-SM quiescence scratch (skip hot path)
 }
 
 // New builds a simulator. The TC variant is matched to the consistency
@@ -259,8 +280,41 @@ func (s *Simulator) advance(ctx context.Context, stopAt uint64) (*stats.Run, boo
 }
 
 // runPhase executes the main cycle loop until every warp retires.
+//
+// The loop has two engine accelerations, both bit-identical to the
+// plain serial loop by construction (TestParallelTickGoldenEquivalence
+// pins this over every golden row):
+//
+//   - a two-phase parallel SM tick (compute concurrently into staged
+//     buffers, commit in canonical SM order), used when SimWorkers > 1
+//     and no per-run hook (observer, fault injector) forces serial;
+//   - quiescence cycle-skipping (trySkipRun), which fast-forwards the
+//     clock over cycles that are provably pure stalls.
+//
+// The order of checks per iteration is part of the determinism
+// contract (see advance); a skipped window preserves every check's
+// firing cycle by landing on each sampling boundary.
 func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 	st := s.cur
+	workers := s.effectiveWorkers()
+	par := workers > 1 && s.Cfg.Observer == nil && s.Sys.ParallelSafe()
+	var pool *tickPool
+	if par {
+		pool = newTickPool(s.SMs, workers)
+		defer pool.shutdown()
+		for _, sm := range s.SMs {
+			sm.SetDeferFills(true)
+		}
+		defer func() {
+			for _, sm := range s.SMs {
+				sm.SetDeferFills(false)
+			}
+		}()
+		s.eng.Workers = workers
+	} else {
+		s.eng.Workers = 1
+	}
+	skipOK := !s.Cfg.DisableCycleSkip && s.Sys.SkipSafe()
 	for {
 		if stopAt != 0 && s.now >= stopAt {
 			return true, nil
@@ -271,10 +325,27 @@ func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 		if s.budgetExhausted(s.now - st.start) {
 			return false, s.deadlock(st.kernel.Name, "run", "max-cycles", s.now-st.lastProgress)
 		}
-		s.now++
-		s.Sys.Tick(s.now)
-		for _, sm := range s.SMs {
-			sm.Tick(s.now)
+		if !skipOK || !s.trySkipRun(st, stopAt) {
+			s.now++
+			s.Sys.Tick(s.now)
+			if par {
+				// Compute phase: SMs tick concurrently, their NoC
+				// injections staged per SM. Commit phase: replay the
+				// staged messages and any deferred CTA refills in SM
+				// index order — the serial loop's order exactly.
+				s.Sys.BeginSMStage()
+				pool.tick(s.now)
+				s.Sys.CommitSMStage()
+				for _, sm := range s.SMs {
+					sm.CommitFill()
+				}
+				s.eng.ParallelCycles++
+			} else {
+				for _, sm := range s.SMs {
+					sm.Tick(s.now)
+				}
+			}
+			s.eng.RunCycles++
 		}
 		if err := s.Sys.Err(); err != nil {
 			return false, s.attachDump(err)
@@ -332,10 +403,14 @@ func (s *Simulator) endRunPhase() error {
 	return nil
 }
 
-// drainPhase ticks the hierarchy until no in-flight work remains.
+// drainPhase ticks the hierarchy until no in-flight work remains. The
+// loop condition is the O(1) Drained query, not a full Pending scan —
+// the scan walked every MSHR and queue in the machine every cycle and
+// dominated short kernels (see BenchmarkDrainPhase).
 func (s *Simulator) drainPhase(ctx context.Context, stopAt uint64) (bool, error) {
 	st := s.cur
-	for ; s.Sys.Pending() != 0; st.guard++ {
+	skipOK := !s.Cfg.DisableCycleSkip && s.Sys.SkipSafe()
+	for ; !s.Sys.Drained(); st.guard++ {
 		if stopAt != 0 && s.now >= stopAt {
 			return true, nil
 		}
@@ -345,8 +420,11 @@ func (s *Simulator) drainPhase(ctx context.Context, stopAt uint64) (bool, error)
 		if s.budgetExhausted(st.guard) {
 			return false, s.deadlock(st.kernel.Name, "drain", "max-cycles", s.now-st.lastProgress)
 		}
-		s.now++
-		s.Sys.Tick(s.now)
+		if !skipOK || !s.trySkipDrain(st, stopAt) {
+			s.now++
+			s.Sys.Tick(s.now)
+			s.eng.DrainCycles++
+		}
 		if err := s.Sys.Err(); err != nil {
 			return false, s.attachDump(err)
 		}
@@ -438,7 +516,7 @@ func (s *Simulator) done() bool {
 			return false
 		}
 	}
-	return s.Sys.Pending() == 0
+	return s.Sys.Drained()
 }
 
 // RunToCompletion builds a fresh simulator for cfg and runs kernel.

@@ -82,6 +82,10 @@ func (l *L1) Stats() *stats.L1Stats { return &l.stats }
 // Pending implements coherence.L1.
 func (l *L1) Pending() int { return l.pending }
 
+// Quiescent implements coherence.L1: Tick only drains outQ, so an
+// empty output queue means ticking is a pure no-op until new input.
+func (l *L1) Quiescent() bool { return len(l.outQ) == 0 }
+
 // failf records the first protocol violation; the controller then
 // drops further input until the simulator surfaces the error.
 func (l *L1) failf(event, format string, args ...any) {

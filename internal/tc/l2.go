@@ -51,6 +51,12 @@ type L2 struct {
 	obs     coherence.Observer
 	fail    *diag.ProtocolError
 	scratch []mem.BlockAddr // reusable sorted-block buffer (hot path)
+
+	// stalledFills counts misses whose DRAM data has returned but whose
+	// install stalled on unexpired victims (m.data != nil). While any
+	// fill is stalled, Tick retries installs (and counts EvictStalls)
+	// every cycle, so the bank must not be treated as quiescent.
+	stalledFills int
 }
 
 // Geometry describes one bank's organization.
@@ -92,6 +98,23 @@ func (l *L2) Pending() int {
 		n += len(q)
 	}
 	return n
+}
+
+// Quiescent implements coherence.L2. Blocked write queues bar
+// quiescence because they resume on lease expiry (a time-based event,
+// counting WriteStalls every waiting cycle); stalled fills bar it
+// because Tick retries installs (counting EvictStalls) every cycle.
+// A plain outstanding miss is fine: it only changes state when its
+// DRAM fill message arrives.
+func (l *L2) Quiescent() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 &&
+		len(l.blocked) == 0 && l.stalledFills == 0
+}
+
+// Drained implements coherence.L2: O(1) Pending() == 0.
+func (l *L2) Drained() bool {
+	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 &&
+		len(l.miss) == 0 && len(l.blocked) == 0
 }
 
 // failf records the first protocol violation; the bank then drops
@@ -142,6 +165,7 @@ func (l *L2) DRAMFill(msg *mem.Msg) {
 		return
 	}
 	m.data = msg.Data
+	l.stalledFills++
 	l.tryInstall(m)
 }
 
@@ -163,6 +187,7 @@ func (l *L2) tryInstall(m *l2Miss) {
 	l.array.Install(victim, m.block, m.data, l.now)
 	l.stats.DataAccesses++
 	delete(l.miss, m.block)
+	l.stalledFills--
 	l.runQueue(m.block, victim, m.waiting)
 }
 
@@ -337,7 +362,7 @@ func (l *L2) resumeBlocked() {
 // retryInstalls re-attempts stalled fills in address order so victim
 // selection is reproducible.
 func (l *L2) retryInstalls() {
-	if len(l.miss) == 0 {
+	if l.stalledFills == 0 {
 		return
 	}
 	blocks := l.scratch[:0]
