@@ -14,8 +14,12 @@ check: vet
 
 # Kill-and-resume smoke: interrupt real binaries with real signals,
 # resume from checkpoint/journal, and diff against uninterrupted runs.
+# The sweep smoke does the same for the distributed sweep service:
+# SIGKILL a worker and the coordinator mid-sweep, diff the recovered
+# results against a serial local reference.
 smoke:
 	bash scripts/kill_resume_smoke.sh
+	bash scripts/sweep_smoke.sh
 
 build:
 	$(GO) build ./...

@@ -29,10 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
-	"syscall"
 
+	"github.com/gtsc-sim/gtsc/internal/cli"
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/experiments"
 )
@@ -59,11 +58,11 @@ func clampSimWorkers(jobs, simw int) int {
 	return simw
 }
 
+// Exit codes (shared across binaries; see internal/cli).
 const (
-	exitOK          = 0
-	exitFailure     = 1
-	exitInterrupted = 3
-	exitSecondSig   = 130
+	exitOK          = cli.ExitOK
+	exitFailure     = cli.ExitFailure
+	exitInterrupted = cli.ExitInterrupted
 )
 
 func main() { os.Exit(realMain()) }
@@ -132,18 +131,8 @@ func realMain() int {
 		ctx, tcancel = context.WithTimeout(ctx, *timeout)
 		defer tcancel()
 	}
-	ctx, stop := context.WithCancelCause(ctx)
-	defer stop(nil)
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
-	go func() {
-		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "gtscbench: caught %v; finishing gracefully (send again to abort hard)\n", sig)
-		stop(fmt.Errorf("caught signal %v: %w", sig, context.Canceled))
-		<-sigc
-		os.Exit(exitSecondSig)
-	}()
+	ctx, stop := cli.WithSignals(ctx, "gtscbench")
+	defer stop()
 
 	s := experiments.NewSession(cfg).WithContext(ctx)
 	if *journal != "" {

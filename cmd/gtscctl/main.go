@@ -1,0 +1,304 @@
+// Command gtscctl is the sweep-service client: it submits sweep
+// manifests to a gtscd coordinator, watches their progress, and prints
+// the results table.
+//
+// Usage:
+//
+//	gtscctl submit -workloads CC,BH -variants gtsc-rc,tc-rc,bl-rc -watch
+//	gtscctl status
+//	gtscctl watch -sweep s001
+//	gtscctl cancel -sweep s001
+//
+// Graceful degradation: if the coordinator is unreachable at submit
+// time, gtscctl warns and falls back to local in-process execution of
+// the same manifest — same items, same retry semantics, bit-identical
+// results (just not distributed).
+//
+// Exit status: 0 on success, 1 on failure (including any failed item),
+// 3 when interrupted gracefully, 130 when a second signal forced an
+// immediate abort.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/cli"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/fault"
+	"github.com/gtsc-sim/gtsc/internal/sweep"
+)
+
+func main() { os.Exit(realMain()) }
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, `usage: gtscctl <command> [flags]
+
+commands:
+  submit   submit a sweep manifest (falls back to local execution when
+           the coordinator is unreachable)
+  status   show coordinator and sweep state
+  watch    follow one sweep until it finishes, then print its results
+  cancel   cancel a sweep
+
+run "gtscctl <command> -h" for that command's flags`)
+	return cli.ExitFailure
+}
+
+func realMain() int {
+	if len(os.Args) < 2 {
+		return usage()
+	}
+	ctx, stop := cli.WithSignals(context.Background(), "gtscctl")
+	defer stop()
+
+	switch os.Args[1] {
+	case "submit":
+		return cmdSubmit(ctx, os.Args[2:])
+	case "status":
+		return cmdStatus(ctx, os.Args[2:])
+	case "watch":
+		return cmdWatch(ctx, os.Args[2:])
+	case "cancel":
+		return cmdCancel(ctx, os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return cli.ExitOK
+	default:
+		fmt.Fprintf(os.Stderr, "gtscctl: unknown command %q\n", os.Args[1])
+		return usage()
+	}
+}
+
+// newClient builds the coordinator client, with optional chaos
+// transport (used by the chaos smoke tests to stress the full path
+// through the real binaries).
+func newClient(coordinator string, chaosSeed int64) *sweep.Client {
+	var transport = fault.NewTransport(fault.TransportConfig{}, nil)
+	if chaosSeed != 0 {
+		transport = fault.NewTransport(fault.ChaosTransport(chaosSeed), nil)
+	}
+	return sweep.NewClient(coordinator, transport)
+}
+
+func cmdSubmit(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("gtscctl submit", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8077", "coordinator URL")
+		workloads   = fs.String("workloads", "", "comma-separated workload names (required)")
+		variants    = fs.String("variants", "gtsc-rc", "comma-separated protocol-consistency variants (e.g. gtsc-rc,tc-sc,bl-rc)")
+		scale       = fs.Int("scale", 1, "workload scale factor")
+		sms         = fs.Int("sms", 0, "number of SMs (0 = paper default)")
+		banks       = fs.Int("banks", 0, "number of L2 banks (0 = paper default)")
+		lease       = fs.Uint64("lease", 0, "protocol lease override (0 = protocol default)")
+		maxCycles   = fs.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = engine default)")
+		faultSeed   = fs.Int64("faultseed", 0, "run items under the chaos fault plan with this base seed (retries derive per-attempt seeds)")
+		watch       = fs.Bool("watch", false, "wait for the sweep to finish and print its results")
+		local       = fs.Bool("local", false, "skip the coordinator and run the manifest locally in-process")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "inject transport chaos with this seed (0 = off)")
+		quiet       = fs.Bool("q", false, "suppress progress logging")
+	)
+	fs.Parse(args)
+	if *workloads == "" {
+		fmt.Fprintln(os.Stderr, "gtscctl: submit requires -workloads")
+		return cli.ExitFailure
+	}
+	logger := log.New(os.Stderr, "gtscctl: ", 0)
+	if *quiet {
+		logger.SetOutput(discard{})
+	}
+
+	base := sweep.Item{
+		Scale:     *scale,
+		NumSMs:    *sms,
+		NumBanks:  *banks,
+		Lease:     *lease,
+		MaxCycles: *maxCycles,
+		FaultSeed: *faultSeed,
+	}
+	manifest, err := sweep.Grid(splitCSV(*workloads), splitCSV(*variants), base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtscctl: %v\n", err)
+		return cli.ExitFailure
+	}
+
+	if !*local {
+		client := newClient(*coordinator, *chaosSeed)
+		client.Log = logger
+		resp, err := client.Submit(ctx, manifest)
+		switch {
+		case err == nil:
+			fmt.Printf("sweep %s submitted: %d items (%d shared with earlier sweeps)\n", resp.SweepID, resp.Total, resp.Deduped)
+			if !*watch {
+				fmt.Printf("follow it with: gtscctl watch -coordinator %s -sweep %s\n", *coordinator, resp.SweepID)
+				return cli.ExitOK
+			}
+			return watchSweep(ctx, client, resp.SweepID, 250*time.Millisecond)
+		case errors.As(err, new(*diag.RemoteError)) || errors.Is(err, context.Canceled):
+			// The coordinator answered and rejected the manifest (or we
+			// were interrupted): local execution would fare no better.
+			fmt.Fprintf(os.Stderr, "gtscctl: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				return cli.ExitInterrupted
+			}
+			return cli.ExitFailure
+		default:
+			fmt.Fprintf(os.Stderr, "gtscctl: coordinator %s unreachable (%v)\n", *coordinator, err)
+			fmt.Fprintln(os.Stderr, "gtscctl: WARNING: falling back to local in-process execution")
+		}
+	}
+
+	results, err := sweep.RunLocal(ctx, manifest, 0, logger)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtscctl: local run: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			return cli.ExitInterrupted
+		}
+		return cli.ExitFailure
+	}
+	sweep.PrintResults(os.Stdout, results)
+	for _, r := range results {
+		if r.State != "done" {
+			return cli.ExitFailure
+		}
+	}
+	return cli.ExitOK
+}
+
+func cmdStatus(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("gtscctl status", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8077", "coordinator URL")
+		sweepID     = fs.String("sweep", "", "narrow to one sweep")
+		results     = fs.Bool("results", false, "print per-item results tables")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "inject transport chaos with this seed (0 = off)")
+	)
+	fs.Parse(args)
+	client := newClient(*coordinator, *chaosSeed)
+	st, err := client.Status(ctx, *sweepID, *results)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtscctl: %v\n", err)
+		return cli.ExitFailure
+	}
+	fmt.Printf("workers alive: %d; leases granted: %d; reassigned: %d; retried: %d\n",
+		st.AliveWorkers, st.LeasesGranted, st.Reassigned, st.Retried)
+	for _, sw := range st.Sweeps {
+		fmt.Print(renderSweep(&sw))
+		if *results {
+			sweep.PrintResults(os.Stdout, sw.Results)
+		}
+	}
+	return cli.ExitOK
+}
+
+func cmdWatch(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("gtscctl watch", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8077", "coordinator URL")
+		sweepID     = fs.String("sweep", "", "sweep to follow (required)")
+		interval    = fs.Duration("interval", 250*time.Millisecond, "poll interval")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "inject transport chaos with this seed (0 = off)")
+	)
+	fs.Parse(args)
+	if *sweepID == "" {
+		fmt.Fprintln(os.Stderr, "gtscctl: watch requires -sweep")
+		return cli.ExitFailure
+	}
+	return watchSweep(ctx, newClient(*coordinator, *chaosSeed), *sweepID, *interval)
+}
+
+func cmdCancel(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("gtscctl cancel", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "http://127.0.0.1:8077", "coordinator URL")
+		sweepID     = fs.String("sweep", "", "sweep to cancel (required)")
+		chaosSeed   = fs.Int64("chaos-seed", 0, "inject transport chaos with this seed (0 = off)")
+	)
+	fs.Parse(args)
+	if *sweepID == "" {
+		fmt.Fprintln(os.Stderr, "gtscctl: cancel requires -sweep")
+		return cli.ExitFailure
+	}
+	if _, err := newClient(*coordinator, *chaosSeed).Cancel(ctx, *sweepID); err != nil {
+		fmt.Fprintf(os.Stderr, "gtscctl: %v\n", err)
+		return cli.ExitFailure
+	}
+	fmt.Printf("sweep %s canceled\n", *sweepID)
+	return cli.ExitOK
+}
+
+// watchSweep polls one sweep until nothing in it can make progress,
+// printing state transitions, then prints the final results table.
+// The polling itself drives the coordinator's lease expiry, so a sweep
+// whose workers all died still completes (reassignment) or is at least
+// reported honestly.
+func watchSweep(ctx context.Context, client *sweep.Client, sweepID string, interval time.Duration) int {
+	lastLine := ""
+	for {
+		st, err := client.Status(ctx, sweepID, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gtscctl: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				return cli.ExitInterrupted
+			}
+			return cli.ExitFailure
+		}
+		if len(st.Sweeps) != 1 {
+			fmt.Fprintf(os.Stderr, "gtscctl: sweep %s not found\n", sweepID)
+			return cli.ExitFailure
+		}
+		sw := st.Sweeps[0]
+		if line := renderSweep(&sw); line != lastLine {
+			fmt.Print(line)
+			lastLine = line
+		}
+		if sw.Finished() {
+			full, err := client.Status(ctx, sweepID, true)
+			if err != nil || len(full.Sweeps) != 1 {
+				fmt.Fprintf(os.Stderr, "gtscctl: fetching results: %v\n", err)
+				return cli.ExitFailure
+			}
+			sweep.PrintResults(os.Stdout, full.Sweeps[0].Results)
+			if sw.Canceled || sw.Failed > 0 {
+				return cli.ExitFailure
+			}
+			return cli.ExitOK
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stderr, "gtscctl: interrupted; the sweep continues server-side")
+			return cli.ExitInterrupted
+		case <-time.After(interval):
+		}
+	}
+}
+
+func renderSweep(sw *sweep.SweepStatus) string {
+	note := ""
+	if sw.Canceled {
+		note = " (canceled)"
+	}
+	return fmt.Sprintf("%s: %d/%d done, %d failed, %d leased, %d pending%s\n",
+		sw.ID, sw.Done, sw.Total, sw.Failed, sw.Leased, sw.Pending, note)
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// discard is an io.Writer dropping all output (-q).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

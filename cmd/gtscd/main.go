@@ -1,0 +1,148 @@
+// Command gtscd is the distributed sweep service daemon: by default a
+// coordinator that shards sweep manifests across a worker fleet with
+// lease-based reassignment and journaled crash recovery; with -worker
+// it is one member of that fleet.
+//
+// Usage:
+//
+//	gtscd -addr :8077 -journal sweep.jrnl          # coordinator
+//	gtscd -worker -coordinator http://host:8077    # worker
+//	gtscd -worker -coordinator URL -chaos-seed 42  # chaos-test the wire
+//
+// Coordinator semantics: work items are handed out as leases with
+// heartbeat-extended deadlines; a worker that misses its heartbeats has
+// its lease revoked and the item is reassigned to the next worker,
+// resuming from the last checkpoint frame the dead worker streamed
+// back. Every durable transition (submit, complete, fail, checkpoint,
+// cancel) is journaled before it is acknowledged, so a coordinator
+// restarted after a crash — torn mid-append write included — replays to
+// the exact pre-crash state and never re-executes a finished run.
+//
+// Exit status: 0 on success, 1 on failure, 3 when suspended gracefully
+// by a signal, 130 when a second signal forced an immediate abort.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/cli"
+	"github.com/gtsc-sim/gtsc/internal/fault"
+	"github.com/gtsc-sim/gtsc/internal/sweep"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr        = flag.String("addr", ":8077", "coordinator listen address")
+		journal     = flag.String("journal", "", "coordinator assignment journal (crash recovery); empty = in-memory only")
+		leaseTTL    = flag.Duration("lease-ttl", 5*time.Second, "lease heartbeat deadline; a silent worker loses its item after this")
+		maxAttempts = flag.Int("max-attempts", 3, "transient-failure attempts per item (fault-seeded items only)")
+
+		worker      = flag.Bool("worker", false, "run as a worker instead of the coordinator")
+		coordinator = flag.String("coordinator", "http://127.0.0.1:8077", "coordinator URL (worker mode)")
+		name        = flag.String("name", "", "worker name (default worker-<pid>)")
+		slice       = flag.Uint64("slice", 0, "cycles per execution slice between heartbeats (0 = default 20000)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "inject transport chaos (drops, dups, delays, disconnects) with this seed (worker mode; 0 = off)")
+
+		quiet = flag.Bool("q", false, "suppress event logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gtscd: ", log.LstdFlags|log.Lmsgprefix)
+	if *quiet {
+		logger.SetOutput(discard{})
+	}
+
+	ctx, stop := cli.WithSignals(context.Background(), "gtscd")
+	defer stop()
+
+	if *worker {
+		return runWorker(ctx, *coordinator, *name, *slice, *chaosSeed, logger)
+	}
+	return runCoordinator(ctx, *addr, *journal, *leaseTTL, *maxAttempts, logger)
+}
+
+func runCoordinator(ctx context.Context, addr, journal string, leaseTTL time.Duration, maxAttempts int, logger *log.Logger) int {
+	opt := sweep.Options{LeaseTTL: leaseTTL, MaxAttempts: maxAttempts, Log: logger}
+	var (
+		coord *sweep.Coordinator
+		err   error
+	)
+	if journal != "" {
+		coord, err = sweep.OpenCoordinator(journal, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gtscd: open journal %s: %v\n", journal, err)
+			return cli.ExitFailure
+		}
+		if coord.DroppedTail() {
+			logger.Printf("journal %s had a torn final record (crash mid-append); repaired by truncation", journal)
+		}
+		defer coord.Close()
+	} else {
+		coord = sweep.NewCoordinator(opt)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtscd: listen %s: %v\n", addr, err)
+		return cli.ExitFailure
+	}
+	// Stdout, unbuffered by the println below, so scripts starting a
+	// coordinator on :0 can read the bound address.
+	fmt.Printf("gtscd: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: sweep.NewServer(coord)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(shctx)
+		logger.Printf("suspended; journal holds the sweep state")
+		return cli.ExitInterrupted
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "gtscd: serve: %v\n", err)
+			return cli.ExitFailure
+		}
+		return cli.ExitOK
+	}
+}
+
+func runWorker(ctx context.Context, coordinator, name string, slice uint64, chaosSeed int64, logger *log.Logger) int {
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	var transport http.RoundTripper
+	if chaosSeed != 0 {
+		tcfg := fault.ChaosTransport(chaosSeed)
+		logger.Printf("worker %s: transport chaos enabled: %s", name, tcfg)
+		transport = fault.NewTransport(tcfg, nil)
+	}
+	client := sweep.NewClient(coordinator, transport)
+	client.Log = logger
+	w := &sweep.Worker{Name: name, Client: client, SliceCycles: slice, Log: logger}
+	logger.Printf("worker %s: serving %s", name, coordinator)
+	err := w.Run(ctx)
+	if err == nil || errors.Is(err, context.Canceled) {
+		return cli.ExitInterrupted // the loop only ends via cancellation
+	}
+	fmt.Fprintf(os.Stderr, "gtscd: worker %s: %v\n", name, err)
+	return cli.ExitFailure
+}
+
+// discard is an io.Writer dropping all output (log -q).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -31,16 +31,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"sync"
-	"syscall"
 	"time"
 
 	"github.com/gtsc-sim/gtsc/internal/check"
 	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/cli"
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/fault"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
@@ -50,14 +49,14 @@ import (
 	"github.com/gtsc-sim/gtsc/internal/workload"
 )
 
-// Exit codes. A graceful interruption (signal or timeout) is
-// distinguishable from a failure, so wrappers and CI can tell "killed
-// mid-run, resumable" apart from "broken".
+// Exit codes (shared across binaries; see internal/cli). A graceful
+// interruption (signal or timeout) is distinguishable from a failure,
+// so wrappers and CI can tell "killed mid-run, resumable" apart from
+// "broken".
 const (
-	exitOK          = 0
-	exitFailure     = 1
-	exitInterrupted = 3
-	exitSecondSig   = 130
+	exitOK          = cli.ExitOK
+	exitFailure     = cli.ExitFailure
+	exitInterrupted = cli.ExitInterrupted
 )
 
 func main() { os.Exit(realMain()) }
@@ -219,18 +218,8 @@ func realMain() int {
 		ctx, tcancel = context.WithTimeout(ctx, *timeout)
 		defer tcancel()
 	}
-	ctx, stop := context.WithCancelCause(ctx)
-	defer stop(nil)
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
-	go func() {
-		sig := <-sigc
-		fmt.Fprintf(os.Stderr, "gtscsim: caught %v; suspending gracefully (send again to abort hard)\n", sig)
-		stop(fmt.Errorf("caught signal %v: %w", sig, context.Canceled))
-		<-sigc
-		os.Exit(exitSecondSig)
-	}()
+	ctx, stop := cli.WithSignals(ctx, "gtscsim")
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -324,8 +313,11 @@ func realMain() int {
 		}
 		fmt.Print(res.run)
 		if eng := res.eng; eng != nil {
+			// eng.Workers is the EFFECTIVE parallelism: the engine clamps
+			// -simworkers to GOMAXPROCS (serial on a 1-CPU host) and falls
+			// back to serial under observers/fault injection.
 			fmt.Printf("engine: simworkers=%d skipped_cycles=%d parallel_tick_efficiency=%.2f\n",
-				cfg.SimWorkers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
+				eng.Workers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
 		}
 		if res.rec != nil && !reportChecker(cfg, res.rec) {
 			failed = true
@@ -412,7 +404,7 @@ func runCheckpointed(ctx context.Context, wl *workload.Workload, cfg sim.Config,
 	fmt.Print(run)
 	eng := e.Sim().Engine()
 	fmt.Printf("engine: simworkers=%d skipped_cycles=%d parallel_tick_efficiency=%.2f\n",
-		cfg.SimWorkers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
+		eng.Workers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
 	// The run completed; a stale checkpoint would otherwise replay a
 	// finished execution on the next -resume.
 	os.Remove(path)

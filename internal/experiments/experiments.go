@@ -346,7 +346,7 @@ func (s *Session) run(wl *workload.Workload, v variant) (*stats.Run, error) {
 		var lastErr error
 		for attempt := 0; attempt <= s.Cfg.RetryTransient; attempt++ {
 			if attempt > 0 {
-				s.sleep(retryBackoff(attempt))
+				s.sleep(RetryBackoff(attempt))
 			}
 			run, err := s.runSim(s.context(), wl.Build(s.Cfg.Scale), s.simConfig(v, attempt))
 			if err == nil {
@@ -383,7 +383,7 @@ func (s *Session) simConfig(v variant, attempt int) sim.Config {
 	cfg.Mem.GTSC.KeepOldCopy = v.oldCopy
 	cfg.Mem.GTSC.AdaptiveLease = v.adaptive
 	if s.Cfg.FaultSeed != 0 {
-		cfg.Mem.Fault = fault.Chaos(deriveFaultSeed(s.Cfg.FaultSeed, attempt))
+		cfg.Mem.Fault = fault.Chaos(DeriveFaultSeed(s.Cfg.FaultSeed, attempt))
 	}
 	return cfg
 }

@@ -1,0 +1,213 @@
+package fault
+
+// Transport-level fault injection for the distributed sweep service
+// (internal/sweep), in the same idiom as the NoC/DRAM shims: a seeded
+// deterministic perturbation schedule wrapped around an existing
+// interface — here http.RoundTripper — so the coordinator/worker
+// protocol is chaos-tested the way the coherence protocols are.
+//
+// The shim models the failure classes a real network serves up:
+//
+//   - dropped requests (never reach the server);
+//   - lost replies (the server EXECUTED the request, the response
+//     vanished — the nasty case that probes endpoint idempotency);
+//   - duplicated requests (delivered twice; the server must tolerate
+//     replays);
+//   - delayed responses (held for a random interval, which also
+//     reorders concurrent requests relative to each other);
+//   - mid-stream disconnects (the response body is cut partway, so
+//     decoders see a torn payload rather than a clean error).
+//
+// Unlike the simulator shims, wall-clock goroutine scheduling makes
+// the end-to-end schedule only pseudo-deterministic: one seed fixes
+// the decision SEQUENCE, while which request draws which decision
+// depends on arrival order. That is the right fidelity for transport
+// chaos — the service must survive every interleaving, not one.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop marks a transport failure synthesized by the shim,
+// so tests and logs can tell injected faults from real ones.
+var ErrInjectedDrop = errors.New("fault: injected transport fault")
+
+// TransportConfig is one transport fault plan. The zero value disables
+// injection.
+type TransportConfig struct {
+	// Seed selects the deterministic decision stream.
+	Seed int64
+
+	// DropProb is the chance a request is dropped before reaching the
+	// server (the caller sees a transport error).
+	DropProb float64
+	// LostReplyProb is the chance the request reaches the server and
+	// executes, but the response is dropped. The caller cannot tell
+	// this from DropProb — which is exactly what forces idempotent
+	// endpoint design.
+	LostReplyProb float64
+	// DupProb is the chance a request is delivered twice back to back
+	// (the first response is discarded, the second returned).
+	DupProb float64
+	// DelayProb is the chance a response is held for 1..DelayMax
+	// before delivery; concurrent requests get reordered by it.
+	DelayProb float64
+	DelayMax  time.Duration
+	// DisconnectProb is the chance the response body is cut mid-stream
+	// after roughly half its bytes (decoders see a torn frame).
+	DisconnectProb float64
+}
+
+// Enabled reports whether the plan perturbs anything.
+func (c TransportConfig) Enabled() bool {
+	return c.DropProb > 0 || c.LostReplyProb > 0 || c.DupProb > 0 ||
+		c.DelayProb > 0 || c.DisconnectProb > 0
+}
+
+// String summarizes the plan for diagnostics.
+func (c TransportConfig) String() string {
+	if !c.Enabled() {
+		return "disabled"
+	}
+	return fmt.Sprintf("seed=%d drop=%.2f lostreply=%.2f dup=%.2f delay=%.2f/%s disconnect=%.2f",
+		c.Seed, c.DropProb, c.LostReplyProb, c.DupProb, c.DelayProb, c.DelayMax, c.DisconnectProb)
+}
+
+// ChaosTransport returns a moderately hostile all-knobs transport plan
+// for the given seed — the counterpart of Chaos for the sweep wire.
+func ChaosTransport(seed int64) TransportConfig {
+	return TransportConfig{
+		Seed:           seed,
+		DropProb:       0.12,
+		LostReplyProb:  0.08,
+		DupProb:        0.12,
+		DelayProb:      0.20,
+		DelayMax:       15 * time.Millisecond,
+		DisconnectProb: 0.08,
+	}
+}
+
+// transportShim implements http.RoundTripper over a wrapped transport.
+type transportShim struct {
+	cfg  TransportConfig
+	next http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rng
+}
+
+// NewTransport wraps next with the fault plan. A disabled plan returns
+// next unchanged. The shim is safe for concurrent use (HTTP transports
+// are shared across goroutines); draws are serialized on a mutex so
+// one seed fixes the decision sequence.
+func NewTransport(cfg TransportConfig, next http.RoundTripper) http.RoundTripper {
+	if !cfg.Enabled() {
+		return next
+	}
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &transportShim{cfg: cfg, next: next, rng: newRNG(cfg.Seed)}
+}
+
+// decisions is one request's pre-drawn perturbation plan. Drawing all
+// decisions up front (under the mutex) keeps the stream seed-stable
+// regardless of how long each individual request takes.
+type decisions struct {
+	drop       bool
+	lostReply  bool
+	dup        bool
+	delay      time.Duration
+	disconnect bool
+}
+
+func (t *transportShim) draw() decisions {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d decisions
+	d.drop = t.rng.chance(t.cfg.DropProb)
+	d.lostReply = t.rng.chance(t.cfg.LostReplyProb)
+	d.dup = t.rng.chance(t.cfg.DupProb)
+	if t.rng.chance(t.cfg.DelayProb) && t.cfg.DelayMax > 0 {
+		d.delay = time.Duration(1 + t.rng.uint64n(uint64(t.cfg.DelayMax)))
+	}
+	d.disconnect = t.rng.chance(t.cfg.DisconnectProb)
+	return d
+}
+
+// RoundTrip applies the drawn perturbations around the real transport.
+func (t *transportShim) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.draw()
+	if d.drop {
+		return nil, fmt.Errorf("%w: request drop (%s %s)", ErrInjectedDrop, req.Method, req.URL.Path)
+	}
+	if d.dup {
+		// Deliver the request once, discard that response entirely,
+		// then deliver it again. The server observes two executions.
+		if dupReq, err := cloneRequest(req); err == nil {
+			if resp, err := t.next.RoundTrip(dupReq); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.lostReply {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response drop after server execution (%s %s)", ErrInjectedDrop, req.Method, req.URL.Path)
+	}
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.disconnect {
+		// Cut the body roughly in half: the caller's decoder sees a
+		// torn payload mid-stream instead of a clean transport error.
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(data) > 1 {
+			cut := len(data) / 2
+			resp.Body = io.NopCloser(io.MultiReader(
+				bytes.NewReader(data[:cut]),
+				&errReader{fmt.Errorf("%w: mid-stream disconnect after %d/%d bytes", ErrInjectedDrop, cut, len(data))},
+			))
+			resp.ContentLength = -1
+			return resp, nil
+		}
+		return nil, fmt.Errorf("%w: disconnect", ErrInjectedDrop)
+	}
+	return resp, nil
+}
+
+// cloneRequest copies a request with a replayable body (requests built
+// from byte buffers carry GetBody; others cannot be duplicated and the
+// dup decision degrades to a plain single delivery).
+func cloneRequest(req *http.Request) (*http.Request, error) {
+	if req.Body != nil && req.GetBody == nil {
+		return nil, errors.New("fault: request body not replayable")
+	}
+	c := req.Clone(req.Context())
+	if req.GetBody != nil {
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		c.Body = body
+	}
+	return c, nil
+}
+
+// errReader yields err on every read — the torn tail of a disconnected
+// response body.
+type errReader struct{ err error }
+
+func (r *errReader) Read([]byte) (int, error) { return 0, r.err }

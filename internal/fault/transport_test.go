@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingServer counts executions and returns a fixed body — enough
+// to tell "request never arrived" from "reply was lost".
+func countingServer(body []byte) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write(body)
+	}))
+	return srv, &hits
+}
+
+func shimClient(cfg TransportConfig) *http.Client {
+	return &http.Client{Transport: NewTransport(cfg, nil)}
+}
+
+// Each failure class at probability 1, so the behavior is exact, not
+// statistical.
+
+func TestTransportDropNeverReachesServer(t *testing.T) {
+	srv, hits := countingServer([]byte("ok"))
+	defer srv.Close()
+	_, err := shimClient(TransportConfig{Seed: 1, DropProb: 1}).Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("err = %v, want ErrInjectedDrop", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server %d times", hits.Load())
+	}
+}
+
+func TestTransportLostReplyExecutesServerSide(t *testing.T) {
+	srv, hits := countingServer([]byte("ok"))
+	defer srv.Close()
+	_, err := shimClient(TransportConfig{Seed: 1, LostReplyProb: 1}).Get(srv.URL)
+	if err == nil || !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("err = %v, want ErrInjectedDrop", err)
+	}
+	// The nasty case: the caller saw a transport error, but the server
+	// DID execute — exactly what forces idempotent endpoint design.
+	if hits.Load() != 1 {
+		t.Fatalf("server executed %d times, want 1", hits.Load())
+	}
+}
+
+func TestTransportDuplicateDeliversTwice(t *testing.T) {
+	srv, hits := countingServer([]byte("ok"))
+	defer srv.Close()
+	resp, err := shimClient(TransportConfig{Seed: 1, DupProb: 1}).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("dup request failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q", body)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server executed %d times, want 2 (original + duplicate)", hits.Load())
+	}
+}
+
+func TestTransportDisconnectTearsBodyMidStream(t *testing.T) {
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	srv, _ := countingServer(payload)
+	defer srv.Close()
+	resp, err := shimClient(TransportConfig{Seed: 1, DisconnectProb: 1}).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request failed outright: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err == nil || !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("read err = %v, want mid-stream ErrInjectedDrop", err)
+	}
+	if len(data) == 0 || len(data) >= len(payload) {
+		t.Fatalf("torn body delivered %d/%d bytes, want a strict partial prefix", len(data), len(payload))
+	}
+	for i, b := range data {
+		if b != byte(i) {
+			t.Fatalf("torn body corrupted at offset %d", i)
+		}
+	}
+}
+
+func TestTransportDelayHoldsResponse(t *testing.T) {
+	srv, _ := countingServer([]byte("ok"))
+	defer srv.Close()
+	cfg := TransportConfig{Seed: 1, DelayProb: 1, DelayMax: 30 * time.Millisecond}
+	start := time.Now()
+	resp, err := shimClient(cfg).Get(srv.URL)
+	if err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("no observable delay (%v)", elapsed)
+	}
+}
+
+// TestTransportSeedDeterminism: one seed fixes the decision sequence —
+// two shims with the same plan make identical drop decisions request
+// by request.
+func TestTransportSeedDeterminism(t *testing.T) {
+	srv, _ := countingServer([]byte("ok"))
+	defer srv.Close()
+	outcomes := func(seed int64) []bool {
+		client := shimClient(TransportConfig{Seed: seed, DropProb: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := client.Get(srv.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identically seeded shims", i)
+		}
+	}
+	c := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical 32-request decision sequence")
+	}
+}
+
+func TestTransportDisabledPassthrough(t *testing.T) {
+	if tr := NewTransport(TransportConfig{}, http.DefaultTransport); tr != http.DefaultTransport {
+		t.Error("disabled plan did not return the wrapped transport unchanged")
+	}
+	var cfg TransportConfig
+	if cfg.Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if got := cfg.String(); got != "disabled" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"runtime"
+
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 )
 
@@ -53,15 +55,25 @@ func (e *EngineStats) ParallelTickEfficiency() float64 {
 // every kernel this simulator has run.
 func (s *Simulator) Engine() *EngineStats { return &s.eng }
 
-// effectiveWorkers clamps Config.SimWorkers to [1, len(SMs)]: extra
-// workers beyond one per SM can never have work.
+// effectiveWorkers resolves Config.SimWorkers to the parallelism the
+// run phase actually uses. The request is clamped to GOMAXPROCS —
+// workers beyond the schedulable CPUs only add barrier spin, and on a
+// single-CPU host the barrier pool loses outright (BENCH_sim.json:
+// 0.51x at simworkers=4 on 1 CPU), so GOMAXPROCS==1 falls back to the
+// serial loop — and to one worker per SM, beyond which extra workers
+// can never have work. The resolved value lands in EngineStats.Workers,
+// which is what the CLIs report on their `engine:` line; results are
+// bit-identical at any setting, so the clamp is pure scheduling.
 func (s *Simulator) effectiveWorkers() int {
 	w := s.Cfg.SimWorkers
 	if w < 1 {
 		return 1
 	}
+	if mp := runtime.GOMAXPROCS(0); w > mp {
+		w = mp
+	}
 	if n := len(s.SMs); w > n {
-		return n
+		w = n
 	}
 	return w
 }

@@ -59,7 +59,10 @@ type Config struct {
 	// every stat, every golden fingerprint, every checkpoint digest —
 	// are bit-identical at any worker count. Observer-attached and
 	// fault-injected runs fall back to the serial loop (their hooks
-	// are not thread-safe). See DESIGN.md §7.
+	// are not thread-safe), and the engine clamps the request to
+	// GOMAXPROCS (GOMAXPROCS==1 always runs serial — the barrier pool
+	// loses money without real CPUs); EngineStats.Workers reports the
+	// effective value. See DESIGN.md §7.
 	SimWorkers int
 
 	// DisableCycleSkip turns off quiescence fast-forwarding, which

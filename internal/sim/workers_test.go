@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
+)
+
+// TestEffectiveWorkersClamp pins the resolution chain of
+// Config.SimWorkers: floor 1, clamped to GOMAXPROCS (oversubscribing a
+// small host makes the parallel tick SLOWER than serial — the clamp
+// turns a pessimization into a no-op), then to the SM count (idle
+// workers can never have work). BENCH_sim.json documented the failure
+// mode this prevents: simworkers=4 at 0.51x on a 1-CPU host.
+func TestEffectiveWorkersClamp(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cfg := DefaultConfig()
+	cfg.Mem.NumSMs = 4
+	cfg.Mem.NumBanks = 2
+
+	cases := []struct {
+		simWorkers int
+		want       int
+	}{
+		{0, 1},  // unset: serial
+		{-3, 1}, // nonsense: serial
+		{1, 1},
+		{2, min(2, maxprocs)},
+		{64, min(min(64, maxprocs), 4)}, // GOMAXPROCS clamp, then SM-count clamp
+	}
+	for _, tc := range cases {
+		cfg.SimWorkers = tc.simWorkers
+		s := New(cfg)
+		if got := s.effectiveWorkers(); got != tc.want {
+			t.Errorf("SimWorkers=%d at GOMAXPROCS=%d: effectiveWorkers=%d, want %d",
+				tc.simWorkers, maxprocs, got, tc.want)
+		}
+	}
+}
+
+// TestEngineReportsEffectiveWorkers: the engine: line the CLIs print
+// reads EngineStats.Workers after a run, which must be the EFFECTIVE
+// value, not the requested one — a 1-CPU host asking for -simworkers
+// 64 must see simworkers=1 reported, and no host may report more than
+// GOMAXPROCS.
+func TestEngineReportsEffectiveWorkers(t *testing.T) {
+	cfg := smallConfig(memsys.GTSC, gpu.RC)
+	cfg.SimWorkers = 64 // far beyond any host
+	s := New(cfg)
+	want := s.effectiveWorkers()
+	if want > runtime.GOMAXPROCS(0) {
+		t.Fatalf("effectiveWorkers=%d exceeds GOMAXPROCS=%d", want, runtime.GOMAXPROCS(0))
+	}
+	if _, err := s.Run(writeReadKernel(0)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := s.Engine().Workers
+	if got > runtime.GOMAXPROCS(0) {
+		t.Errorf("EngineStats.Workers = %d exceeds GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	// Serial fallbacks (observer, non-parallel-safe system) report 1;
+	// otherwise the effective clamp value must surface verbatim.
+	if got != want && got != 1 {
+		t.Errorf("EngineStats.Workers = %d, want effective %d (or serial fallback 1)", got, want)
+	}
+}

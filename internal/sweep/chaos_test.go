@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/fault"
+)
+
+// TestChaosTransportSweepBitIdentical drives a full sweep with EVERY
+// wire — two workers and the control client — behind the chaos
+// transport shim: requests dropped, replies lost after server
+// execution, messages duplicated, responses delayed (reordering
+// concurrent calls) and bodies torn mid-stream. The service must
+// absorb all of it — retries, idempotent endpoints, lease
+// reassignment — and still produce results bit-identical to the serial
+// local reference. Run under -race this doubles as the data-race gate
+// for the whole coordinator/worker/transport stack.
+func TestChaosTransportSweepBitIdentical(t *testing.T) {
+	m := testManifest(t)
+	ref := localRef(t, m)
+
+	c := NewCoordinator(Options{LeaseTTL: time.Second})
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+
+	chaosClient := func(seed int64) *Client {
+		cl := NewClient(srv.URL, fault.NewTransport(fault.ChaosTransport(seed), nil))
+		cl.Retries = 12 // chaos loss rates make 8 straight failures plausible enough to flake
+		return cl
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, seed := range []int64{101, 202} {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for ctx.Err() == nil {
+				// A worker that loses the coordinator through the chaos
+				// (retries exhausted) is itself a crash — restart it, as
+				// the fleet's supervisor would.
+				w := &Worker{Name: name, Client: chaosClient(seed + int64(100*i)), SliceCycles: 1500}
+				w.Run(ctx)
+			}
+		}(i, seed)
+	}
+	defer wg.Wait()
+	defer cancel()
+
+	ctl := chaosClient(303)
+	sub, err := ctl.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatalf("submit through chaos: %v", err)
+	}
+
+	// Poll through the chaos transport too. Tolerate transient status
+	// errors (a poll can exhaust its retries); only the deadline is
+	// fatal.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := ctl.Status(context.Background(), sub.SweepID, true)
+		if err == nil && len(st.Sweeps) == 1 && st.Sweeps[0].Finished() {
+			assertMatchesRef(t, st.Sweeps[0], ref)
+			return
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				t.Fatalf("sweep did not finish under chaos; last status error: %v", err)
+			}
+			t.Fatalf("sweep did not finish under chaos: %+v", st.Sweeps)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestChaosDuplicatedLeaseLeaksAreReclaimed pins the protocol-level
+// consequence of a duplicated lease request: the duplicate execution
+// grants a second lease nobody heartbeats, and TTL expiry reclaims it
+// instead of stranding the item.
+func TestChaosDuplicatedLeaseLeaksAreReclaimed(t *testing.T) {
+	clock := newFakeNow()
+	c := NewCoordinator(Options{LeaseTTL: time.Second, Now: clock.Now})
+	if _, err := c.Submit([]Item{testItem(), testItemBL()}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// The "duplicate": the same worker's lease request executes twice;
+	// the worker only ever sees (and works) the second grant.
+	leaked := c.Lease(LeaseRequest{Worker: "w"})
+	worked := c.Lease(LeaseRequest{Worker: "w"})
+	if !leaked.OK || !worked.OK {
+		t.Fatalf("leases = %+v / %+v", leaked, worked)
+	}
+	// The worked lease stays heartbeat-extended; the leaked one expires.
+	clock.Advance(600 * time.Millisecond)
+	if hb, err := c.Heartbeat(HeartbeatRequest{Worker: "w", LeaseID: worked.LeaseID}); err != nil || !hb.OK {
+		t.Fatalf("heartbeat = %+v, %v", hb, err)
+	}
+	clock.Advance(600 * time.Millisecond) // leaked deadline passed, worked still live
+	reclaimed := c.Lease(LeaseRequest{Worker: "v"})
+	if !reclaimed.OK || reclaimed.ItemID != leaked.ItemID {
+		t.Fatalf("leaked lease not reclaimed: %+v, want %s", reclaimed, leaked.ItemID)
+	}
+}

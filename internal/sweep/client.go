@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/experiments"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Client talks to a coordinator with the retry discipline the chaos
+// transport demands: transport errors, 5xx responses and torn reply
+// bodies all retry with the session's bounded exponential backoff
+// (every endpoint is idempotent, so replaying a request whose reply
+// was lost is safe); 4xx rejections are terminal and surface as
+// *diag.RemoteError.
+type Client struct {
+	base string
+	hc   *http.Client
+	// Retries bounds attempts per call (default 8: with ChaosTransport
+	// loss rates the chance all 8 fail is ~1e-5).
+	Retries int
+	// Log receives retry chatter; nil discards it.
+	Log *log.Logger
+}
+
+// NewClient builds a client for the coordinator at base (e.g.
+// "http://127.0.0.1:8077"). transport is the http.RoundTripper to use
+// — pass fault.NewTransport(...) to chaos-test the wire, nil for the
+// default transport.
+func NewClient(base string, transport http.RoundTripper) *Client {
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Transport: transport},
+		Retries: 8,
+		Log:     log.New(io.Discard, "", 0),
+	}
+}
+
+// call POSTs one gob request and decodes the gob reply, retrying
+// retryable failures.
+func (cl *Client) call(ctx context.Context, path string, req, resp any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		return fmt.Errorf("sweep: encode %s request: %w", path, err)
+	}
+	payload := body.Bytes()
+	retries := cl.Retries
+	if retries < 1 {
+		retries = 1
+	}
+	var last error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-time.After(experiments.RetryBackoff(attempt)):
+			}
+		}
+		// bytes.Reader bodies carry GetBody, so the chaos shim can
+		// duplicate the request and HTTP redirects could replay it.
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		res, err := cl.hc.Do(hreq)
+		if err != nil {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			last = err
+			cl.Log.Printf("sweep: %s attempt %d/%d: transport: %v", path, attempt+1, retries, err)
+			continue
+		}
+		if res.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(res.Body, 4<<10))
+			res.Body.Close()
+			if res.StatusCode >= 400 && res.StatusCode < 500 {
+				return &diag.RemoteError{Op: path, Status: res.StatusCode, Msg: strings.TrimSpace(string(msg))}
+			}
+			last = fmt.Errorf("HTTP %d: %s", res.StatusCode, strings.TrimSpace(string(msg)))
+			cl.Log.Printf("sweep: %s attempt %d/%d: %v", path, attempt+1, retries, last)
+			continue
+		}
+		err = gob.NewDecoder(res.Body).Decode(resp)
+		res.Body.Close()
+		if err != nil {
+			// A torn reply body (mid-stream disconnect). The server
+			// already executed the request; retrying is safe because
+			// every endpoint is idempotent.
+			last = fmt.Errorf("torn reply: %w", err)
+			cl.Log.Printf("sweep: %s attempt %d/%d: %v", path, attempt+1, retries, last)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("sweep: %s failed after %d attempts: %w", path, retries, last)
+}
+
+// Submit registers a manifest and returns the sweep handle.
+func (cl *Client) Submit(ctx context.Context, m Manifest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := cl.call(ctx, PathSubmit, &SubmitRequest{Items: m.Items}, &resp)
+	return resp, err
+}
+
+// Lease asks for one work item.
+func (cl *Client) Lease(ctx context.Context, worker string) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := cl.call(ctx, PathLease, &LeaseRequest{Worker: worker}, &resp)
+	return resp, err
+}
+
+// Heartbeat extends a lease, streaming the latest checkpoint frame.
+func (cl *Client) Heartbeat(ctx context.Context, worker string, leaseID uint64, frame []byte) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := cl.call(ctx, PathHeartbeat, &HeartbeatRequest{Worker: worker, LeaseID: leaseID, Checkpoint: frame}, &resp)
+	return resp, err
+}
+
+// Complete reports a finished run.
+func (cl *Client) Complete(ctx context.Context, worker string, leaseID uint64, itemID string, attempt int, run *stats.Run) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := cl.call(ctx, PathComplete, &CompleteRequest{Worker: worker, LeaseID: leaseID, ItemID: itemID, Attempt: attempt, Run: run}, &resp)
+	return resp, err
+}
+
+// Fail reports a failed run.
+func (cl *Client) Fail(ctx context.Context, worker string, leaseID uint64, itemID string, attempt int, msg string, transient bool) (FailResponse, error) {
+	var resp FailResponse
+	err := cl.call(ctx, PathFail, &FailRequest{Worker: worker, LeaseID: leaseID, ItemID: itemID, Attempt: attempt, Msg: msg, Transient: transient}, &resp)
+	return resp, err
+}
+
+// Cancel cancels a sweep.
+func (cl *Client) Cancel(ctx context.Context, sweepID string) (CancelResponse, error) {
+	var resp CancelResponse
+	err := cl.call(ctx, PathCancel, &CancelRequest{SweepID: sweepID}, &resp)
+	return resp, err
+}
+
+// Status fetches coordinator state.
+func (cl *Client) Status(ctx context.Context, sweepID string, withResults bool) (StatusResponse, error) {
+	var resp StatusResponse
+	err := cl.call(ctx, PathStatus, &StatusRequest{SweepID: sweepID, WithResults: withResults}, &resp)
+	return resp, err
+}

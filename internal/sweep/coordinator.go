@@ -1,0 +1,730 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/experiments"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// Options configures a coordinator. The zero value gets production
+// defaults; tests shrink LeaseTTL and pin Now.
+type Options struct {
+	// LeaseTTL is the heartbeat deadline: a lease not extended within
+	// it is revoked and its item reassigned. Default 5s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds transient-failure retries per item (attempts
+	// 0..MaxAttempts-1, mirroring the local session). Default 3.
+	MaxAttempts int
+	// Now is the clock (a test seam; default time.Now).
+	Now func() time.Time
+	// Log receives scheduling events; nil discards them.
+	Log *log.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.Log == nil {
+		o.Log = log.New(io.Discard, "", 0)
+	}
+	return o
+}
+
+// Item lifecycle states.
+const (
+	statePending = "pending"
+	stateLeased  = "leased"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// lease is one outstanding grant.
+type lease struct {
+	id       uint64
+	worker   string
+	deadline time.Time
+}
+
+// trackedItem is the coordinator's record of one unique (content
+// address) work item. Items are shared across sweeps: two sweeps
+// submitting the same configuration reference one trackedItem and the
+// simulation runs once.
+type trackedItem struct {
+	id   string
+	item Item
+	// sweeps references every sweep that requested this item.
+	sweeps map[string]bool
+
+	state   string
+	attempt int
+	// queued mirrors queue membership so an item is never enqueued
+	// twice.
+	queued bool
+	// notBefore gates retry backoff: the item may be queued but not
+	// leased before this instant.
+	notBefore time.Time
+	lease     *lease
+	// worker last held (or holds) the item.
+	worker string
+
+	// ckpt is the last streamed checkpoint frame, valid only for
+	// ckptAttempt (a transient retry switches fault seeds, which makes
+	// the old trajectory unreplayable).
+	ckpt        []byte
+	ckptAttempt int
+	ckptCycle   uint64
+
+	run         *stats.Run
+	fingerprint uint64
+	errMsg      string
+}
+
+// sweepState is one submitted sweep: an ordered view over shared items.
+type sweepState struct {
+	id       string
+	canceled bool
+	order    []string // item IDs in submission order
+}
+
+// Coordinator is the sweep service state machine: sweeps, items, the
+// FIFO work queue and outstanding leases, with every durable transition
+// (submit, complete, fail, checkpoint, cancel) journaled through the
+// CRC-framed append-only checkpoint.Journal before it is applied.
+// Leases are deliberately NOT journaled: they are ephemeral promises,
+// and a coordinator restart revokes all of them — the replayed state
+// re-queues every unfinished item (with its last checkpoint frame) and
+// never re-executes a finished one.
+//
+// The Coordinator itself is transport-free; Server exposes it over
+// HTTP. All methods are safe for concurrent use.
+type Coordinator struct {
+	opt Options
+
+	mu       sync.Mutex
+	items    map[string]*trackedItem
+	sweeps   map[string]*sweepState
+	queue    []string
+	leases   map[uint64]string // lease ID -> item ID
+	workers  map[string]time.Time
+	sweepSeq int
+	leaseSeq uint64
+
+	// Observability counters (process-local, not journaled).
+	leasesGranted int
+	reassigned    int
+	retried       int
+
+	journal     *checkpoint.Journal
+	droppedTail bool
+	closed      bool
+}
+
+// NewCoordinator builds an in-memory coordinator (no journal). State
+// dies with the process; tests and ephemeral sweeps use this.
+func NewCoordinator(opt Options) *Coordinator {
+	return &Coordinator{
+		opt:     opt.withDefaults(),
+		items:   make(map[string]*trackedItem),
+		sweeps:  make(map[string]*sweepState),
+		leases:  make(map[uint64]string),
+		workers: make(map[string]time.Time),
+	}
+}
+
+// OpenCoordinator builds a coordinator backed by the journal at path,
+// replaying any existing records to the exact pre-crash durable state:
+// finished items stay finished, unfinished ones are re-queued with
+// their last checkpoint frames, and a torn final record (crash
+// mid-append) is repaired by truncation (see DroppedTail).
+func OpenCoordinator(path string, opt Options) (*Coordinator, error) {
+	c := NewCoordinator(opt)
+	j, err := checkpoint.OpenJournal(path, func(payload []byte) error {
+		var rec journalRecord
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("sweep: undecodable journal record: %w", err)
+		}
+		return c.applyLocked(&rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.journal = j
+	c.droppedTail = j.DroppedTail
+	if c.sweepSeq == 0 {
+		if err := c.appendLocked(&journalRecord{Kind: recHeader, Attempt: journalVersion}); err != nil {
+			j.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// DroppedTail reports that opening the journal found and repaired a
+// torn final record — the expected residue of a crash mid-append.
+func (c *Coordinator) DroppedTail() bool { return c.droppedTail }
+
+// Close releases the journal (if any). Further mutating calls fail.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Close()
+}
+
+// Journal records. One gob-encoded journalRecord per durable
+// transition; replay routes each through the same applyLocked the live
+// path uses, so a replayed coordinator is bit-for-bit the state the
+// crashed one had acknowledged.
+const (
+	recHeader = "header"
+	recSweep  = "sweep"
+	recDone   = "done"
+	recFail   = "fail"
+	recCkpt   = "ckpt"
+	recCancel = "cancel"
+
+	journalVersion = 1
+)
+
+type journalRecord struct {
+	Kind    string
+	SweepID string
+	// Sweep registration: parallel slices of content addresses and
+	// item definitions, in submission order.
+	ItemIDs []string
+	Items   []Item
+	// Item transitions.
+	ItemID     string
+	Attempt    int
+	Worker     string
+	Run        *stats.Run
+	Msg        string
+	Transient  bool
+	Checkpoint []byte
+}
+
+// journalError marks a failure to durably journal a transition. The
+// HTTP server maps it to a 5xx (retryable by the client), unlike
+// request errors which are terminal 4xx rejections.
+type journalError struct{ err error }
+
+func (e *journalError) Error() string { return fmt.Sprintf("sweep: journal append failed: %v", e.err) }
+func (e *journalError) Unwrap() error { return e.err }
+
+// appendLocked durably journals rec (no-op without a journal). Called
+// with c.mu held, BEFORE the in-memory transition: a transition the
+// journal did not acknowledge never happened.
+func (c *Coordinator) appendLocked(rec *journalRecord) error {
+	if c.journal == nil {
+		return nil
+	}
+	if c.closed {
+		return &journalError{err: fmt.Errorf("coordinator closed")}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return &journalError{err: err}
+	}
+	if err := c.journal.Append(buf.Bytes()); err != nil {
+		return &journalError{err: err}
+	}
+	return nil
+}
+
+// applyLocked applies one journal record to in-memory state. It is the
+// single transition function shared by the live path and replay.
+func (c *Coordinator) applyLocked(rec *journalRecord) error {
+	switch rec.Kind {
+	case recHeader:
+		if rec.Attempt != journalVersion {
+			return fmt.Errorf("sweep: journal version %d (this binary speaks %d)", rec.Attempt, journalVersion)
+		}
+	case recSweep:
+		c.applySweepLocked(rec.SweepID, rec.ItemIDs, rec.Items)
+	case recDone:
+		c.applyDoneLocked(rec.ItemID, rec.Attempt, rec.Worker, rec.Run)
+	case recFail:
+		c.applyFailLocked(rec.ItemID, rec.Attempt, rec.Worker, rec.Msg, rec.Transient)
+	case recCkpt:
+		c.applyCkptLocked(rec.ItemID, rec.Attempt, rec.Checkpoint)
+	case recCancel:
+		c.applyCancelLocked(rec.SweepID)
+	default:
+		return fmt.Errorf("sweep: unknown journal record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+func (c *Coordinator) applySweepLocked(sweepID string, ids []string, items []Item) {
+	sw := &sweepState{id: sweepID, order: ids}
+	c.sweeps[sweepID] = sw
+	c.sweepSeq++
+	for i, id := range ids {
+		it := c.items[id]
+		if it == nil {
+			it = &trackedItem{id: id, item: items[i], sweeps: make(map[string]bool), state: statePending}
+			c.items[id] = it
+			c.pushBackLocked(it)
+		}
+		it.sweeps[sweepID] = true
+		// A pending item parked by a cancellation rejoins the queue
+		// when a new sweep asks for it again.
+		if it.state == statePending && !it.queued {
+			c.pushBackLocked(it)
+		}
+	}
+}
+
+func (c *Coordinator) applyDoneLocked(itemID string, attempt int, worker string, run *stats.Run) {
+	it := c.items[itemID]
+	if it == nil || it.state == stateDone || run == nil {
+		return
+	}
+	c.dropLeaseLocked(it)
+	it.state = stateDone
+	it.attempt = attempt
+	it.worker = worker
+	it.run = run
+	it.fingerprint = Fingerprint(run)
+	it.queued = false
+	it.ckpt = nil
+	it.errMsg = ""
+}
+
+func (c *Coordinator) applyFailLocked(itemID string, attempt int, worker, msg string, transient bool) {
+	it := c.items[itemID]
+	if it == nil || it.state == stateDone || it.state == stateFailed {
+		return
+	}
+	c.dropLeaseLocked(it)
+	it.worker = worker
+	if transient && attempt+1 < c.opt.MaxAttempts {
+		// Retry under the next derived seed after backoff. The old
+		// checkpoint describes the old seed's trajectory and is
+		// useless now — drop it.
+		it.attempt = attempt + 1
+		it.ckpt = nil
+		it.ckptCycle = 0
+		it.notBefore = c.opt.Now().Add(experiments.RetryBackoff(it.attempt))
+		it.state = statePending
+		c.retried++
+		if !it.queued {
+			c.pushBackLocked(it)
+		}
+		return
+	}
+	it.state = stateFailed
+	it.attempt = attempt
+	it.errMsg = msg
+	it.queued = false
+}
+
+func (c *Coordinator) applyCkptLocked(itemID string, attempt int, frame []byte) {
+	it := c.items[itemID]
+	if it == nil || it.state == stateDone || it.state == stateFailed || attempt != it.attempt {
+		return
+	}
+	ck, err := checkpoint.DecodeBytes(frame)
+	if err != nil {
+		return // torn or stale frame: ignore, never corrupt the resume point
+	}
+	if it.ckpt != nil && it.ckptAttempt == attempt && ck.Cycle <= it.ckptCycle {
+		return // out-of-order (delayed/duplicated) heartbeat
+	}
+	it.ckpt = frame
+	it.ckptAttempt = attempt
+	it.ckptCycle = ck.Cycle
+}
+
+func (c *Coordinator) applyCancelLocked(sweepID string) {
+	sw := c.sweeps[sweepID]
+	if sw == nil || sw.canceled {
+		return
+	}
+	sw.canceled = true
+	for _, id := range sw.order {
+		it := c.items[id]
+		if it == nil || it.state != statePending {
+			continue // leased items finish; their results stay reusable
+		}
+		wanted := false
+		for sid := range it.sweeps {
+			if s := c.sweeps[sid]; s != nil && !s.canceled {
+				wanted = true
+				break
+			}
+		}
+		if !wanted {
+			it.queued = false // lazily dropped from the queue
+		}
+	}
+}
+
+// Queue helpers. The queue stores item IDs; the queued flag on the item
+// is authoritative, so lazy removal is just clearing the flag.
+
+func (c *Coordinator) pushBackLocked(it *trackedItem) {
+	c.queue = append(c.queue, it.id)
+	it.queued = true
+}
+
+func (c *Coordinator) pushFrontLocked(it *trackedItem) {
+	c.queue = append([]string{it.id}, c.queue...)
+	it.queued = true
+}
+
+func (c *Coordinator) dropLeaseLocked(it *trackedItem) {
+	if it.lease != nil {
+		delete(c.leases, it.lease.id)
+		it.lease = nil
+	}
+}
+
+// expireLocked revokes every lease whose deadline has passed and
+// re-queues the item AT THE FRONT, same attempt, checkpoint intact: the
+// successor resumes the dead worker's run from its last streamed frame.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, itemID := range c.leases {
+		it := c.items[itemID]
+		if it == nil || it.lease == nil || it.lease.id != id {
+			delete(c.leases, id)
+			continue
+		}
+		if now.After(it.lease.deadline) {
+			c.opt.Log.Printf("sweep: lease %d on %s (worker %s) expired; reassigning at attempt %d from checkpoint cycle %d",
+				id, itemID, it.lease.worker, it.attempt, it.ckptCycle)
+			delete(c.leases, id)
+			it.lease = nil
+			it.state = statePending
+			c.reassigned++
+			if !it.queued {
+				c.pushFrontLocked(it)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) {
+	if name != "" {
+		c.workers[name] = now
+	}
+}
+
+// Submit registers a manifest as one sweep. Every item is validated
+// and content-addressed; addresses already known (from this manifest
+// or any earlier sweep, finished or not) are shared, not re-queued.
+func (c *Coordinator) Submit(items []Item) (SubmitResponse, error) {
+	if len(items) == 0 {
+		return SubmitResponse{}, fmt.Errorf("sweep: empty manifest")
+	}
+	ids := make([]string, 0, len(items))
+	defs := make([]Item, 0, len(items))
+	seen := make(map[string]bool)
+	for _, it := range items {
+		if err := it.Validate(); err != nil {
+			return SubmitResponse{}, err
+		}
+		id, err := it.ID()
+		if err != nil {
+			return SubmitResponse{}, err
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		ids = append(ids, id)
+		defs = append(defs, it)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sweepID := fmt.Sprintf("s%03d", c.sweepSeq+1)
+	deduped := 0
+	for _, id := range ids {
+		if c.items[id] != nil {
+			deduped++
+		}
+	}
+	rec := &journalRecord{Kind: recSweep, SweepID: sweepID, ItemIDs: ids, Items: defs}
+	if err := c.appendLocked(rec); err != nil {
+		return SubmitResponse{}, err
+	}
+	c.applySweepLocked(sweepID, ids, defs)
+	c.opt.Log.Printf("sweep: %s submitted: %d items (%d shared with earlier sweeps)", sweepID, len(ids), deduped)
+	return SubmitResponse{SweepID: sweepID, Total: len(ids), Deduped: deduped}, nil
+}
+
+// Lease hands the next eligible queued item to a worker.
+func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	c.touchWorkerLocked(req.Worker, now)
+	c.expireLocked(now)
+
+	retryAfter := c.opt.LeaseTTL / 5
+	for i := 0; i < len(c.queue); i++ {
+		it := c.items[c.queue[i]]
+		if it == nil || !it.queued || it.state != statePending {
+			// Lazily compact entries whose items left the queue
+			// (completed by a zombie, canceled, or re-queued elsewhere).
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			i--
+			continue
+		}
+		if it.notBefore.After(now) {
+			if wait := it.notBefore.Sub(now); wait < retryAfter {
+				retryAfter = wait
+			}
+			continue // backoff gate: stays queued, in order
+		}
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		it.queued = false
+		c.leaseSeq++
+		it.lease = &lease{id: c.leaseSeq, worker: req.Worker, deadline: now.Add(c.opt.LeaseTTL)}
+		it.state = stateLeased
+		it.worker = req.Worker
+		c.leases[c.leaseSeq] = it.id
+		c.leasesGranted++
+		resp := LeaseResponse{
+			OK:      true,
+			LeaseID: c.leaseSeq,
+			ItemID:  it.id,
+			Item:    it.item,
+			Attempt: it.attempt,
+			TTLMs:   c.opt.LeaseTTL.Milliseconds(),
+		}
+		if it.ckpt != nil && it.ckptAttempt == it.attempt {
+			resp.Checkpoint = it.ckpt
+			c.opt.Log.Printf("sweep: lease %d: %s -> %s (attempt %d, resume from cycle %d)",
+				c.leaseSeq, it.id, req.Worker, it.attempt, it.ckptCycle)
+		} else {
+			c.opt.Log.Printf("sweep: lease %d: %s -> %s (attempt %d, fresh)", c.leaseSeq, it.id, req.Worker, it.attempt)
+		}
+		return resp
+	}
+	if retryAfter < 10*time.Millisecond {
+		retryAfter = 10 * time.Millisecond
+	}
+	return LeaseResponse{OK: false, RetryAfterMs: retryAfter.Milliseconds()}
+}
+
+// Heartbeat extends a lease and absorbs the holder's latest checkpoint
+// frame. OK=false means the lease is gone (expired or the item
+// finished elsewhere) and the worker must abandon the item.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	c.touchWorkerLocked(req.Worker, now)
+	c.expireLocked(now)
+
+	itemID, ok := c.leases[req.LeaseID]
+	if !ok {
+		return HeartbeatResponse{}, nil
+	}
+	it := c.items[itemID]
+	if it == nil || it.lease == nil || it.lease.id != req.LeaseID {
+		return HeartbeatResponse{}, nil
+	}
+	it.lease.deadline = now.Add(c.opt.LeaseTTL)
+	if len(req.Checkpoint) > 0 {
+		if err := c.acceptCkptLocked(it, req.Checkpoint); err != nil {
+			return HeartbeatResponse{}, err
+		}
+	}
+	return HeartbeatResponse{OK: true}, nil
+}
+
+// acceptCkptLocked validates a streamed frame against the item's
+// current attempt configuration before journaling it: a torn frame, a
+// stale frame from an earlier attempt, or one that rewinds the resume
+// cycle is discarded (not an error — the chaos transport manufactures
+// all three).
+func (c *Coordinator) acceptCkptLocked(it *trackedItem, frame []byte) error {
+	ck, err := checkpoint.DecodeBytes(frame)
+	if err != nil {
+		return nil
+	}
+	cfg, err := it.item.SimConfig(it.attempt)
+	if err != nil || checkpoint.ConfigHash(cfg) != ck.ConfigHash {
+		return nil
+	}
+	if it.ckpt != nil && it.ckptAttempt == it.attempt && ck.Cycle <= it.ckptCycle {
+		return nil
+	}
+	rec := &journalRecord{Kind: recCkpt, ItemID: it.id, Attempt: it.attempt, Checkpoint: frame}
+	if err := c.appendLocked(rec); err != nil {
+		return err
+	}
+	c.applyCkptLocked(it.id, it.attempt, frame)
+	return nil
+}
+
+// Complete records a finished run. First completion wins and is
+// idempotent: duplicated deliveries, retries after lost replies, and
+// zombie workers whose leases already expired all land here, and the
+// engine's determinism makes every one of their runs equally valid.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	c.touchWorkerLocked(req.Worker, now)
+	c.expireLocked(now)
+
+	it := c.items[req.ItemID]
+	if it == nil {
+		return CompleteResponse{}, fmt.Errorf("sweep: complete for unknown item %q", req.ItemID)
+	}
+	if it.state == stateDone {
+		return CompleteResponse{OK: true}, nil
+	}
+	if req.Run == nil {
+		return CompleteResponse{}, fmt.Errorf("sweep: complete for %s carries no run", req.ItemID)
+	}
+	rec := &journalRecord{Kind: recDone, ItemID: req.ItemID, Attempt: req.Attempt, Worker: req.Worker, Run: req.Run}
+	if err := c.appendLocked(rec); err != nil {
+		return CompleteResponse{}, err
+	}
+	c.applyDoneLocked(req.ItemID, req.Attempt, req.Worker, req.Run)
+	c.opt.Log.Printf("sweep: %s done by %s (attempt %d, fingerprint %016x)", req.ItemID, req.Worker, req.Attempt, it.fingerprint)
+	return CompleteResponse{OK: true}, nil
+}
+
+// Fail records a failed run. Only the current lease holder's report
+// acts (stale reports from revoked leases are acknowledged and
+// ignored); transient failures retry with the next derived seed after
+// bounded exponential backoff, permanent ones fail the item.
+func (c *Coordinator) Fail(req FailRequest) (FailResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	c.touchWorkerLocked(req.Worker, now)
+	c.expireLocked(now)
+
+	it := c.items[req.ItemID]
+	if it == nil || it.state == stateDone || it.state == stateFailed {
+		return FailResponse{OK: true}, nil
+	}
+	if it.lease == nil || it.lease.id != req.LeaseID || req.Attempt != it.attempt {
+		return FailResponse{OK: true}, nil // stale: the lease was reassigned
+	}
+	rec := &journalRecord{Kind: recFail, ItemID: req.ItemID, Attempt: req.Attempt, Worker: req.Worker, Msg: req.Msg, Transient: req.Transient}
+	if err := c.appendLocked(rec); err != nil {
+		return FailResponse{}, err
+	}
+	c.applyFailLocked(req.ItemID, req.Attempt, req.Worker, req.Msg, req.Transient)
+	if it.state == statePending {
+		c.opt.Log.Printf("sweep: %s attempt %d failed transiently (%s); retrying as attempt %d after backoff",
+			req.ItemID, req.Attempt, req.Msg, it.attempt)
+	} else {
+		c.opt.Log.Printf("sweep: %s failed permanently after attempt %d: %s", req.ItemID, req.Attempt, req.Msg)
+	}
+	return FailResponse{OK: true}, nil
+}
+
+// Cancel cancels a sweep: pending items no other live sweep wants leave
+// the queue; leased items run to completion (their results remain
+// reusable by future sweeps).
+func (c *Coordinator) Cancel(req CancelRequest) (CancelResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := c.sweeps[req.SweepID]
+	if sw == nil {
+		return CancelResponse{}, fmt.Errorf("sweep: unknown sweep %q", req.SweepID)
+	}
+	if sw.canceled {
+		return CancelResponse{OK: true}, nil
+	}
+	rec := &journalRecord{Kind: recCancel, SweepID: req.SweepID}
+	if err := c.appendLocked(rec); err != nil {
+		return CancelResponse{}, err
+	}
+	c.applyCancelLocked(req.SweepID)
+	c.opt.Log.Printf("sweep: %s canceled", req.SweepID)
+	return CancelResponse{OK: true}, nil
+}
+
+// Status reports coordinator state. Calling it also drives lease
+// expiry, so a sweep with dead workers makes progress even while only
+// being watched.
+func (c *Coordinator) Status(req StatusRequest) (StatusResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	c.expireLocked(now)
+
+	var resp StatusResponse
+	horizon := now.Add(-3 * c.opt.LeaseTTL)
+	for _, last := range c.workers {
+		if last.After(horizon) {
+			resp.AliveWorkers++
+		}
+	}
+	resp.LeasesGranted = c.leasesGranted
+	resp.Reassigned = c.reassigned
+	resp.Retried = c.retried
+
+	ids := make([]string, 0, len(c.sweeps))
+	for id := range c.sweeps {
+		if req.SweepID == "" || req.SweepID == id {
+			ids = append(ids, id)
+		}
+	}
+	if req.SweepID != "" && len(ids) == 0 {
+		return resp, fmt.Errorf("sweep: unknown sweep %q", req.SweepID)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sw := c.sweeps[id]
+		st := SweepStatus{ID: id, Canceled: sw.canceled, Total: len(sw.order)}
+		for _, itemID := range sw.order {
+			it := c.items[itemID]
+			switch it.state {
+			case stateDone:
+				st.Done++
+			case stateFailed:
+				st.Failed++
+			case stateLeased:
+				st.Leased++
+			default:
+				st.Pending++
+			}
+			if req.WithResults {
+				r := ItemResult{
+					ItemID:          it.id,
+					Item:            it.item,
+					State:           it.state,
+					Attempt:         it.attempt,
+					Worker:          it.worker,
+					CheckpointCycle: it.ckptCycle,
+					Err:             it.errMsg,
+					Fingerprint:     it.fingerprint,
+					Run:             it.run,
+				}
+				st.Results = append(st.Results, r)
+			}
+		}
+		resp.Sweeps = append(resp.Sweeps, st)
+	}
+	return resp, nil
+}

@@ -1,0 +1,463 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/stats"
+)
+
+// fakeNow is a hand-advanced clock, so lease-expiry tests never sleep
+// and never flake.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeNow() *fakeNow { return &fakeNow{t: time.Unix(1700000000, 0)} }
+
+func (f *fakeNow) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeNow) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// testItem is the standard fast test item: CC on a tiny 2-SM machine
+// (~9.5k cycles, tens of milliseconds).
+func testItem() Item {
+	return Item{Workload: "CC", Protocol: "gtsc", Consistency: "rc", NumSMs: 2, NumBanks: 2}
+}
+
+func testItemBL() Item {
+	it := testItem()
+	it.Protocol = "bl"
+	return it
+}
+
+func mustID(t *testing.T, it Item) string {
+	t.Helper()
+	id, err := it.ID()
+	if err != nil {
+		t.Fatalf("item ID: %v", err)
+	}
+	return id
+}
+
+// makeRun executes the item to completion in-process (the reference
+// result and the payload for Complete calls).
+func makeRun(t *testing.T, it Item, attempt int) *stats.Run {
+	t.Helper()
+	it = it.withDefaults()
+	cfg, err := it.SimConfig(attempt)
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	inst, err := it.Instance()
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	run, err := checkpoint.NewExecution(cfg, inst, it.Workload, it.Scale).Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return run
+}
+
+// makeFrame executes the item to stopAt and returns the encoded
+// checkpoint frame plus the cycle it landed on — what a worker streams
+// with a heartbeat.
+func makeFrame(t *testing.T, it Item, attempt int, stopAt uint64) ([]byte, uint64) {
+	t.Helper()
+	it = it.withDefaults()
+	cfg, err := it.SimConfig(attempt)
+	if err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	inst, err := it.Instance()
+	if err != nil {
+		t.Fatalf("instance: %v", err)
+	}
+	exec := checkpoint.NewExecution(cfg, inst, it.Workload, it.Scale)
+	_, paused, err := exec.RunUntil(context.Background(), stopAt)
+	if err != nil {
+		t.Fatalf("run to %d: %v", stopAt, err)
+	}
+	if !paused {
+		t.Fatalf("run finished before cycle %d; pick a smaller stop", stopAt)
+	}
+	ck := exec.Checkpoint()
+	frame, err := ck.EncodeBytes()
+	if err != nil {
+		t.Fatalf("encode frame: %v", err)
+	}
+	return frame, ck.Cycle
+}
+
+func itemResult(t *testing.T, c *Coordinator, sweepID, itemID string) ItemResult {
+	t.Helper()
+	st, err := c.Status(StatusRequest{SweepID: sweepID, WithResults: true})
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	for _, sw := range st.Sweeps {
+		for _, r := range sw.Results {
+			if r.ItemID == itemID {
+				return r
+			}
+		}
+	}
+	t.Fatalf("item %s not in sweep %s status", itemID, sweepID)
+	return ItemResult{}
+}
+
+// TestLeaseExpiryReassignsWithCheckpoint is the core robustness
+// property: a worker that stops heartbeating loses its lease, and the
+// successor inherits the exact streamed resume frame — same attempt,
+// same derived seed. Zombie results arriving after reassignment are
+// accepted first-wins (determinism makes them equally valid), and the
+// displaced holder's stale operations are rejected or ignored.
+func TestLeaseExpiryReassignsWithCheckpoint(t *testing.T) {
+	clock := newFakeNow()
+	c := NewCoordinator(Options{LeaseTTL: time.Second, Now: clock.Now})
+	it := testItem()
+	sub, err := c.Submit([]Item{it})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	lr1 := c.Lease(LeaseRequest{Worker: "a"})
+	if !lr1.OK || lr1.Attempt != 0 || len(lr1.Checkpoint) != 0 {
+		t.Fatalf("first lease = %+v, want fresh attempt-0 grant", lr1)
+	}
+	if lr2 := c.Lease(LeaseRequest{Worker: "b"}); lr2.OK {
+		t.Fatalf("second lease granted while the only item is held")
+	}
+
+	frame, cycle := makeFrame(t, it, 0, 3000)
+	if hb, err := c.Heartbeat(HeartbeatRequest{Worker: "a", LeaseID: lr1.LeaseID, Checkpoint: frame}); err != nil || !hb.OK {
+		t.Fatalf("heartbeat = %+v, %v", hb, err)
+	}
+
+	// Worker a goes silent (SIGKILL): the deadline passes, and the next
+	// lease call reassigns the item WITH the streamed frame.
+	clock.Advance(1500 * time.Millisecond)
+	lr2 := c.Lease(LeaseRequest{Worker: "b"})
+	if !lr2.OK || lr2.ItemID != lr1.ItemID {
+		t.Fatalf("reassignment lease = %+v, want item %s", lr2, lr1.ItemID)
+	}
+	if lr2.Attempt != 0 {
+		t.Errorf("reassignment bumped attempt to %d; reassignment must continue attempt 0", lr2.Attempt)
+	}
+	ck, err := checkpoint.DecodeBytes(lr2.Checkpoint)
+	if err != nil || ck.Cycle != cycle {
+		t.Fatalf("handed-over frame = cycle %v err %v, want cycle %d", ck, err, cycle)
+	}
+	if st, _ := c.Status(StatusRequest{}); st.Reassigned != 1 {
+		t.Errorf("Reassigned = %d, want 1", st.Reassigned)
+	}
+
+	// The displaced holder is now a zombie: its heartbeats are refused…
+	if hb, err := c.Heartbeat(HeartbeatRequest{Worker: "a", LeaseID: lr1.LeaseID}); err != nil || hb.OK {
+		t.Fatalf("stale heartbeat = %+v, %v; want OK=false", hb, err)
+	}
+	// …but its COMPLETED result is accepted: first-complete-wins, and
+	// determinism makes the zombie's run identical to the successor's.
+	run := makeRun(t, it, 0)
+	if cr, err := c.Complete(CompleteRequest{Worker: "a", LeaseID: lr1.LeaseID, ItemID: lr1.ItemID, Attempt: 0, Run: run}); err != nil || !cr.OK {
+		t.Fatalf("zombie complete = %+v, %v", cr, err)
+	}
+	// The successor's duplicate completion is an idempotent no-op.
+	if cr, err := c.Complete(CompleteRequest{Worker: "b", LeaseID: lr2.LeaseID, ItemID: lr2.ItemID, Attempt: 0, Run: run}); err != nil || !cr.OK {
+		t.Fatalf("duplicate complete = %+v, %v", cr, err)
+	}
+
+	res := itemResult(t, c, sub.SweepID, lr1.ItemID)
+	if res.State != stateDone || res.Fingerprint != Fingerprint(run) {
+		t.Fatalf("final state = %s fp %016x, want done with fp %016x", res.State, res.Fingerprint, Fingerprint(run))
+	}
+	st, _ := c.Status(StatusRequest{SweepID: sub.SweepID})
+	if !st.Sweeps[0].Finished() {
+		t.Errorf("sweep not finished: %+v", st.Sweeps[0])
+	}
+}
+
+// TestTransientRetrySchedule pins the retry ladder: a transient
+// failure re-queues the item at the NEXT attempt behind the session's
+// exponential backoff gate; attempts are bounded by MaxAttempts; stale
+// failure reports from revoked leases are ignored.
+func TestTransientRetrySchedule(t *testing.T) {
+	clock := newFakeNow()
+	c := NewCoordinator(Options{LeaseTTL: time.Minute, MaxAttempts: 3, Now: clock.Now})
+	it := testItem()
+	it.FaultSeed = 7
+	sub, err := c.Submit([]Item{it})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	id := mustID(t, it)
+
+	for attempt := 0; attempt < 3; attempt++ {
+		lr := c.Lease(LeaseRequest{Worker: "w"})
+		if !lr.OK || lr.Attempt != attempt {
+			t.Fatalf("lease for attempt %d = %+v", attempt, lr)
+		}
+		// A stale fail (wrong lease) must not consume the attempt.
+		if fr, err := c.Fail(FailRequest{Worker: "x", LeaseID: lr.LeaseID + 99, ItemID: id, Attempt: attempt, Msg: "stale", Transient: true}); err != nil || !fr.OK {
+			t.Fatalf("stale fail = %+v, %v", fr, err)
+		}
+		if got := itemResult(t, c, sub.SweepID, id); got.State != stateLeased {
+			t.Fatalf("stale fail changed state to %s", got.State)
+		}
+		if fr, err := c.Fail(FailRequest{Worker: "w", LeaseID: lr.LeaseID, ItemID: id, Attempt: attempt, Msg: "injected deadlock", Transient: true}); err != nil || !fr.OK {
+			t.Fatalf("fail attempt %d = %+v, %v", attempt, fr, err)
+		}
+		if attempt == 2 {
+			break // third transient failure exhausts MaxAttempts=3
+		}
+		// Backoff gate: the item is queued but not leasable until the
+		// derived backoff elapses.
+		if lr := c.Lease(LeaseRequest{Worker: "w"}); lr.OK {
+			t.Fatalf("lease granted inside the attempt-%d backoff window", attempt+1)
+		} else if lr.RetryAfterMs <= 0 {
+			t.Fatalf("backoff refusal carries no retry hint: %+v", lr)
+		}
+		clock.Advance(200 * time.Millisecond) // > RetryBackoff(1..2) = 25/50ms
+	}
+
+	res := itemResult(t, c, sub.SweepID, id)
+	if res.State != stateFailed || res.Attempt != 2 || res.Err == "" {
+		t.Fatalf("after exhausting attempts: %+v, want failed at attempt 2", res)
+	}
+	if st, _ := c.Status(StatusRequest{}); st.Retried != 2 {
+		t.Errorf("Retried = %d, want 2", st.Retried)
+	}
+	if lr := c.Lease(LeaseRequest{Worker: "w"}); lr.OK {
+		t.Fatalf("failed item leased again: %+v", lr)
+	}
+}
+
+// TestPermanentFailureNoRetry: without a fault plan there is nothing
+// transient about a failure — one report fails the item.
+func TestPermanentFailureNoRetry(t *testing.T) {
+	c := NewCoordinator(Options{})
+	it := testItem()
+	sub, err := c.Submit([]Item{it})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	lr := c.Lease(LeaseRequest{Worker: "w"})
+	if !lr.OK {
+		t.Fatalf("lease: %+v", lr)
+	}
+	if _, err := c.Fail(FailRequest{Worker: "w", LeaseID: lr.LeaseID, ItemID: lr.ItemID, Attempt: 0, Msg: "boom", Transient: false}); err != nil {
+		t.Fatalf("fail: %v", err)
+	}
+	res := itemResult(t, c, sub.SweepID, lr.ItemID)
+	if res.State != stateFailed || res.Err != "boom" {
+		t.Fatalf("res = %+v, want permanent failure", res)
+	}
+}
+
+// TestJournalReplayRestoresAssignmentState is the coordinator-crash
+// acceptance gate: a restart on the journal restores finished results
+// bit-identically (never re-executing them), re-queues unfinished
+// items, and preserves their streamed checkpoint frames for handoff.
+func TestJournalReplayRestoresAssignmentState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gtscd.jrnl")
+	itA, itB := testItem(), testItemBL()
+	idA, idB := mustID(t, itA), mustID(t, itB)
+
+	c1, err := OpenCoordinator(path, Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	s1, err := c1.Submit([]Item{itA, itB})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	// A second sweep asking for an already-known item shares it.
+	s2, err := c1.Submit([]Item{itB})
+	if err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if s2.Total != 1 || s2.Deduped != 1 {
+		t.Fatalf("cross-sweep dedupe: %+v, want Total=1 Deduped=1", s2)
+	}
+
+	lrA := c1.Lease(LeaseRequest{Worker: "a"})
+	if !lrA.OK || lrA.ItemID != idA {
+		t.Fatalf("lease A = %+v, want %s", lrA, idA)
+	}
+	frame, cycle := makeFrame(t, itA, 0, 3000)
+	if _, err := c1.Heartbeat(HeartbeatRequest{Worker: "a", LeaseID: lrA.LeaseID, Checkpoint: frame}); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	lrB := c1.Lease(LeaseRequest{Worker: "a"})
+	if !lrB.OK || lrB.ItemID != idB {
+		t.Fatalf("lease B = %+v, want %s", lrB, idB)
+	}
+	runB := makeRun(t, itB, 0)
+	if _, err := c1.Complete(CompleteRequest{Worker: "a", LeaseID: lrB.LeaseID, ItemID: idB, Attempt: 0, Run: runB}); err != nil {
+		t.Fatalf("complete B: %v", err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Coordinator "crash" and restart: leases are gone (ephemeral by
+	// design), durable state is exact.
+	c2, err := OpenCoordinator(path, Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	defer c2.Close()
+	if c2.DroppedTail() {
+		t.Error("clean journal reported a torn tail")
+	}
+	resB := itemResult(t, c2, s1.SweepID, idB)
+	if resB.State != stateDone || resB.Fingerprint != Fingerprint(runB) {
+		t.Fatalf("replayed B = %+v, want done with original fingerprint %016x", resB, Fingerprint(runB))
+	}
+	resA := itemResult(t, c2, s1.SweepID, idA)
+	if resA.State != statePending || resA.CheckpointCycle != cycle {
+		t.Fatalf("replayed A = state %s ckpt %d, want pending with ckpt cycle %d", resA.State, resA.CheckpointCycle, cycle)
+	}
+	// The re-queued item hands its preserved frame to the next worker;
+	// the finished one is never handed out again.
+	lr := c2.Lease(LeaseRequest{Worker: "b"})
+	if !lr.OK || lr.ItemID != idA {
+		t.Fatalf("post-restart lease = %+v, want %s", lr, idA)
+	}
+	if ck, err := checkpoint.DecodeBytes(lr.Checkpoint); err != nil || ck.Cycle != cycle {
+		t.Fatalf("post-restart frame cycle = %v, %v; want %d", ck, err, cycle)
+	}
+	if extra := c2.Lease(LeaseRequest{Worker: "b"}); extra.OK {
+		t.Fatalf("finished item re-leased after restart: %+v", extra)
+	}
+	st, _ := c2.Status(StatusRequest{SweepID: s2.SweepID})
+	if !st.Sweeps[0].Finished() {
+		t.Errorf("sweep 2 (done item only) not finished after replay: %+v", st.Sweeps[0])
+	}
+}
+
+// TestJournalTornTailRepair crashes the journal the way a real crash
+// does — a partial final record — and proves the reopen repairs it by
+// truncation, losing only the torn record.
+func TestJournalTornTailRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gtscd.jrnl")
+	it := testItem()
+	c1, err := OpenCoordinator(path, Options{})
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	s1, err := c1.Submit([]Item{it})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	lr := c1.Lease(LeaseRequest{Worker: "a"})
+	run := makeRun(t, it, 0)
+	if _, err := c1.Complete(CompleteRequest{Worker: "a", LeaseID: lr.LeaseID, ItemID: lr.ItemID, Attempt: 0, Run: run}); err != nil {
+		t.Fatalf("complete: %v", err)
+	}
+	c1.Close()
+
+	// Torn tail: a frame header promising more bytes than follow.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("reopen file: %v", err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	f.Close()
+
+	c2, err := OpenCoordinator(path, Options{})
+	if err != nil {
+		t.Fatalf("open torn: %v", err)
+	}
+	defer c2.Close()
+	if !c2.DroppedTail() {
+		t.Error("torn tail not reported")
+	}
+	res := itemResult(t, c2, s1.SweepID, lr.ItemID)
+	if res.State != stateDone || res.Fingerprint != Fingerprint(run) {
+		t.Fatalf("after repair: %+v, want intact done result", res)
+	}
+	// The repaired journal accepts appends again.
+	if _, err := c2.Submit([]Item{testItemBL()}); err != nil {
+		t.Fatalf("submit after repair: %v", err)
+	}
+}
+
+// TestCancelSpares SharedItems: cancel drops a sweep's exclusive
+// pending items from the queue but keeps items another live sweep
+// still wants, and a later sweep re-queues a parked item.
+func TestCancelSparesSharedItems(t *testing.T) {
+	c := NewCoordinator(Options{})
+	itA, itB := testItem(), testItemBL()
+	idA, idB := mustID(t, itA), mustID(t, itB)
+	s1, err := c.Submit([]Item{itA, itB})
+	if err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	if _, err := c.Submit([]Item{itB}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+
+	if _, err := c.Cancel(CancelRequest{SweepID: s1.SweepID}); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	st, _ := c.Status(StatusRequest{SweepID: s1.SweepID})
+	if !st.Sweeps[0].Canceled || !st.Sweeps[0].Finished() {
+		t.Fatalf("canceled sweep status: %+v", st.Sweeps[0])
+	}
+	// Only itB (still wanted by sweep 2) remains leasable.
+	lr := c.Lease(LeaseRequest{Worker: "w"})
+	if !lr.OK || lr.ItemID != idB {
+		t.Fatalf("post-cancel lease = %+v, want %s", lr, idB)
+	}
+	if extra := c.Lease(LeaseRequest{Worker: "w"}); extra.OK {
+		t.Fatalf("canceled exclusive item still leasable: %+v", extra)
+	}
+	// A new sweep re-queues the parked item.
+	if _, err := c.Submit([]Item{itA}); err != nil {
+		t.Fatalf("submit 3: %v", err)
+	}
+	lr = c.Lease(LeaseRequest{Worker: "w"})
+	if !lr.OK || lr.ItemID != idA {
+		t.Fatalf("re-queued lease = %+v, want %s", lr, idA)
+	}
+}
+
+// TestSubmitValidation: bad manifests are rejected whole.
+func TestSubmitValidation(t *testing.T) {
+	c := NewCoordinator(Options{})
+	if _, err := c.Submit(nil); err == nil {
+		t.Error("empty manifest accepted")
+	}
+	if _, err := c.Submit([]Item{{Workload: "NOPE", Protocol: "gtsc", Consistency: "rc"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := c.Submit([]Item{{Workload: "CC", Protocol: "warp9", Consistency: "rc"}}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	// In-manifest duplicates collapse to one item.
+	sub, err := c.Submit([]Item{testItem(), testItem()})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.Total != 1 {
+		t.Errorf("duplicate items not collapsed: %+v", sub)
+	}
+}

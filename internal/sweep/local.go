@@ -1,0 +1,113 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/experiments"
+)
+
+// RunLocal executes a manifest serially in-process: the graceful-
+// degradation path gtscctl takes when no coordinator is reachable, and
+// the bit-identical reference the distributed path is measured against
+// (identical items, identical attempt seeds, identical retry policy —
+// only the scheduling differs, which the engine's determinism makes
+// invisible). maxAttempts <= 0 gets the coordinator default.
+func RunLocal(ctx context.Context, m Manifest, maxAttempts int, logger *log.Logger) ([]ItemResult, error) {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = Options{}.withDefaults().MaxAttempts
+	}
+	var results []ItemResult
+	seen := make(map[string]bool)
+	for _, raw := range m.Items {
+		it := raw.withDefaults()
+		id, err := it.ID()
+		if err != nil {
+			return results, err
+		}
+		if seen[id] {
+			continue // same content address: one execution, like the service
+		}
+		seen[id] = true
+		res := ItemResult{ItemID: id, Item: it, Worker: "local"}
+		for attempt := 0; ; attempt++ {
+			res.Attempt = attempt
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					return results, context.Cause(ctx)
+				case <-time.After(experiments.RetryBackoff(attempt)):
+				}
+			}
+			cfg, err := it.SimConfig(attempt)
+			if err != nil {
+				return results, err
+			}
+			inst, err := it.Instance()
+			if err != nil {
+				return results, err
+			}
+			exec := checkpoint.NewExecution(cfg, inst, it.Workload, it.Scale)
+			run, err := exec.Run(ctx)
+			if err == nil {
+				res.State = stateDone
+				res.Run = run
+				res.Fingerprint = Fingerprint(run)
+				logger.Printf("sweep: local: %s done (attempt %d, fingerprint %016x)", id, attempt, res.Fingerprint)
+				break
+			}
+			if errors.As(err, new(*diag.CanceledError)) {
+				return results, err
+			}
+			var deadlock *diag.DeadlockError
+			if errors.As(err, &deadlock) && it.FaultSeed != 0 && attempt+1 < maxAttempts {
+				logger.Printf("sweep: local: %s attempt %d failed transiently (%v); retrying", id, attempt, err)
+				continue
+			}
+			res.State = stateFailed
+			res.Err = err.Error()
+			logger.Printf("sweep: local: %s failed permanently: %v", id, err)
+			break
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// PrintResults renders results as the deterministic table gtscctl
+// prints for both the distributed and the local path — identical
+// inputs produce byte-identical output, so the sweep smoke test can
+// diff the two directly.
+func PrintResults(w io.Writer, results []ItemResult) {
+	sorted := append([]ItemResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ItemID < sorted[j].ItemID })
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "ITEM\tVARIANT\tSTATE\tCYCLES\tINSTR\tFINGERPRINT")
+	for _, r := range sorted {
+		cycles, instr, fp := "-", "-", "-"
+		if r.State == stateDone {
+			if r.Run != nil {
+				cycles = fmt.Sprintf("%d", r.Run.Cycles)
+				instr = fmt.Sprintf("%d", r.Run.SM.InstrIssued)
+			}
+			fp = fmt.Sprintf("%016x", r.Fingerprint)
+		}
+		state := r.State
+		if r.State == stateFailed && r.Err != "" {
+			state = "failed!"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", r.ItemID, r.Item.Variant(), state, cycles, instr, fp)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,182 @@
+package sweep
+
+// Wire types of the coordinator/worker protocol. Bodies travel as gob
+// (both ends are gtsc binaries; gob round-trips stats.Run bit-exactly,
+// the property the experiments journal already relies on). Durations
+// cross the wire as explicit milliseconds rather than absolute
+// timestamps, so worker and coordinator clocks never need to agree.
+//
+// Every endpoint is IDEMPOTENT or safely replayable, because the chaos
+// transport (fault.TransportConfig) duplicates and loses messages on
+// purpose:
+//
+//   - a duplicated lease request leaks a lease nobody works on — it
+//     expires and the item is reassigned;
+//   - a duplicated or replayed complete finds the item already done
+//     and reports success without rewriting anything;
+//   - a lost complete reply makes the worker retry the same complete;
+//   - heartbeats are pure extensions keyed by lease ID; stale ones
+//     report OK=false and the zombie worker abandons the item.
+
+import "github.com/gtsc-sim/gtsc/internal/stats"
+
+// SubmitRequest asks the coordinator to run a manifest as one sweep.
+type SubmitRequest struct {
+	Items []Item
+}
+
+// SubmitResponse acknowledges a sweep. Deduped counts items that were
+// already known to the content-addressed store (from this or any other
+// sweep) — they may even be finished already.
+type SubmitResponse struct {
+	SweepID string
+	Total   int // unique items in the sweep
+	Deduped int // of which were already known (shared or done)
+}
+
+// LeaseRequest asks for one work item.
+type LeaseRequest struct {
+	Worker string
+}
+
+// LeaseResponse hands out a lease, or OK=false with a retry hint when
+// no item is currently available.
+type LeaseResponse struct {
+	OK           bool
+	RetryAfterMs int64
+
+	LeaseID uint64
+	ItemID  string
+	Item    Item
+	// Attempt selects the derived fault seed of this execution; it
+	// advances only on transient-failure retries, never on
+	// reassignment (a reassigned item CONTINUES the same attempt from
+	// its checkpoint).
+	Attempt int
+	// TTLMs is the lease deadline interval: the worker must heartbeat
+	// well within it or lose the lease.
+	TTLMs int64
+	// Checkpoint, when non-empty, is the last frame the previous
+	// holder streamed back (checkpoint.Checkpoint bytes): the new
+	// holder resumes by verified deterministic replay instead of
+	// starting over blind.
+	Checkpoint []byte
+}
+
+// HeartbeatRequest extends a lease and optionally streams the holder's
+// latest checkpoint frame.
+type HeartbeatRequest struct {
+	Worker     string
+	LeaseID    uint64
+	Checkpoint []byte
+}
+
+// HeartbeatResponse: OK=false means the lease no longer exists (it
+// expired and was reassigned, or the item completed elsewhere); the
+// worker must abandon the item immediately.
+type HeartbeatResponse struct {
+	OK bool
+}
+
+// CompleteRequest reports a finished run. Results are accepted even
+// from expired leases: the engine is deterministic per attempt, so a
+// zombie's completed result is exactly as valid as its successor's.
+type CompleteRequest struct {
+	Worker  string
+	LeaseID uint64
+	ItemID  string
+	Attempt int
+	Run     *stats.Run
+}
+
+// CompleteResponse: OK=false only for unknown items or nil runs.
+type CompleteResponse struct {
+	OK bool
+}
+
+// FailRequest reports a failed run. Transient failures (fault-injected
+// deadlocks) are retried by the coordinator with a derived seed after
+// backoff; permanent ones fail the item.
+type FailRequest struct {
+	Worker    string
+	LeaseID   uint64
+	ItemID    string
+	Attempt   int
+	Msg       string
+	Transient bool
+}
+
+// FailResponse acknowledges the report (stale reports are ignored but
+// still acknowledged).
+type FailResponse struct {
+	OK bool
+}
+
+// CancelRequest cancels a sweep: its exclusively-held pending items
+// leave the queue; leased items finish (their results stay reusable).
+type CancelRequest struct {
+	SweepID string
+}
+
+// CancelResponse acknowledges the cancellation.
+type CancelResponse struct {
+	OK bool
+}
+
+// StatusRequest asks for coordinator state; SweepID narrows to one
+// sweep, WithResults attaches per-item results (runs included for
+// done items).
+type StatusRequest struct {
+	SweepID     string
+	WithResults bool
+}
+
+// StatusResponse is the coordinator's observable state.
+type StatusResponse struct {
+	// AliveWorkers counts workers heard from within 3 lease TTLs.
+	AliveWorkers int
+	// LeasesGranted / Reassigned / Retried count scheduling events
+	// since this coordinator process started (they are observability
+	// counters, deliberately not journaled).
+	LeasesGranted int
+	Reassigned    int
+	Retried       int
+	Sweeps        []SweepStatus
+}
+
+// SweepStatus summarizes one sweep.
+type SweepStatus struct {
+	ID       string
+	Canceled bool
+	Total    int
+	Done     int
+	Failed   int
+	Leased   int
+	Pending  int
+	Results  []ItemResult
+}
+
+// Finished reports whether nothing in the sweep can still make
+// progress.
+func (s *SweepStatus) Finished() bool {
+	return s.Canceled || s.Done+s.Failed == s.Total
+}
+
+// ItemResult is the externally visible state of one item.
+type ItemResult struct {
+	ItemID string
+	Item   Item
+	State  string // pending, leased, done, failed
+	// Attempt is the current (or final) attempt index.
+	Attempt int
+	// Worker last held (or holds) the item.
+	Worker string
+	// CheckpointCycle is the cycle of the last streamed frame (0 =
+	// none) — the coordinate a reassignment would resume from.
+	CheckpointCycle uint64
+	Err             string
+	// Run and Fingerprint are set for done items (Run only when the
+	// status request asked WithResults).
+	Run         *stats.Run
+	Fingerprint uint64
+}

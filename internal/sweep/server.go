@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// API paths. One POST endpoint per protocol operation; bodies are gob
+// both ways.
+const (
+	PathSubmit    = "/api/submit"
+	PathLease     = "/api/lease"
+	PathHeartbeat = "/api/heartbeat"
+	PathComplete  = "/api/complete"
+	PathFail      = "/api/fail"
+	PathCancel    = "/api/cancel"
+	PathStatus    = "/api/status"
+)
+
+// NewServer exposes a coordinator over HTTP. Error mapping is the
+// contract the retrying client relies on: request errors (bad
+// manifest, unknown sweep/item) are 4xx and terminal; journal failures
+// are 5xx and retryable — the transition did not happen, so replaying
+// the request is safe.
+func NewServer(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+	handle(mux, PathSubmit, func(req SubmitRequest) (SubmitResponse, error) { return c.Submit(req.Items) })
+	handle(mux, PathLease, func(req LeaseRequest) (LeaseResponse, error) { return c.Lease(req), nil })
+	handle(mux, PathHeartbeat, c.Heartbeat)
+	handle(mux, PathComplete, c.Complete)
+	handle(mux, PathFail, c.Fail)
+	handle(mux, PathCancel, c.Cancel)
+	handle(mux, PathStatus, c.Status)
+	return mux
+}
+
+func handle[Req, Resp any](mux *http.ServeMux, path string, fn func(Req) (Resp, error)) {
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Req
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("undecodable request body: %v", err), http.StatusBadRequest)
+			return
+		}
+		resp, err := fn(req)
+		if err != nil {
+			code := http.StatusBadRequest
+			var je *journalError
+			if errors.As(err, &je) {
+				code = http.StatusInternalServerError
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		// Encode to a buffer first: a failed encode must become a 500,
+		// not a torn 200 the client would misread as transport chaos.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&resp); err != nil {
+			http.Error(w, fmt.Sprintf("response encode: %v", err), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-gob")
+		w.Write(buf.Bytes())
+	})
+}

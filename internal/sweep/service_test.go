@@ -1,0 +1,345 @@
+package sweep
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+)
+
+// localRef runs the manifest serially in-process and returns the
+// reference fingerprint per item ID — the bit-identity yardstick every
+// distributed scenario is measured against.
+func localRef(t *testing.T, m Manifest) map[string]uint64 {
+	t.Helper()
+	results, err := RunLocal(context.Background(), m, 0, nil)
+	if err != nil {
+		t.Fatalf("local reference: %v", err)
+	}
+	ref := make(map[string]uint64, len(results))
+	for _, r := range results {
+		if r.State != stateDone {
+			t.Fatalf("local reference item %s: %s (%s)", r.ItemID, r.State, r.Err)
+		}
+		ref[r.ItemID] = r.Fingerprint
+	}
+	return ref
+}
+
+// testManifest is a 2-workload x 2-variant grid on the tiny machine.
+func testManifest(t *testing.T) Manifest {
+	t.Helper()
+	m, err := Grid([]string{"CC", "BH"}, []string{"gtsc-rc", "bl-rc"}, Item{NumSMs: 2, NumBanks: 2})
+	if err != nil {
+		t.Fatalf("grid: %v", err)
+	}
+	return m
+}
+
+// waitFinished polls the sweep through the client until nothing can
+// make progress, returning its results.
+func waitFinished(t *testing.T, client *Client, sweepID string, timeout time.Duration) SweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := client.Status(context.Background(), sweepID, true)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if len(st.Sweeps) != 1 {
+			t.Fatalf("status returned %d sweeps, want 1", len(st.Sweeps))
+		}
+		if st.Sweeps[0].Finished() {
+			return st.Sweeps[0]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s did not finish in %v: %+v", sweepID, timeout, st.Sweeps[0])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// assertMatchesRef fails unless every item completed with the
+// reference fingerprint.
+func assertMatchesRef(t *testing.T, sw SweepStatus, ref map[string]uint64) {
+	t.Helper()
+	if len(sw.Results) != len(ref) {
+		t.Fatalf("sweep has %d results, reference has %d", len(sw.Results), len(ref))
+	}
+	for _, r := range sw.Results {
+		want, ok := ref[r.ItemID]
+		if !ok {
+			t.Errorf("item %s not in the reference set", r.ItemID)
+			continue
+		}
+		if r.State != stateDone {
+			t.Errorf("item %s: state %s (%s), want done", r.ItemID, r.State, r.Err)
+			continue
+		}
+		if r.Fingerprint != want {
+			t.Errorf("item %s: fingerprint %016x != reference %016x — distributed execution diverged",
+				r.ItemID, r.Fingerprint, want)
+		}
+	}
+}
+
+// startWorkers launches n workers against the URL, restarting any that
+// exit, until the returned stop function is called.
+func startWorkers(t *testing.T, url string, n int, slice uint64) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for ctx.Err() == nil {
+				w := &Worker{Name: name, Client: NewClient(url, nil), SliceCycles: slice}
+				w.Run(ctx)
+			}
+		}(i)
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestDistributedSweepBitIdenticalToLocal is the basic service
+// acceptance: a sweep sharded across two workers completes with
+// results bit-identical to the serial in-process reference.
+func TestDistributedSweepBitIdenticalToLocal(t *testing.T) {
+	m := testManifest(t)
+	ref := localRef(t, m)
+
+	c := NewCoordinator(Options{LeaseTTL: 2 * time.Second})
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	stop := startWorkers(t, srv.URL, 2, 1500)
+	defer stop()
+
+	client := NewClient(srv.URL, nil)
+	sub, err := client.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.Total != len(m.Items) || sub.Deduped != 0 {
+		t.Fatalf("submit = %+v, want %d fresh items", sub, len(m.Items))
+	}
+	sw := waitFinished(t, client, sub.SweepID, 30*time.Second)
+	assertMatchesRef(t, sw, ref)
+}
+
+// TestWorkerDeathMidRunResumesBitIdentical is the kill acceptance
+// gate: a worker that dies without a trace mid-run (the in-process
+// analog of SIGKILL — it simply stops calling) loses its lease; the
+// successor receives the dead worker's last streamed frame, resumes by
+// verified deterministic replay, and the final result is bit-identical
+// to an uninterrupted run.
+func TestWorkerDeathMidRunResumesBitIdentical(t *testing.T) {
+	it := testItem()
+	m := Manifest{Items: []Item{it}}
+	ref := localRef(t, m)
+
+	c := NewCoordinator(Options{LeaseTTL: 200 * time.Millisecond})
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+	victim := NewClient(srv.URL, nil)
+
+	sub, err := victim.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	lr1, err := victim.Lease(context.Background(), "victim")
+	if err != nil || !lr1.OK {
+		t.Fatalf("victim lease = %+v, %v", lr1, err)
+	}
+	// The victim makes real progress and streams one frame…
+	frame, cycle := makeFrame(t, it, 0, 3000)
+	if hb, err := victim.Heartbeat(context.Background(), "victim", lr1.LeaseID, frame); err != nil || !hb.OK {
+		t.Fatalf("victim heartbeat = %+v, %v", hb, err)
+	}
+	// …then dies: no fail report, no further heartbeats, nothing.
+
+	// The successor polls until the expired lease is reassigned to it.
+	successor := NewClient(srv.URL, nil)
+	var lr2 LeaseResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lr2, err = successor.Lease(context.Background(), "successor")
+		if err != nil {
+			t.Fatalf("successor lease: %v", err)
+		}
+		if lr2.OK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease never reassigned")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lr2.ItemID != lr1.ItemID || lr2.Attempt != 0 {
+		t.Fatalf("reassignment = %+v, want item %s at attempt 0", lr2, lr1.ItemID)
+	}
+	ck, err := checkpoint.DecodeBytes(lr2.Checkpoint)
+	if err != nil || ck.Cycle != cycle {
+		t.Fatalf("handoff frame = %v, %v; want the victim's cycle-%d frame", ck, err, cycle)
+	}
+
+	// The successor is a REAL worker finishing the item from the frame.
+	w := &Worker{Name: "successor", Client: successor, SliceCycles: 1500}
+	w.runItem(context.Background(), lr2)
+
+	sw := waitFinished(t, successor, sub.SweepID, 10*time.Second)
+	assertMatchesRef(t, sw, ref)
+	res := sw.Results[0]
+	if res.Worker != "successor" {
+		t.Errorf("final holder = %q, want the successor", res.Worker)
+	}
+	st, err := successor.Status(context.Background(), "", false)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Reassigned < 1 {
+		t.Errorf("Reassigned = %d, want >= 1", st.Reassigned)
+	}
+}
+
+// TestCoordinatorRestartMidSweep is the crash-recovery acceptance
+// gate at the service level: the coordinator dies mid-sweep (clients
+// see 5xx and retry), restarts from its journal, and the sweep
+// completes bit-identically — finished items are never re-executed,
+// in-flight ones resume from their streamed frames.
+func TestCoordinatorRestartMidSweep(t *testing.T) {
+	itA, itB := testItem(), testItemBL()
+	m := Manifest{Items: []Item{itA, itB}}
+	ref := localRef(t, m)
+	idA, idB := mustID(t, itA), mustID(t, itB)
+	path := t.TempDir() + "/gtscd.jrnl"
+
+	// The handler indirection keeps one stable URL across the
+	// coordinator's death and rebirth, like a restarting daemon on a
+	// fixed port.
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value // handlerBox
+	down := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "coordinator restarting", http.StatusServiceUnavailable)
+	})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	c1, err := OpenCoordinator(path, Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	handler.Store(handlerBox{NewServer(c1)})
+
+	client := NewClient(srv.URL, nil)
+	sub, err := client.Submit(context.Background(), m)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	lrA, err := client.Lease(context.Background(), "w1")
+	if err != nil || !lrA.OK || lrA.ItemID != idA {
+		t.Fatalf("lease A = %+v, %v", lrA, err)
+	}
+	frame, cycle := makeFrame(t, itA, 0, 3000)
+	if _, err := client.Heartbeat(context.Background(), "w1", lrA.LeaseID, frame); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	lrB, err := client.Lease(context.Background(), "w1")
+	if err != nil || !lrB.OK || lrB.ItemID != idB {
+		t.Fatalf("lease B = %+v, %v", lrB, err)
+	}
+	runB := makeRun(t, itB, 0)
+	if _, err := client.Complete(context.Background(), "w1", lrB.LeaseID, idB, 0, runB); err != nil {
+		t.Fatalf("complete B: %v", err)
+	}
+
+	// Crash: the server answers 503 while the coordinator is down. A
+	// status call issued during the outage must ride it out on the
+	// client's 5xx retry policy.
+	handler.Store(handlerBox{down})
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	type statusResult struct {
+		st  StatusResponse
+		err error
+	}
+	during := make(chan statusResult, 1)
+	go func() {
+		cl := NewClient(srv.URL, nil)
+		cl.Retries = 20
+		st, err := cl.Status(context.Background(), sub.SweepID, true)
+		during <- statusResult{st, err}
+	}()
+	time.Sleep(80 * time.Millisecond) // let the poller hit the outage
+
+	c2, err := OpenCoordinator(path, Options{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	defer c2.Close()
+	handler.Store(handlerBox{NewServer(c2)})
+
+	res := <-during
+	if res.err != nil {
+		t.Fatalf("status during outage did not survive the restart: %v", res.err)
+	}
+
+	// Recovery: B is done with the pre-crash result, A resumes from the
+	// pre-crash frame (the old lease died with the coordinator).
+	sw := res.st.Sweeps[0]
+	for _, r := range sw.Results {
+		switch r.ItemID {
+		case idB:
+			if r.State != stateDone || r.Fingerprint != Fingerprint(runB) {
+				t.Fatalf("B after restart = %+v, want pre-crash done result", r)
+			}
+		case idA:
+			if r.State != statePending || r.CheckpointCycle != cycle {
+				t.Fatalf("A after restart = state %s ckpt %d, want pending at cycle %d", r.State, r.CheckpointCycle, cycle)
+			}
+		}
+	}
+	lr2, err := client.Lease(context.Background(), "w2")
+	if err != nil || !lr2.OK || lr2.ItemID != idA {
+		t.Fatalf("post-restart lease = %+v, %v; want %s", lr2, err, idA)
+	}
+	if ck, err := checkpoint.DecodeBytes(lr2.Checkpoint); err != nil || ck.Cycle != cycle {
+		t.Fatalf("post-restart frame = %v, %v; want cycle %d", ck, err, cycle)
+	}
+	w := &Worker{Name: "w2", Client: client, SliceCycles: 1500}
+	w.runItem(context.Background(), lr2)
+
+	sw = waitFinished(t, client, sub.SweepID, 10*time.Second)
+	assertMatchesRef(t, sw, ref)
+}
+
+// TestLocalFallbackMatchesReference: the graceful-degradation path
+// produces the same table the distributed path would.
+func TestLocalFallbackMatchesReference(t *testing.T) {
+	m := Manifest{Items: []Item{testItem(), testItem(), testItemBL()}} // duplicate collapses
+	results, err := RunLocal(context.Background(), m, 0, nil)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("RunLocal returned %d results, want 2 (duplicate collapsed)", len(results))
+	}
+	ref := localRef(t, m)
+	for _, r := range results {
+		if r.Fingerprint != ref[r.ItemID] {
+			t.Errorf("item %s: %016x != %016x", r.ItemID, r.Fingerprint, ref[r.ItemID])
+		}
+	}
+}

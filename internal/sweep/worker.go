@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+)
+
+// Worker executes leased items in slices, heartbeating between slices
+// with its latest checkpoint frame. If the worker dies at ANY point —
+// SIGKILL mid-slice included — the coordinator's lease expiry hands
+// the item to a successor, which resumes from the last streamed frame
+// by verified deterministic replay; the sweep's results are
+// bit-identical either way.
+type Worker struct {
+	// Name identifies the worker to the coordinator (lease holder,
+	// status displays).
+	Name string
+	// Client is the coordinator connection (carries the retry policy
+	// and any chaos transport).
+	Client *Client
+	// SliceCycles bounds how many cycles run between heartbeat
+	// opportunities; default 20000. Smaller slices tighten the resume
+	// point a successor inherits, at more pause/heartbeat overhead.
+	SliceCycles uint64
+	// Log receives execution events; nil discards them.
+	Log *log.Logger
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log == nil {
+		w.Log = log.New(io.Discard, "", 0)
+	}
+	w.Log.Printf(format, args...)
+}
+
+func (w *Worker) slice() uint64 {
+	if w.SliceCycles == 0 {
+		return 20000
+	}
+	return w.SliceCycles
+}
+
+// Run is the worker loop: lease, execute, report, repeat, until ctx is
+// canceled. An unreachable coordinator (retries exhausted) ends the
+// loop with the error; an idle coordinator just makes the loop poll at
+// the coordinator's suggested interval.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		lr, err := w.Client.Lease(ctx, w.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			return fmt.Errorf("sweep: worker %s lost the coordinator: %w", w.Name, err)
+		}
+		if !lr.OK {
+			wait := time.Duration(lr.RetryAfterMs) * time.Millisecond
+			if wait < 10*time.Millisecond {
+				wait = 10 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			case <-time.After(wait):
+			}
+			continue
+		}
+		w.runItem(ctx, lr)
+	}
+}
+
+// runItem executes one leased item to completion, failure, or
+// abandonment. It never returns an error: every outcome is reported to
+// the coordinator (or deliberately abandoned to lease expiry).
+func (w *Worker) runItem(ctx context.Context, lr LeaseResponse) {
+	it := lr.Item.withDefaults()
+	cfg, cfgErr := it.SimConfig(lr.Attempt)
+	inst, instErr := it.Instance()
+	if cfgErr != nil || instErr != nil {
+		// Submission validates items, so this is version skew between
+		// worker and coordinator binaries — permanent for this worker.
+		err := cfgErr
+		if err == nil {
+			err = instErr
+		}
+		w.logf("worker %s: %s: unrunnable item: %v", w.Name, lr.ItemID, err)
+		w.Client.Fail(ctx, w.Name, lr.LeaseID, lr.ItemID, lr.Attempt, err.Error(), false)
+		return
+	}
+
+	// Build the execution: resume from the handed-over frame when there
+	// is one, fresh otherwise. A frame that fails verified replay
+	// (digest mismatch — wrong binary or a determinism regression) is
+	// loud but not fatal: fall back to a fresh run, which is always
+	// correct.
+	var exec *checkpoint.Execution
+	if len(lr.Checkpoint) > 0 {
+		if ck, err := checkpoint.DecodeBytes(lr.Checkpoint); err == nil {
+			exec, err = checkpoint.ResumeExecution(ck, cfg, inst, it.Workload, it.Scale)
+			if err != nil {
+				w.logf("worker %s: %s: checkpoint handoff rejected (%v); restarting fresh", w.Name, lr.ItemID, err)
+				exec = nil
+			} else {
+				w.logf("worker %s: %s: resumed predecessor's run at cycle %d (attempt %d)", w.Name, lr.ItemID, ck.Cycle, lr.Attempt)
+			}
+		}
+	}
+	if exec == nil {
+		exec = checkpoint.NewExecution(cfg, inst, it.Workload, it.Scale)
+	}
+
+	// Heartbeat at ~TTL/3 so two heartbeats may be lost before the
+	// lease expires; slices bound the checkpoint lag within that.
+	hbEvery := time.Duration(lr.TTLMs) * time.Millisecond / 3
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	lastHB := time.Now()
+	for {
+		run, paused, err := exec.RunUntil(ctx, exec.Sim().Now()+w.slice())
+		if err != nil {
+			var canceled *diag.CanceledError
+			if errors.As(err, &canceled) {
+				// Graceful shutdown: stream the suspension coordinate so
+				// a successor resumes exactly here, then abandon the
+				// lease (it expires; the item is reassigned).
+				if frame, ferr := exec.Checkpoint().EncodeBytes(); ferr == nil {
+					w.Client.Heartbeat(ctx, w.Name, lr.LeaseID, frame)
+				}
+				w.logf("worker %s: %s: suspended at cycle %d; abandoning lease", w.Name, lr.ItemID, canceled.Cycle)
+				return
+			}
+			var deadlock *diag.DeadlockError
+			transient := errors.As(err, &deadlock) && it.FaultSeed != 0
+			w.logf("worker %s: %s attempt %d failed (transient=%v): %v", w.Name, lr.ItemID, lr.Attempt, transient, err)
+			w.Client.Fail(ctx, w.Name, lr.LeaseID, lr.ItemID, lr.Attempt, err.Error(), transient)
+			return
+		}
+		if !paused {
+			if _, err := w.Client.Complete(ctx, w.Name, lr.LeaseID, lr.ItemID, lr.Attempt, run); err != nil {
+				w.logf("worker %s: %s: complete not delivered: %v", w.Name, lr.ItemID, err)
+				return
+			}
+			w.logf("worker %s: %s done (attempt %d, fingerprint %016x)", w.Name, lr.ItemID, lr.Attempt, Fingerprint(run))
+			return
+		}
+		if time.Since(lastHB) < hbEvery {
+			continue
+		}
+		frame, err := exec.Checkpoint().EncodeBytes()
+		if err != nil {
+			frame = nil
+		}
+		hb, err := w.Client.Heartbeat(ctx, w.Name, lr.LeaseID, frame)
+		if err != nil {
+			w.logf("worker %s: %s: heartbeat failed (%v); abandoning item", w.Name, lr.ItemID, err)
+			return
+		}
+		if !hb.OK {
+			// The lease is gone — expired while we stalled, or the item
+			// completed elsewhere. Abandon immediately; whatever we had
+			// would be discarded as a zombie anyway (and if we DID
+			// finish first, Complete is accepted regardless).
+			w.logf("worker %s: %s: lease %d revoked; abandoning item", w.Name, lr.ItemID, lr.LeaseID)
+			return
+		}
+		lastHB = time.Now()
+	}
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke test, run by CI on every push.
+#
+# Exercises the sweep service end to end with real binaries, real
+# processes, and real SIGKILL — no test harness in the loop:
+#
+#   1. Start a journaled gtscd coordinator and two gtscd workers.
+#   2. Submit a small grid with gtscctl submit -watch.
+#   3. SIGKILL one worker mid-sweep: its lease must expire and the item
+#      must be reassigned (resuming from the last streamed checkpoint).
+#   4. SIGKILL the coordinator mid-sweep and restart it on the same
+#      address from the same journal: the watch client and the surviving
+#      worker must ride out the outage on retries.
+#   5. The watch must complete with exit 0 and its results table must be
+#      byte-identical to a serial local reference run (gtscctl -local).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill -KILL "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/gtscd" ./cmd/gtscd
+go build -o "$workdir/gtscctl" ./cmd/gtscctl
+
+fail() { echo "sweep_smoke: FAIL: $*" >&2; exit 1; }
+
+grid=(-workloads CC,BH -variants gtsc-rc,bl-rc -scale 16 -sms 4 -banks 4)
+
+echo "== local reference run =="
+"$workdir/gtscctl" submit -local -q "${grid[@]}" >"$workdir/reference.out" 2>"$workdir/reference.err" \
+  || fail "local reference run failed: $(cat "$workdir/reference.err")"
+
+echo "== coordinator + 2 workers, kill one worker and the coordinator mid-sweep =="
+"$workdir/gtscd" -addr 127.0.0.1:0 -journal "$workdir/sweep.jrnl" -lease-ttl 1s \
+  >"$workdir/coord.out" 2>"$workdir/coord.err" &
+coord_pid=$!
+pids+=("$coord_pid"); disown "$coord_pid"
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$workdir/coord.out" 2>/dev/null && break
+  kill -0 "$coord_pid" 2>/dev/null || fail "coordinator died on startup: $(cat "$workdir/coord.err")"
+  sleep 0.1
+done
+url=$(sed -n 's/^gtscd: listening on //p' "$workdir/coord.out" | head -n1)
+[ -n "$url" ] || fail "could not parse coordinator address from: $(cat "$workdir/coord.out")"
+echo "   coordinator at $url"
+
+for name in smoke-a smoke-b; do
+  "$workdir/gtscd" -worker -coordinator "$url" -name "$name" -slice 4000 \
+    >"$workdir/$name.out" 2>&1 &
+  pids+=("$!"); disown "$!"
+done
+victim_pid=${pids[2]}   # smoke-b, started last
+
+"$workdir/gtscctl" submit -coordinator "$url" -watch "${grid[@]}" \
+  >"$workdir/watch.out" 2>"$workdir/watch.err" &
+watch_pid=$!
+pids+=("$watch_pid")
+
+sleep 0.8
+# The kills below only prove anything if the sweep is still in flight.
+"$workdir/gtscctl" status -coordinator "$url" >"$workdir/prekill.out" 2>&1 \
+  || fail "status before kill failed: $(cat "$workdir/prekill.out")"
+grep -q " 0 leased, 0 pending" "$workdir/prekill.out" \
+  && fail "sweep finished before the kill; raise -scale (status: $(cat "$workdir/prekill.out"))"
+
+kill -KILL "$victim_pid"
+echo "   SIGKILLed worker smoke-b mid-sweep"
+
+sleep 0.5
+kill -KILL "$coord_pid"
+"$workdir/gtscd" -addr "${url#http://}" -journal "$workdir/sweep.jrnl" -lease-ttl 1s \
+  >"$workdir/coord2.out" 2>"$workdir/coord2.err" &
+pids+=("$!"); disown "$!"
+echo "   SIGKILLed coordinator mid-sweep, restarted from journal on the same address"
+
+# Bounded wait: the watch must finish on its own well inside 120s.
+for _ in $(seq 1 1200); do
+  kill -0 "$watch_pid" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$watch_pid" 2>/dev/null && fail "watch still running after 120s (progress: $(cat "$workdir/watch.out"))"
+set +e
+wait "$watch_pid"
+rc=$?
+set -e
+[ "$rc" -eq 0 ] || fail "watch exited $rc, want 0 (stdout: $(cat "$workdir/watch.out"); stderr: $(cat "$workdir/watch.err"))"
+
+# The results table (everything from the ITEM header on) must be
+# byte-identical to the serial local reference — same items, same
+# fingerprints — despite the worker death, the lease reassignment, and
+# the coordinator restart.
+sed -n '/^ITEM/,$p' "$workdir/watch.out" >"$workdir/watch_table.out"
+sed -n '/^ITEM/,$p' "$workdir/reference.out" >"$workdir/reference_table.out"
+[ -s "$workdir/watch_table.out" ] || fail "watch printed no results table: $(cat "$workdir/watch.out")"
+diff -u "$workdir/reference_table.out" "$workdir/watch_table.out" \
+  || fail "distributed results differ from the local reference"
+
+"$workdir/gtscctl" status -coordinator "$url" >"$workdir/postkill.out" 2>&1 || true
+echo "   final counters: $(head -n1 "$workdir/postkill.out")"
+echo "   OK: watch exit 0, results bit-identical to local reference"
+
+echo "sweep_smoke: PASS"
