@@ -34,6 +34,7 @@ import (
 	"github.com/gtsc-sim/gtsc/internal/cli"
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/experiments"
+	"github.com/gtsc-sim/gtsc/internal/sim"
 )
 
 // clampSimWorkers resolves -simworkers against -j: each of the j
@@ -77,6 +78,7 @@ func realMain() int {
 		tcl      = flag.Uint64("tc-lease", 400, "TC lease in cycles")
 		jobs     = flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any -j")
 		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); goroutine budget is j*simworkers, clamped so it stays <= 2*GOMAXPROCS; results are bit-identical at any setting")
+		engine   = flag.String("engine", "auto", "cycle engine: auto (scheduled-wake event engine when its preconditions hold), event, or legacy (per-cycle loop); results are bit-identical under either")
 		benchsim = flag.String("benchsim", "", "write a performance snapshot (wall time, ns/cycle, allocs) to this JSON file and exit")
 
 		journal   = flag.String("journal", "", "crash-safe run journal: completed simulations are persisted here and replayed on restart")
@@ -98,6 +100,12 @@ func realMain() int {
 	cfg.FaultSeed = *faultSeed
 	cfg.RetryTransient = *retry
 	cfg.KeepGoing = *keepGoing
+	mode, err := sim.ParseEngineMode(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtscbench:", err)
+		return exitFailure
+	}
+	cfg.Engine = mode
 
 	if *benchsim != "" {
 		b, err := experiments.RunBenchSim(cfg, *jobs, *simw)
@@ -119,6 +127,10 @@ func realMain() int {
 			b.SingleSim.DrainCyclesSkipped, b.SingleSim.DrainCyclesExecuted+b.SingleSim.DrainCyclesSkipped,
 			b.ParallelTick.SimWorkers, b.ParallelTick.Speedup,
 			b.ParallelTick.ParallelTickEfficiency, b.ParallelTick.BitIdentical)
+		fmt.Printf("bench-sim: engine: mode=%s dispatches=%d (hierarchy %d + sm %d) mean_skip=%.1f sm_sleep_cycles=%d sm_wakes=%d; legacy loop %.2fx the wall time, bit-identical %v\n",
+			b.SingleSim.Engine, b.SingleSim.Dispatches, b.SingleSim.EventCycles, b.SingleSim.SMTicks,
+			b.SingleSim.MeanSkipWidth, b.SingleSim.SMSleepCycles, b.SingleSim.SMWakes,
+			b.LegacyLoop.EventSpeedup, b.LegacyLoop.BitIdentical)
 		return exitOK
 	}
 
@@ -154,7 +166,6 @@ func realMain() int {
 		}
 	}
 
-	var err error
 	if *exp == "all" {
 		err = s.RunAll(os.Stdout)
 	} else {

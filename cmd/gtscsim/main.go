@@ -99,6 +99,7 @@ func realMain() int {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jobs     = flag.Int("j", 1, "workers for multi-workload runs (0 = GOMAXPROCS); each run is hermetic, so output is identical at any -j")
 		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); with multi-workload -j the goroutine budget is j*simworkers, clamped to 2*GOMAXPROCS; output is bit-identical at any setting")
+		engine   = flag.String("engine", "auto", "cycle engine: auto (scheduled-wake event engine when its preconditions hold), event, or legacy (per-cycle loop); output is bit-identical under either")
 
 		maxCycles = flag.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = default 200M)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
@@ -203,6 +204,12 @@ func realMain() int {
 	cfg.MaxCycles = *maxCycles
 	cfg.WatchdogWindow = *watchdog
 	cfg.DisableWatchdog = *wdOff
+	switch mode, err := sim.ParseEngineMode(*engine); {
+	case err != nil:
+		fatalf("%v", err)
+	default:
+		cfg.Engine = mode
+	}
 	if *faultSeed != 0 {
 		cfg.Mem.Fault = fault.Chaos(*faultSeed)
 		fmt.Printf("fault plan: %s\n", cfg.Mem.Fault)
@@ -313,11 +320,7 @@ func realMain() int {
 		}
 		fmt.Print(res.run)
 		if eng := res.eng; eng != nil {
-			// eng.Workers is the EFFECTIVE parallelism: the engine clamps
-			// -simworkers to GOMAXPROCS (serial on a 1-CPU host) and falls
-			// back to serial under observers/fault injection.
-			fmt.Printf("engine: simworkers=%d skipped_cycles=%d parallel_tick_efficiency=%.2f\n",
-				eng.Workers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
+			printEngineLine(eng)
 		}
 		if res.rec != nil && !reportChecker(cfg, res.rec) {
 			failed = true
@@ -402,13 +405,27 @@ func runCheckpointed(ctx context.Context, wl *workload.Workload, cfg sim.Config,
 		return exitFailure
 	}
 	fmt.Print(run)
-	eng := e.Sim().Engine()
-	fmt.Printf("engine: simworkers=%d skipped_cycles=%d parallel_tick_efficiency=%.2f\n",
-		eng.Workers, eng.SkippedCycles(), eng.ParallelTickEfficiency())
+	printEngineLine(e.Sim().Engine())
 	// The run completed; a stale checkpoint would otherwise replay a
 	// finished execution on the next -resume.
 	os.Remove(path)
 	return exitOK
+}
+
+// printEngineLine reports the engine's scheduling counters for one run.
+// mode and simworkers are the EFFECTIVE values (auto-selection resolves
+// against cycle-skip settings and fault injection; -simworkers clamps
+// to GOMAXPROCS, so a 1-CPU host always reports 1). executed/skipped
+// split the simulated cycles by whether the engine ticked them or
+// fast-forwarded over them; dispatches break the executed work into
+// hierarchy and SM evaluations — sleeping SMs are never dispatched, so
+// sm_ticks stays far below executed*numSMs on stall-heavy workloads.
+func printEngineLine(eng *sim.EngineStats) {
+	executed := eng.RunCycles + eng.DrainCycles
+	fmt.Printf("engine: mode=%s simworkers=%d executed=%d skipped=%d (windows %d, mean width %.1f) dispatches=%d (hierarchy %d + sm %d) sm_sleep_cycles=%d sm_wakes=%d parallel_tick_efficiency=%.2f\n",
+		eng.Mode(), eng.Workers, executed, eng.SkippedCycles(), eng.SkipWindows, eng.MeanSkipWidth(),
+		eng.Dispatches(), eng.EventCycles, eng.SMTicks, eng.SMSleepCycles, eng.SMWakes,
+		eng.ParallelTickEfficiency())
 }
 
 // reportChecker prints the invariant-checker verdict for one run and

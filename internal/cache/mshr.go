@@ -11,6 +11,11 @@ import "github.com/gtsc-sim/gtsc/internal/mem"
 type MSHR[W any] struct {
 	entries map[mem.BlockAddr]*MSHREntry[W]
 	max     int
+	// free recycles released entries together with their waiter
+	// slices, whose capacity is the expensive part: the steady-state
+	// miss path then allocates nothing. Bounded by max, since at most
+	// max entries can ever be live.
+	free []*MSHREntry[W]
 }
 
 // MSHREntry tracks one outstanding block miss and the requests merged
@@ -52,13 +57,35 @@ func (m *MSHR[W]) Allocate(b mem.BlockAddr) *MSHREntry[W] {
 	if _, ok := m.entries[b]; ok {
 		return nil
 	}
-	e := &MSHREntry[W]{Block: b}
+	var e *MSHREntry[W]
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		e.Block = b
+	} else {
+		e = &MSHREntry[W]{Block: b}
+	}
 	m.entries[b] = e
 	return e
 }
 
-// Release frees the entry for block b.
-func (m *MSHR[W]) Release(b mem.BlockAddr) { delete(m.entries, b) }
+// Release frees the entry for block b and recycles it. The entry's
+// waiter payloads are cleared so a parked completion callback is never
+// pinned past its release.
+func (m *MSHR[W]) Release(b mem.BlockAddr) {
+	e, ok := m.entries[b]
+	if !ok {
+		return
+	}
+	delete(m.entries, b)
+	clear(e.Waiters)
+	e.Waiters = e.Waiters[:0]
+	e.Issued = false
+	e.InFlight = 0
+	e.ReqID = 0
+	m.free = append(m.free, e)
+}
 
 // Len returns the number of live entries.
 func (m *MSHR[W]) Len() int { return len(m.entries) }

@@ -45,7 +45,11 @@ type Request struct {
 
 // Completion reports the result of an access back to the LDST unit.
 type Completion struct {
-	Data *mem.Block // loaded block (nil for stores)
+	// Data is the loaded block (nil for stores). It is valid only for
+	// the duration of the Done callback: controllers recycle the block
+	// after Done returns, so a callback that needs the contents later
+	// must copy the words it cares about.
+	Data *mem.Block
 	// TS is the logical timestamp the operation was performed at
 	// (G-TSC: load ts or assigned store wts). Zero for protocols
 	// without timestamps.

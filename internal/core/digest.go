@@ -20,7 +20,7 @@ func (l *L1) DigestState(w io.Writer) {
 	fmt.Fprintf(w, "warpts %d\n", l.warpTS)
 	l.array.DigestInto(w)
 	l.mshr.DigestInto(w)
-	mem.DigestMsgs(w, "outq", l.outQ)
+	mem.DigestMsgs(w, "outq", l.outQ.Items())
 	ids := make([]uint64, 0, len(l.storesByID))
 	for id := range l.storesByID {
 		ids = append(ids, id)
@@ -51,8 +51,8 @@ func (l *L2) DigestState(w io.Writer) {
 		fmt.Fprintf(w, "miss %#x\n", uint64(b))
 		mem.DigestMsgs(w, "wait", m.waiting)
 	})
-	mem.DigestMsgs(w, "inq", l.inQ)
-	mem.DigestMsgs(w, "outnoc", l.outNoC)
-	mem.DigestMsgs(w, "outdram", l.outDRAM)
+	mem.DigestMsgs(w, "inq", l.inQ.Items())
+	mem.DigestMsgs(w, "outnoc", l.outNoC.Items())
+	mem.DigestMsgs(w, "outdram", l.outDRAM.Items())
 	l.renewDist.DigestInto(w)
 }

@@ -22,7 +22,15 @@ type harness struct {
 	dram []*mem.Msg
 	now  uint64
 
-	log []*mem.Msg // every message that crossed the "NoC"
+	// log snapshots every message that crossed the "NoC". Entries are
+	// copies: the controllers recycle a message once its receiver has
+	// consumed it, so a retained pointer would be overwritten.
+	log []*mem.Msg
+}
+
+func (h *harness) logMsg(m *mem.Msg) {
+	c := *m
+	h.log = append(h.log, &c)
 }
 
 func newHarness(t *testing.T, nSM int, cfg Config, l2geo L2Geometry) *harness {
@@ -32,14 +40,14 @@ func newHarness(t *testing.T, nSM int, cfg Config, l2geo L2Geometry) *harness {
 		l2geo = L2Geometry{Sets: 64, Ways: 8}
 	}
 	h.l2 = NewL2(cfg, 0, l2geo,
-		coherence.SenderFunc(func(m *mem.Msg) bool { h.toL1 = append(h.toL1, m); h.log = append(h.log, m); return true }),
+		coherence.SenderFunc(func(m *mem.Msg) bool { h.toL1 = append(h.toL1, m); h.logMsg(m); return true }),
 		coherence.SenderFunc(func(m *mem.Msg) bool { h.dram = append(h.dram, m); return true }),
 		nil)
 	h.l2.AttachResets(h.rc)
 	for i := 0; i < nSM; i++ {
 		h.l1s = append(h.l1s, NewL1(cfg, i, 1,
 			L1Geometry{Sets: 16, Ways: 4, MSHRs: 8, Warps: 8},
-			coherence.SenderFunc(func(m *mem.Msg) bool { h.toL2 = append(h.toL2, m); h.log = append(h.log, m); return true }),
+			coherence.SenderFunc(func(m *mem.Msg) bool { h.toL2 = append(h.toL2, m); h.logMsg(m); return true }),
 			nil))
 	}
 	return h
@@ -94,18 +102,29 @@ func (h *harness) pump() {
 	h.t.Fatal("harness did not quiesce")
 }
 
-// captured records one access's completion.
+// captured records one access's completion. Completion.Data is only
+// valid during the Done callback (the controller recycles the block),
+// so capture deep-copies it.
 type captured struct {
 	res  coherence.AccessResult
 	done bool
 	c    coherence.Completion
 }
 
+func (out *captured) capture(c coherence.Completion) {
+	out.done = true
+	out.c = c
+	if c.Data != nil {
+		d := *c.Data
+		out.c.Data = &d
+	}
+}
+
 func (h *harness) load(sm, warp int, b mem.BlockAddr, word int) *captured {
 	out := &captured{}
 	req := &coherence.Request{
 		Block: b, Mask: mem.WordMask(0).Set(word), Warp: warp,
-		Done: func(c coherence.Completion) { out.done = true; out.c = c },
+		Done: out.capture,
 	}
 	out.res = h.l1s[sm].Access(req)
 	return out
@@ -117,7 +136,7 @@ func (h *harness) storeWord(sm, warp int, b mem.BlockAddr, word int, val uint32)
 	data.Words[word] = val
 	req := &coherence.Request{
 		Block: b, Store: true, Mask: mem.WordMask(0).Set(word), Data: data, Warp: warp,
-		Done: func(c coherence.Completion) { out.done = true; out.c = c },
+		Done: out.capture,
 	}
 	out.res = h.l1s[sm].Access(req)
 	return out
@@ -530,7 +549,7 @@ func (h *harness) atomic(sm, warp int, b mem.BlockAddr, word int, op mem.AtomicO
 	req := &coherence.Request{
 		Block: b, Atomic: true, Atom: op, Mask: mem.WordMask(0).Set(word),
 		Data: data, Warp: warp,
-		Done: func(c coherence.Completion) { out.done = true; out.c = c },
+		Done: out.capture,
 	}
 	out.res = h.l1s[sm].Access(req)
 	return out

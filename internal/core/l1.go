@@ -66,7 +66,8 @@ type L1 struct {
 	warpTS []uint64
 
 	send  coherence.Sender
-	outQ  []*mem.Msg // messages awaiting NoC injection (backpressure)
+	outQ  mem.MsgQueue // messages awaiting NoC injection (backpressure)
+	pool  mem.Pool     // recycles request msgs and data blocks
 	stats stats.L1Stats
 	obs   coherence.Observer
 
@@ -124,7 +125,7 @@ func (l *L1) Pending() int { return l.pending }
 
 // Quiescent implements coherence.L1: Tick only drains outQ, so an
 // empty output queue means ticking is a pure no-op until new input.
-func (l *L1) Quiescent() bool { return len(l.outQ) == 0 }
+func (l *L1) Quiescent() bool { return l.outQ.Empty() }
 
 // failf records the first protocol violation; the controller then
 // drops further input until the simulator surfaces the error.
@@ -146,7 +147,7 @@ func (l *L1) Err() error {
 func (l *L1) DumpState() diag.CacheState {
 	st := diag.CacheState{
 		Name: "gtsc-l1", ID: l.smID, Pending: l.pending,
-		MSHRUsed: l.mshr.Len(), MSHRCap: l.mshr.Cap(), OutQ: len(l.outQ),
+		MSHRUsed: l.mshr.Len(), MSHRCap: l.mshr.Cap(), OutQ: l.outQ.Len(),
 	}
 	if l.pending > 0 || l.mshr.Len() > 0 {
 		st.Detail = l.DebugString()
@@ -178,9 +179,10 @@ func (l *L1) accessAtomic(req *coherence.Request) coherence.AccessResult {
 	l.nextReqID++
 	l.atomicsByID[l.nextReqID] = req
 	l.pending++
-	data := &mem.Block{}
+	data := l.pool.Block()
 	mem.Merge(data, req.Data, req.Mask)
-	l.post(&mem.Msg{
+	msg := l.pool.Msg()
+	*msg = mem.Msg{
 		Type:   mem.BusAtom,
 		Block:  req.Block,
 		Src:    l.smID,
@@ -192,7 +194,8 @@ func (l *L1) accessAtomic(req *coherence.Request) coherence.AccessResult {
 		ReqID:  l.nextReqID,
 		Warp:   req.Warp,
 		Epoch:  l.epoch,
-	})
+	}
+	l.post(msg)
 	return coherence.Pending
 }
 
@@ -299,7 +302,8 @@ func (l *L1) sendBusRd(b mem.BlockAddr, line *cache.Line[l1Meta], warpTS uint64)
 		l.stats.Renewals++
 	}
 	l.nextReqID++
-	l.post(&mem.Msg{
+	msg := l.pool.Msg()
+	*msg = mem.Msg{
 		Type:   mem.BusRd,
 		Block:  b,
 		Src:    l.smID,
@@ -308,7 +312,8 @@ func (l *L1) sendBusRd(b mem.BlockAddr, line *cache.Line[l1Meta], warpTS uint64)
 		WarpTS: warpTS,
 		ReqID:  l.nextReqID,
 		Epoch:  l.epoch,
-	})
+	}
+	l.post(msg)
 }
 
 func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
@@ -348,9 +353,10 @@ func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
 	l.storesByBlock[req.Block] = append(l.storesByBlock[req.Block], ps)
 	l.pending++
 
-	data := &mem.Block{}
+	data := l.pool.Block()
 	mem.Merge(data, req.Data, req.Mask)
-	l.post(&mem.Msg{
+	msg := l.pool.Msg()
+	*msg = mem.Msg{
 		Type:   mem.BusWr,
 		Block:  req.Block,
 		Src:    l.smID,
@@ -362,20 +368,23 @@ func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
 		ReqID:  ps.reqID,
 		Warp:   req.Warp,
 		Epoch:  l.epoch,
-	})
+	}
+	l.post(msg)
 	return coherence.Pending
 }
 
 // completeLoad binds a load's value and timestamp and fires Done.
 // The load's logical timestamp is max(warp_ts, wts) (Tardis rule);
-// warp_ts advances to it.
+// warp_ts advances to it. The masked-word scratch block is recycled as
+// soon as Done returns — Completion.Data must not be retained past the
+// callback (see coherence.Completion).
 func (l *L1) completeLoad(req *coherence.Request, data *mem.Block, wts uint64) {
 	ts := maxu(l.warpTS[req.Warp], wts)
 	if ts != l.warpTS[req.Warp] {
 		l.stats.TSUpdates++
 	}
 	l.warpTS[req.Warp] = ts
-	out := &mem.Block{}
+	out := l.pool.Block()
 	mem.Merge(out, data, req.Mask)
 	if l.obs != nil {
 		l.obs.Observe(coherence.Op{
@@ -385,6 +394,7 @@ func (l *L1) completeLoad(req *coherence.Request, data *mem.Block, wts uint64) {
 	}
 	l.pending--
 	req.Done(coherence.Completion{Data: out, TS: ts})
+	l.pool.PutBlock(out)
 }
 
 // unrolled maps a wire timestamp into the monotonically increasing
@@ -414,6 +424,12 @@ func (l *L1) Deliver(msg *mem.Msg) {
 	default:
 		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
+	// The response is fully consumed: fills install their payload into
+	// the array (or complete waiters synchronously on the bypass path)
+	// and acks complete their Done callbacks before returning, so the
+	// message and its block recycle here.
+	l.pool.PutBlock(msg.Data)
+	l.pool.PutMsg(msg)
 }
 
 // onFill installs new data + lease and completes eligible waiters
@@ -681,20 +697,20 @@ func (l *L1) Flush() {
 
 // post sends a message, queueing it when the NoC port is full.
 func (l *L1) post(msg *mem.Msg) {
-	if len(l.outQ) == 0 && l.send.TrySend(msg) {
+	if l.outQ.Empty() && l.send.TrySend(msg) {
 		return
 	}
-	l.outQ = append(l.outQ, msg)
+	l.outQ.Push(msg)
 }
 
 // Tick implements coherence.L1: drain backpressured sends in order.
 func (l *L1) Tick(now uint64) {
 	l.now = now
-	for len(l.outQ) > 0 {
-		if !l.send.TrySend(l.outQ[0]) {
+	for !l.outQ.Empty() {
+		if !l.send.TrySend(l.outQ.Head()) {
 			return
 		}
-		l.outQ = l.outQ[1:]
+		l.outQ.Pop()
 	}
 }
 
@@ -702,7 +718,7 @@ func (l *L1) Tick(now uint64) {
 // pending stores, warp timestamps of interest) for deadlock diagnosis
 // and the gtsctrace tool.
 func (l *L1) DebugString() string {
-	s := fmt.Sprintf("L1[sm%d] epoch=%d pending=%d outQ=%d\n", l.smID, l.epoch, l.pending, len(l.outQ))
+	s := fmt.Sprintf("L1[sm%d] epoch=%d pending=%d outQ=%d\n", l.smID, l.epoch, l.pending, l.outQ.Len())
 	l.mshr.ForEach(func(e *cache.MSHREntry[waiter]) {
 		s += fmt.Sprintf("  mshr %v issued=%t waiters=%d:", e.Block, e.Issued, len(e.Waiters))
 		for _, w := range e.Waiters {

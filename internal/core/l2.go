@@ -43,13 +43,19 @@ type L2 struct {
 	memTS uint64
 	miss  map[mem.BlockAddr]*l2Miss
 
-	inQ      []*mem.Msg
+	inQ      mem.MsgQueue
 	perCycle int
 
 	sendNoC  coherence.Sender
 	sendDRAM coherence.Sender
-	outNoC   []*mem.Msg
-	outDRAM  []*mem.Msg
+	outNoC   mem.MsgQueue
+	outDRAM  mem.MsgQueue
+
+	// pool recycles the bank's response msgs and blocks plus the
+	// request msgs it consumes; it is shared with the bank's DRAM
+	// partition (both tick in the hierarchy phase) so the DRAM
+	// read/fill loop recycles too.
+	pool *mem.Pool
 
 	stats stats.L2Stats
 	obs   coherence.Observer
@@ -89,8 +95,14 @@ func NewL2(cfg Config, bankID int, geo L2Geometry, sendNoC, sendDRAM coherence.S
 		sendDRAM:  sendDRAM,
 		obs:       obs,
 		renewDist: stats.NewHistogram(),
+		pool:      &mem.Pool{},
 	}
 }
+
+// Pool exposes the bank's message pool so the paired DRAM partition
+// can draw its fills from (and free its consumed requests into) the
+// same free lists, closing the DRAM read/write loops.
+func (l *L2) Pool() *mem.Pool { return l.pool }
 
 // AttachResets wires the bank into the chip-wide overflow reset
 // controller (§V-D). Optional; without it timestamps are assumed wide
@@ -105,7 +117,7 @@ func (l *L2) Stats() *stats.L2Stats { return &l.stats }
 
 // Pending implements coherence.L2.
 func (l *L2) Pending() int {
-	n := len(l.inQ) + len(l.outNoC) + len(l.outDRAM)
+	n := l.inQ.Len() + l.outNoC.Len() + l.outDRAM.Len()
 	for _, m := range l.miss {
 		n += len(m.waiting) + 1
 	}
@@ -118,12 +130,12 @@ func (l *L2) Pending() int {
 // a DRAM fill message arrives, which the skip engine models as a
 // scheduled event.
 func (l *L2) Quiescent() bool {
-	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0
+	return l.inQ.Empty() && l.outNoC.Empty() && l.outDRAM.Empty()
 }
 
 // Drained implements coherence.L2: O(1) Pending() == 0.
 func (l *L2) Drained() bool {
-	return len(l.inQ) == 0 && len(l.outNoC) == 0 && len(l.outDRAM) == 0 && len(l.miss) == 0
+	return l.inQ.Empty() && l.outNoC.Empty() && l.outDRAM.Empty() && len(l.miss) == 0
 }
 
 // MemTS exposes the bank's memory timestamp (tests, trace tooling).
@@ -155,7 +167,7 @@ func (l *L2) Err() error {
 func (l *L2) DumpState() diag.CacheState {
 	st := diag.CacheState{
 		Name: "gtsc-l2", ID: l.bankID, Pending: l.Pending(),
-		InQ: len(l.inQ), OutQ: len(l.outNoC) + len(l.outDRAM), Misses: len(l.miss),
+		InQ: l.inQ.Len(), OutQ: l.outNoC.Len() + l.outDRAM.Len(), Misses: len(l.miss),
 	}
 	if st.Pending > 0 {
 		st.Detail = l.DebugString()
@@ -169,7 +181,7 @@ func (l *L2) Deliver(msg *mem.Msg) {
 	if l.fail != nil {
 		return
 	}
-	l.inQ = append(l.inQ, msg)
+	l.inQ.Push(msg)
 }
 
 // DRAMFill implements coherence.L2.
@@ -187,9 +199,16 @@ func (l *L2) DRAMFill(msg *mem.Msg) {
 	line := l.installFill(msg.Block, msg.Data)
 	for _, waiting := range m.waiting {
 		// Replay in arrival order. The line cannot be evicted between
-		// replays within this call, so re-lookup is unnecessary.
+		// replays within this call, so re-lookup is unnecessary. Each
+		// replayed request is consumed by process and recycles here.
 		l.process(waiting, line)
+		l.pool.PutBlock(waiting.Data)
+		l.pool.PutMsg(waiting)
 	}
+	// installFill copied the payload into the array; the fill message
+	// returns to the pool it was drawn from (the partition shares ours).
+	l.pool.PutBlock(msg.Data)
+	l.pool.PutMsg(msg)
 }
 
 // installFill allocates a line for a block arriving from DRAM, evicting
@@ -216,12 +235,14 @@ func (l *L2) evict(victim *cache.Line[l2Meta]) {
 	l.memTS = maxu(l.memTS, victim.Meta.rts)
 	if victim.Dirty {
 		l.stats.WritebackDRAM++
-		data := &mem.Block{}
+		data := l.pool.Block()
 		*data = victim.Data
-		l.postDRAM(&mem.Msg{
+		msg := l.pool.Msg()
+		*msg = mem.Msg{
 			Type: mem.DRAMWr, Block: victim.Addr, Src: l.bankID, Dst: l.bankID,
 			Data: data, Mask: mem.MaskAll,
-		})
+		}
+		l.postDRAM(msg)
 	}
 	l.array.Invalidate(victim)
 }
@@ -257,7 +278,7 @@ func (l *L2) processAtomic(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	wts := l.checked(maxu(line.Meta.rts+1, warpTS+1))
 	rts := l.checked(wts + lease)
 
-	old := &mem.Block{}
+	old := l.pool.Block()
 	mem.Merge(old, &line.Data, msg.Mask)
 	for i := 0; i < mem.WordsPerBlock; i++ {
 		if msg.Mask.Has(i) {
@@ -286,12 +307,14 @@ func (l *L2) processAtomic(msg *mem.Msg, line *cache.Line[l2Meta]) {
 		})
 	}
 
-	l.postNoC(&mem.Msg{
+	ack := l.pool.Msg()
+	*ack = mem.Msg{
 		Type: mem.BusAtomAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
 		WTS: wts, RTS: rts, Data: old, Mask: msg.Mask,
 		ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.epoch,
 		Reset: msg.Epoch < l.epoch,
-	})
+	}
+	l.postNoC(ack)
 }
 
 // reqWarpTS interprets the request's warp timestamp, discarding
@@ -333,21 +356,25 @@ func (l *L2) processRead(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	if !stale && msg.WTS == line.Meta.wts {
 		// Same version at the requester: renew the lease without data.
 		l.stats.RenewalsSent++
-		l.postNoC(&mem.Msg{
+		rnw := l.pool.Msg()
+		*rnw = mem.Msg{
 			Type: mem.BusRnw, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
 			RTS: newRTS, ReqID: msg.ReqID, Epoch: l.epoch,
-		})
+		}
+		l.postNoC(rnw)
 		return
 	}
 	l.stats.FillsSent++
 	l.stats.DataAccesses++
-	data := &mem.Block{}
+	data := l.pool.Block()
 	*data = line.Data
-	l.postNoC(&mem.Msg{
+	fill := l.pool.Msg()
+	*fill = mem.Msg{
 		Type: mem.BusFill, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
 		WTS: line.Meta.wts, RTS: newRTS, Data: data, ReqID: msg.ReqID,
 		Epoch: l.epoch, Reset: stale,
-	})
+	}
+	l.postNoC(fill)
 }
 
 // processWrite implements Fig 5: the store is logically scheduled
@@ -386,7 +413,8 @@ func (l *L2) processWrite(msg *mem.Msg, line *cache.Line[l2Meta]) {
 		})
 	}
 
-	ack := &mem.Msg{
+	ack := l.pool.Msg()
+	*ack = mem.Msg{
 		Type: mem.BusWrAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
 		WTS: wts, RTS: rts, ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.epoch,
 		Reset: msg.Epoch < l.epoch,
@@ -394,7 +422,7 @@ func (l *L2) processWrite(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	if msg.WTS != mem.NoWTS && (msg.WTS != prevWTS || msg.Epoch < l.epoch) {
 		// The writer's cached base version was stale: return the
 		// authoritative merged block so its L1 copy is coherent.
-		data := &mem.Block{}
+		data := l.pool.Block()
 		*data = line.Data
 		ack.Data = data
 	}
@@ -458,13 +486,11 @@ func (l *L2) reset(epoch uint64) {
 func (l *L2) Tick(now uint64) {
 	l.now = now
 	l.drainOut()
-	if len(l.outNoC) > 0 || len(l.outDRAM) > 0 {
+	if !l.outNoC.Empty() || !l.outDRAM.Empty() {
 		return // head-of-line: do not accept new work while blocked
 	}
-	for i := 0; i < l.perCycle && len(l.inQ) > 0; i++ {
-		msg := l.inQ[0]
-		l.inQ = l.inQ[1:]
-		l.service(msg)
+	for i := 0; i < l.perCycle && !l.inQ.Empty(); i++ {
+		l.service(l.inQ.Pop())
 	}
 }
 
@@ -493,39 +519,44 @@ func (l *L2) service(msg *mem.Msg) {
 		l.stats.Misses++
 		m := &l2Miss{block: msg.Block, waiting: []*mem.Msg{msg}}
 		l.miss[msg.Block] = m
-		l.postDRAM(&mem.Msg{Type: mem.DRAMRd, Block: msg.Block, Src: l.bankID, Dst: l.bankID})
+		rd := l.pool.Msg()
+		*rd = mem.Msg{Type: mem.DRAMRd, Block: msg.Block, Src: l.bankID, Dst: l.bankID}
+		l.postDRAM(rd)
 		return
 	}
 	l.stats.Hits++
 	l.process(msg, line)
+	// The request was served synchronously; recycle it and its payload.
+	l.pool.PutBlock(msg.Data)
+	l.pool.PutMsg(msg)
 }
 
 func (l *L2) postNoC(msg *mem.Msg) {
-	if len(l.outNoC) == 0 && l.sendNoC.TrySend(msg) {
+	if l.outNoC.Empty() && l.sendNoC.TrySend(msg) {
 		return
 	}
-	l.outNoC = append(l.outNoC, msg)
+	l.outNoC.Push(msg)
 }
 
 func (l *L2) postDRAM(msg *mem.Msg) {
-	if len(l.outDRAM) == 0 && l.sendDRAM.TrySend(msg) {
+	if l.outDRAM.Empty() && l.sendDRAM.TrySend(msg) {
 		return
 	}
-	l.outDRAM = append(l.outDRAM, msg)
+	l.outDRAM.Push(msg)
 }
 
 func (l *L2) drainOut() {
-	for len(l.outNoC) > 0 {
-		if !l.sendNoC.TrySend(l.outNoC[0]) {
+	for !l.outNoC.Empty() {
+		if !l.sendNoC.TrySend(l.outNoC.Head()) {
 			break
 		}
-		l.outNoC = l.outNoC[1:]
+		l.outNoC.Pop()
 	}
-	for len(l.outDRAM) > 0 {
-		if !l.sendDRAM.TrySend(l.outDRAM[0]) {
+	for !l.outDRAM.Empty() {
+		if !l.sendDRAM.TrySend(l.outDRAM.Head()) {
 			break
 		}
-		l.outDRAM = l.outDRAM[1:]
+		l.outDRAM.Pop()
 	}
 }
 
@@ -570,7 +601,7 @@ func (l *L2) Peek(b mem.BlockAddr) (*mem.Block, bool) {
 // diagnosis and the gtsctrace tool.
 func (l *L2) DebugString() string {
 	s := fmt.Sprintf("L2[bank%d] epoch=%d memTS=%d inQ=%d outNoC=%d outDRAM=%d\n",
-		l.bankID, l.epoch, l.memTS, len(l.inQ), len(l.outNoC), len(l.outDRAM))
+		l.bankID, l.epoch, l.memTS, l.inQ.Len(), l.outNoC.Len(), l.outDRAM.Len())
 	for b, m := range l.miss {
 		s += fmt.Sprintf("  miss %v waiting=%d\n", b, len(m.waiting))
 	}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/sched"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
 
@@ -64,10 +65,19 @@ type Partition struct {
 	stats     stats.DRAMStats
 	banked    bankedState
 	fail      *diag.ProtocolError
+	pool      *mem.Pool
 
 	// Deliver hands a completed DRAMFill back to the owning L2 bank.
 	Deliver func(msg *mem.Msg)
 }
+
+// SetPool shares a message pool with the partition (normally the
+// owning L2 bank's, so the DRAM read->fill->recycle loop is closed).
+// The partition then frees every request it consumes into the pool and
+// draws its fills from it. Without a pool it allocates fresh fills and
+// frees nothing — required for protocols whose L2s do not follow the
+// consume-and-free ownership discipline.
+func (p *Partition) SetPool(pool *mem.Pool) { p.pool = pool }
 
 // New builds a partition backed by store. The store is shared among
 // partitions (it is the single global memory image); address
@@ -141,7 +151,12 @@ func (p *Partition) Tick(now uint64) {
 	}
 	if len(p.queue) > 0 && now >= p.nextIssue {
 		msg := p.queue[0]
-		p.queue = p.queue[1:]
+		// Shift-down dequeue: the queue is bounded by QueueCap and
+		// usually near-empty, so copying keeps one backing array alive
+		// forever instead of resliced-append churn.
+		copy(p.queue, p.queue[1:])
+		p.queue[len(p.queue)-1] = nil
+		p.queue = p.queue[:len(p.queue)-1]
 		p.nextIssue = now + p.cfg.IssueInterval
 		p.stats.BusyCycles += p.cfg.IssueInterval
 		p.serve(msg, now, p.cfg.Latency)
@@ -155,9 +170,15 @@ func (p *Partition) serve(msg *mem.Msg, now, latency uint64) {
 	switch msg.Type {
 	case mem.DRAMRd:
 		p.stats.Reads++
-		data := &mem.Block{}
+		var data *mem.Block
+		var fill *mem.Msg
+		if p.pool != nil {
+			data, fill = p.pool.Block(), p.pool.Msg()
+		} else {
+			data, fill = &mem.Block{}, &mem.Msg{}
+		}
 		p.store.ReadBlock(msg.Block, data)
-		fill := &mem.Msg{
+		*fill = mem.Msg{
 			Type:  mem.DRAMFill,
 			Block: msg.Block,
 			Src:   p.id,
@@ -166,9 +187,11 @@ func (p *Partition) serve(msg *mem.Msg, now, latency uint64) {
 			ReqID: msg.ReqID,
 		}
 		p.fills.push(fill2{at: now + latency, seq: p.fillSeq(), msg: fill})
+		p.recycle(msg)
 	case mem.DRAMWr:
 		p.stats.Writes++
 		p.store.WriteBlock(msg.Block, msg.Data, msg.Mask)
+		p.recycle(msg)
 	default:
 		if p.fail == nil {
 			p.fail = diag.Errf(fmt.Sprintf("dram[%d]", p.id), "unexpected-message",
@@ -188,6 +211,16 @@ func (p *Partition) deliverDue(now uint64) {
 // fillSeq is the FIFO tiebreak for fills due the same cycle, keeping
 // delivery order deterministic and independent of heap layout.
 func (p *Partition) fillSeq() uint64 { p.seqCtr++; return p.seqCtr }
+
+// recycle frees a consumed request (and its payload) into the shared
+// pool; a no-op without one.
+func (p *Partition) recycle(msg *mem.Msg) {
+	if p.pool == nil {
+		return
+	}
+	p.pool.PutBlock(msg.Data)
+	p.pool.PutMsg(msg)
+}
 
 type fill2 struct {
 	at  uint64
@@ -247,8 +280,9 @@ func (h *fillHeap) pop() fill2 {
 	return top
 }
 
-// Never is the NextEvent result when no event is scheduled at all.
-const Never = ^uint64(0)
+// Never is the NextEvent result when no event is scheduled at all
+// (shared sentinel, see internal/sched).
+const Never = sched.Never
 
 // NextEvent returns the earliest future cycle (> now) at which ticking
 // the partition could change state: the next issue opportunity while

@@ -24,13 +24,15 @@ type BenchSim struct {
 
 	// Single-simulation cycle-loop cost (BH under G-TSC/RC on the
 	// benchmark machine), averaged over Iterations runs, at
-	// SimWorkers=1 (the serial loop, with quiescence skipping) and at
-	// SimWorkers=N (the barrier-synchronized parallel tick). The
+	// SimWorkers=1 under the scheduled-wake event engine (the default)
+	// and at SimWorkers=N (the barrier-synchronized parallel tick). The
 	// engine breakdown shows where simulated cycles went: executed vs
-	// fast-forwarded, run phase vs drain phase.
+	// fast-forwarded, run phase vs drain phase, and how many dispatches
+	// the agenda actually performed.
 	SingleSim struct {
 		Workload      string  `json:"workload"`
 		Protocol      string  `json:"protocol"`
+		Engine        string  `json:"engine"`
 		Iterations    int     `json:"iterations"`
 		SimCycles     uint64  `json:"sim_cycles_per_run"`
 		WallNsPerRun  int64   `json:"wall_ns_per_run"`
@@ -44,7 +46,36 @@ type BenchSim struct {
 		DrainCyclesExecuted uint64 `json:"drain_cycles_executed"`
 		DrainCyclesSkipped  uint64 `json:"drain_cycles_skipped"`
 		SkippedCycles       uint64 `json:"skipped_cycles_total"`
+
+		// Scheduled-wake dispatch accounting: how much of the machine
+		// the agenda actually evaluated. Dispatches = one hierarchy
+		// dispatch per executed event cycle + one per awake-SM tick;
+		// SMSleepCycles counts SM-cycles bulk-applied while an SM slept
+		// through executed machine cycles (the per-SM analogue of the
+		// skip counters above).
+		SkipWindows   uint64  `json:"skip_windows"`
+		MeanSkipWidth float64 `json:"mean_skip_width"`
+		Dispatches    uint64  `json:"event_dispatches"`
+		EventCycles   uint64  `json:"event_cycles"`
+		SMTicks       uint64  `json:"sm_ticks"`
+		SMSleepCycles uint64  `json:"sm_sleep_cycles"`
+		SMWakes       uint64  `json:"sm_wakes"`
 	} `json:"single_sim"`
+
+	// The same single simulation forced onto the legacy per-cycle loop
+	// (tick every component every executed cycle, probe-based skipping).
+	// EventSpeedup is the honest engine-vs-engine comparison: same
+	// machine, same process, back-to-back measurement.
+	LegacyLoop struct {
+		WallNsPerRun      int64   `json:"wall_ns_per_run"`
+		NsPerSimCycle     float64 `json:"ns_per_sim_cycle"`
+		RunCyclesExecuted uint64  `json:"run_cycles_executed"`
+		RunCyclesSkipped  uint64  `json:"run_cycles_skipped"`
+		SkipWindows       uint64  `json:"skip_windows"`
+		MeanSkipWidth     float64 `json:"mean_skip_width"`
+		EventSpeedup      float64 `json:"event_engine_speedup"`
+		BitIdentical      bool    `json:"bit_identical"`
+	} `json:"legacy_loop"`
 
 	// The same single simulation under the parallel SM tick.
 	ParallelTick struct {
@@ -121,6 +152,7 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 	ss := &out.SingleSim
 	ss.Workload = wl.Name
 	ss.Protocol = "G-TSC/RC"
+	ss.Engine = warmEng.Mode()
 	ss.Iterations = iters
 	ss.SimCycles = warm.Cycles
 	ss.WallNsPerRun = wall.Nanoseconds() / iters
@@ -132,6 +164,41 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 	ss.DrainCyclesExecuted = warmEng.DrainCycles
 	ss.DrainCyclesSkipped = warmEng.DrainSkipped
 	ss.SkippedCycles = warmEng.SkippedCycles()
+	ss.SkipWindows = warmEng.SkipWindows
+	ss.MeanSkipWidth = warmEng.MeanSkipWidth()
+	ss.Dispatches = warmEng.Dispatches()
+	ss.EventCycles = warmEng.EventCycles
+	ss.SMTicks = warmEng.SMTicks
+	ss.SMSleepCycles = warmEng.SMSleepCycles
+	ss.SMWakes = warmEng.SMWakes
+
+	// The same simulation on the legacy per-cycle loop: the engine
+	// comparison the event engine is judged by. Same warmup-then-timed
+	// protocol as above.
+	legCfg := simCfg
+	legCfg.Engine = sim.EngineLegacy
+	legSim := sim.New(legCfg)
+	legWarm, err := wl.Build(cfg.Scale).RunOn(legSim)
+	if err != nil {
+		return nil, err
+	}
+	legEng := *legSim.Engine()
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := wl.Build(cfg.Scale).Run(legCfg); err != nil {
+			return nil, err
+		}
+	}
+	legWall := time.Since(t0)
+	ll := &out.LegacyLoop
+	ll.WallNsPerRun = legWall.Nanoseconds() / iters
+	ll.NsPerSimCycle = float64(ll.WallNsPerRun) / float64(legWarm.Cycles)
+	ll.RunCyclesExecuted = legEng.RunCycles
+	ll.RunCyclesSkipped = legEng.RunSkipped
+	ll.SkipWindows = legEng.SkipWindows
+	ll.MeanSkipWidth = legEng.MeanSkipWidth()
+	ll.EventSpeedup = float64(ll.WallNsPerRun) / float64(ss.WallNsPerRun)
+	ll.BitIdentical = reflect.DeepEqual(warm, legWarm)
 
 	// Same simulation under the barrier-synchronized parallel tick.
 	// Results must be bit-identical to the serial run; the wall-time

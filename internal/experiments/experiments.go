@@ -58,6 +58,12 @@ type Config struct {
 	// Workers x SimWorkers goroutines, so keep the product near
 	// GOMAXPROCS (the CLIs clamp it; see EXPERIMENTS.md).
 	SimWorkers int
+	// Engine selects each run's cycle engine (sim.Config.Engine): the
+	// scheduled-wake agenda, the legacy per-cycle loop, or auto. A pure
+	// scheduling knob like SimWorkers — results, journals and cache
+	// keys are engine-independent — exposed so sweeps can pin a loop
+	// for benchmarking or bisection.
+	Engine sim.EngineMode
 
 	// FaultSeed, when non-zero, runs every simulation under the chaos
 	// fault-injection plan with that seed (see internal/fault). Runs
@@ -374,6 +380,7 @@ func (s *Session) simConfig(v variant, attempt int) sim.Config {
 	cfg.MaxCycles = s.Cfg.MaxCycles
 	cfg.WatchdogWindow = s.Cfg.WatchdogWindow
 	cfg.SimWorkers = s.Cfg.SimWorkers
+	cfg.Engine = s.Cfg.Engine
 	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
 	cfg.Mem.TC.Lease = s.Cfg.TCLease
 	if v.lease != 0 {

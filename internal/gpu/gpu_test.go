@@ -97,28 +97,28 @@ func TestCoalescerMergesBlocks(t *testing.T) {
 		w.Threads[lane] = &Thread{Lane: lane, GTID: lane, Regs: make([]uint32, 4)}
 	}
 	// All lanes read consecutive words of one block: 1 access.
-	one := coalesce(w, Load(0, func(t *Thread) (mem.Addr, bool) {
+	one := coalesce(&accGroup{}, w, Load(0, func(t *Thread) (mem.Addr, bool) {
 		return mem.Addr(t.Lane * 4), true
 	}))
 	if len(one) != 1 || one[0].mask != mem.MaskAll {
 		t.Fatalf("expected 1 full-mask access, got %d (%#x)", len(one), one[0].mask)
 	}
 	// Stride of one block per lane: 32 accesses.
-	many := coalesce(w, Load(0, func(t *Thread) (mem.Addr, bool) {
+	many := coalesce(&accGroup{}, w, Load(0, func(t *Thread) (mem.Addr, bool) {
 		return mem.Addr(t.Lane * mem.BlockBytes), true
 	}))
 	if len(many) != WarpWidth {
 		t.Fatalf("expected %d accesses, got %d", WarpWidth, len(many))
 	}
 	// Divergence: odd lanes off -> half coverage.
-	half := coalesce(w, Load(0, func(t *Thread) (mem.Addr, bool) {
+	half := coalesce(&accGroup{}, w, Load(0, func(t *Thread) (mem.Addr, bool) {
 		return mem.Addr(t.Lane * 4), t.Lane%2 == 0
 	}))
 	if len(half) != 1 || half[0].mask.Count() != WarpWidth/2 {
 		t.Fatalf("divergent coalesce wrong: %d accesses mask %d", len(half), half[0].mask.Count())
 	}
 	// Store values land at word positions.
-	st := coalesce(w, Store(func(t *Thread) (mem.Addr, bool) {
+	st := coalesce(&accGroup{}, w, Store(func(t *Thread) (mem.Addr, bool) {
 		return mem.Addr(t.Lane * 4), true
 	}, func(t *Thread) uint32 { return uint32(t.Lane + 100) }))
 	if st[0].data.Words[5] != 105 {
@@ -469,7 +469,7 @@ func TestAtomicCoalescingPrefix(t *testing.T) {
 	instr := Atomic(mem.AtomAdd, 0, func(t *Thread) (mem.Addr, bool) {
 		return 0x100, t.Lane < 3 // three lanes, same word
 	}, func(t *Thread) uint32 { return uint32(t.Lane + 1) }) // +1, +2, +3
-	accs := coalesce(w, instr)
+	accs := coalesce(&accGroup{}, w, instr)
 	if len(accs) != 1 {
 		t.Fatalf("expected 1 coalesced access, got %d", len(accs))
 	}

@@ -113,6 +113,14 @@ type Thread struct {
 // branches on a register whose load is still in flight) and the SM
 // retries next cycle. (nil, true) ends the warp.
 //
+// A ready=false return must be side-effect-free and a pure function of
+// the warp's own architectural state (typically RegsReady), so that
+// readiness can only flip when one of the warp's in-flight accesses
+// completes. The quiescence machinery relies on this to treat a
+// fetch-stalled warp as inert until its next completion (see
+// Warp.fetchStalled); a Program that polls anything else would break
+// cycle-skipping bit-identity.
+//
 // Programs may keep per-warp state (loop counters, traversal
 // frontiers); each warp receives its own Program instance.
 type Program interface {

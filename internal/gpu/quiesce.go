@@ -70,6 +70,15 @@ func (s *SM) Quiesce() (StallProbe, bool) {
 			continue
 		}
 		if w.cur == nil {
+			if w.fetchStalled {
+				// The last Next call returned !ready and no completion
+				// has landed since: readiness is a pure function of the
+				// warp's in-flight accesses (see Program.Next), so the
+				// fetch would stall again. Resumes on completion
+				// delivery, exactly like a memory stall.
+				p.Mem = true
+				continue
+			}
 			return p, false // fetch would run; Program.Next mutates
 		}
 		instr := w.cur

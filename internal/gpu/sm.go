@@ -5,7 +5,6 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
 	"github.com/gtsc-sim/gtsc/internal/diag"
-	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
 
@@ -93,12 +92,15 @@ func (c *SMConfig) fillDefaults() {
 }
 
 // memJob is one memory instruction streaming its coalesced accesses
-// through the LDST unit, one per cycle.
+// through the LDST unit, one per cycle. It is embedded in its pooled
+// accGroup; group points back so the job's retirement can release its
+// reference on the group's arrays.
 type memJob struct {
 	warp  *Warp
 	instr *Instr
 	accs  []*coalesced
 	next  int
+	group *accGroup
 }
 
 // SM is one streaming multiprocessor: a loose-round-robin scheduler
@@ -119,8 +121,9 @@ type SM struct {
 
 	ldst       []*memJob
 	rr         int
-	lastIssued *Warp   // GTO greediness
-	scanBuf    []*Warp // reusable scheduler scan order (hot path)
+	lastIssued *Warp       // GTO greediness
+	scanBuf    []*Warp     // reusable scheduler scan order (hot path)
+	groupPool  []*accGroup // recycled LDST access groups (see pool.go)
 
 	// deferFills redirects CTA refills (which draw from the dispatcher
 	// shared by every SM) to CommitFill, so SMs ticking concurrently
@@ -128,6 +131,14 @@ type SM struct {
 	// index order after the parallel compute phase.
 	deferFills  bool
 	pendingFill bool
+
+	// completions counts memory-completion callbacks delivered to this
+	// SM's warps, monotonically. Every change to warp readiness that can
+	// originate outside the SM's own tick flows through a Done callback
+	// (register writeback, pending-store retirement, GWCT advance), so
+	// the event engine uses "completions changed" as the exact wake
+	// signal for a stall-quiesced SM.
+	completions uint64
 
 	stats stats.SMStats
 }
@@ -238,25 +249,57 @@ func (s *SM) pumpLDST() {
 	}
 	job := s.ldst[0]
 	acc := job.accs[job.next]
-	res := s.dispatchAccess(job.warp, job.instr, acc)
+	res := s.dispatchAccess(job, acc)
 	if res == coherence.Reject {
 		return // retry next cycle
 	}
 	job.next++
 	if job.next == len(job.accs) {
 		job.warp.dispatching = false
-		s.ldst = s.ldst[1:]
+		// Shift-down dequeue: the queue is bounded (LDSTQueue, default
+		// 4), so copying the tail reuses the backing array forever where
+		// re-slicing would leak capacity and re-allocate on every append.
+		copy(s.ldst, s.ldst[1:])
+		s.ldst = s.ldst[:len(s.ldst)-1]
+		job.group.release()
 	}
 }
 
-// dispatchAccess hands one coalesced access to the L1 with the
-// completion callback that scatters data and releases trackers.
-func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.AccessResult {
-	req := &coherence.Request{
+// noteCompletion records one memory completion landing on warp w. The
+// monotone counter is the event engine's wake signal; clearing
+// fetchStalled keeps the stall-probe contract honest: a warp's fetch
+// readiness (Program.Next) may only change when one of its accesses
+// completes, so fetchStalled==true always means "Next returned !ready
+// and nothing has completed since" — safe to treat as still stalled
+// without re-running Next.
+func (s *SM) noteCompletion(w *Warp) {
+	s.completions++
+	w.fetchStalled = false
+}
+
+// Completions returns the monotone count of memory-completion
+// callbacks delivered to this SM's warps.
+func (s *SM) Completions() uint64 { return s.completions }
+
+// dispatchAccess hands one coalesced access to the L1 through its
+// pooled request record; the record's prebound Done callback scatters
+// data and releases trackers (see reqRec.complete). A Reject leaves
+// the record untouched for an identical retry next cycle.
+func (s *SM) dispatchAccess(job *memJob, acc *coalesced) coherence.AccessResult {
+	w, instr := job.warp, job.instr
+	r := job.group.rec(job.next)
+	r.w = w
+	r.lanes = acc.lanes
+	r.dst = instr.Dst
+	r.op = instr.Op
+	r.atom = instr.Atom
+	req := &r.req
+	*req = coherence.Request{
 		Block: acc.block,
 		Store: instr.Op == OpStore,
 		Mask:  acc.mask,
 		Warp:  w.ID,
+		Done:  r.done,
 	}
 	if instr.Op == OpAtomic {
 		req.Atomic = true
@@ -265,43 +308,8 @@ func (s *SM) dispatchAccess(w *Warp, instr *Instr, acc *coalesced) coherence.Acc
 		// only read request payloads, so the access aliases it directly
 		// instead of copying the 128-byte block per dispatch.
 		req.Data = &acc.data
-		dst := instr.Dst
-		lanes := acc.lanes
-		kind := instr.Atom
-		req.Done = func(c coherence.Completion) {
-			for _, lt := range lanes {
-				old := c.Data.Words[lt.word]
-				if kind == mem.AtomAdd {
-					old += lt.prefix
-				}
-				w.Threads[lt.lane].Regs[dst] = old
-			}
-			w.pendingAcc--
-			w.addPendingReg(dst, -1)
-			if c.GWCT > w.gwct {
-				w.gwct = c.GWCT
-			}
-		}
-		return s.l1.Access(req)
-	}
-	if instr.Op == OpStore {
+	} else if instr.Op == OpStore {
 		req.Data = &acc.data
-		req.Done = func(c coherence.Completion) {
-			w.pendingStores--
-			if c.GWCT > w.gwct {
-				w.gwct = c.GWCT
-			}
-		}
-	} else {
-		dst := instr.Dst
-		lanes := acc.lanes
-		req.Done = func(c coherence.Completion) {
-			for _, lt := range lanes {
-				w.Threads[lt.lane].Regs[dst] = c.Data.Words[lt.word]
-			}
-			w.pendingAcc--
-			w.addPendingReg(dst, -1)
-		}
 	}
 	return s.l1.Access(req)
 }
@@ -423,8 +431,14 @@ func (s *SM) tryIssue(w *Warp) (bool, blockReason) {
 	if w.cur == nil {
 		instr, ready := w.prog.Next(w)
 		if !ready {
-			return false, blockedMem // waiting on loaded data to fetch
+			// Waiting on loaded data to fetch. Remember the stall so the
+			// quiescence probe can classify this warp without re-running
+			// Next: readiness can only change via a completion callback,
+			// which clears the flag (see noteCompletion).
+			w.fetchStalled = true
+			return false, blockedMem
 		}
+		w.fetchStalled = false
 		if instr == nil {
 			s.finishWarp(w)
 			return false, notBlocked
@@ -494,9 +508,11 @@ func (s *SM) issueMem(w *Warp, instr *Instr) (bool, blockReason) {
 	if s.cfg.Consistency == RC && instr.Op != OpStore && w.pendingAcc >= s.cfg.MaxPendingLoads {
 		return false, blockedMem
 	}
-	accs := coalesce(w, instr)
+	g := s.getGroup()
+	accs := coalesce(g, w, instr)
 	w.cur = nil
 	if len(accs) == 0 {
+		g.putGroup()
 		return true, notBlocked // fully divergent-off instruction
 	}
 	n := len(accs)
@@ -517,7 +533,11 @@ func (s *SM) issueMem(w *Warp, instr *Instr) (bool, blockReason) {
 		s.stats.StoresIssued++
 	}
 	w.dispatching = true
-	s.ldst = append(s.ldst, &memJob{warp: w, instr: instr, accs: accs})
+	// live = one per access (released by its completion) plus one for
+	// the streaming job (released when the last access dispatches).
+	g.live = n + 1
+	g.job = memJob{warp: w, instr: instr, accs: accs, group: g}
+	s.ldst = append(s.ldst, &g.job)
 	return true, notBlocked
 }
 

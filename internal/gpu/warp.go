@@ -11,6 +11,13 @@ type Warp struct {
 	prog Program
 	cur  *Instr // fetched, not yet completed/consumed
 
+	// fetchStalled records that the last Program.Next call returned
+	// !ready and no memory completion has landed on this warp since
+	// (noteCompletion clears it). While set, the fetch is provably
+	// still blocked, so the quiescence probe may classify the warp as
+	// memory-stalled without re-running Next.
+	fetchStalled bool
+
 	finished  bool
 	atBarrier bool
 	busyUntil uint64 // OpComp completion time

@@ -1,0 +1,114 @@
+package mem
+
+// Pool recycles Msg and Block allocations inside one clock domain of
+// the memory hierarchy. Messages flow in closed loops (L1 request ->
+// L2 response -> L1, L2 DRAM read -> fill -> L2), so a controller that
+// frees every message it consumes and allocates every message it sends
+// from its own pool reaches a steady state where the hot paths
+// allocate nothing.
+//
+// Ownership discipline: a message belongs to exactly one component at
+// a time — the sender until the transport's Deliver callback runs,
+// the receiver afterwards. The receiver frees the message (and its
+// Data payload) once the handler returns, which is sound because every
+// consumer in this codebase copies what it keeps: fills install block
+// contents into a cache array, completions hand data to Done callbacks
+// that must not retain it (see coherence.Completion).
+//
+// Pools are NOT thread-safe. Each pool is owned by one component and
+// follows the simulator's two-phase tick ownership rule: an L1's pool
+// is touched by its SM's worker during the compute phase and by the
+// master goroutine during the hierarchy phase, with the phase barrier
+// ordering the two; L2/DRAM pools are hierarchy-phase only.
+type Pool struct {
+	msgs   []*Msg
+	blocks []*Block
+}
+
+// poolKeep bounds each free list. Flows between pools are not all
+// closed (an L1 gains a fill block per load but only spends blocks on
+// stores), so without a cap an unbalanced workload would grow a free
+// list forever; past the cap PutX drops the object for the GC.
+const poolKeep = 256
+
+// Msg returns a zeroed message.
+func (p *Pool) Msg() *Msg {
+	if n := len(p.msgs); n > 0 {
+		m := p.msgs[n-1]
+		p.msgs[n-1] = nil
+		p.msgs = p.msgs[:n-1]
+		return m
+	}
+	return &Msg{}
+}
+
+// PutMsg recycles a consumed message. Zeroing happens here so Msg()
+// hands out the exact equivalent of &Msg{}, and so a pooled message
+// never pins its old Data block or payload for the GC.
+func (p *Pool) PutMsg(m *Msg) {
+	if m == nil || len(p.msgs) >= poolKeep {
+		return
+	}
+	*m = Msg{}
+	p.msgs = append(p.msgs, m)
+}
+
+// Block returns a zeroed data block.
+func (p *Pool) Block() *Block {
+	if n := len(p.blocks); n > 0 {
+		b := p.blocks[n-1]
+		p.blocks[n-1] = nil
+		p.blocks = p.blocks[:n-1]
+		return b
+	}
+	return &Block{}
+}
+
+// PutBlock recycles a data block (nil is a no-op, so callers can free
+// msg.Data unconditionally).
+func (p *Pool) PutBlock(b *Block) {
+	if b == nil || len(p.blocks) >= poolKeep {
+		return
+	}
+	*b = Block{}
+	p.blocks = append(p.blocks, b)
+}
+
+// MsgQueue is a FIFO of messages that reuses its backing array: Pop
+// advances a head index instead of reslicing, and the array rewinds to
+// the front whenever the queue empties. The simulator's queues drain
+// fully almost every cycle, so the backing stabilizes at the high-water
+// depth and enqueueing stops allocating.
+type MsgQueue struct {
+	buf  []*Msg
+	head int
+}
+
+// Push appends a message.
+func (q *MsgQueue) Push(m *Msg) { q.buf = append(q.buf, m) }
+
+// Len returns the number of queued messages.
+func (q *MsgQueue) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether the queue is empty.
+func (q *MsgQueue) Empty() bool { return q.head == len(q.buf) }
+
+// Head returns the oldest message without removing it.
+func (q *MsgQueue) Head() *Msg { return q.buf[q.head] }
+
+// Items returns the queued messages oldest-first, as a view into the
+// backing array (valid until the next Push/Pop) — for state digests
+// and diagnostics.
+func (q *MsgQueue) Items() []*Msg { return q.buf[q.head:] }
+
+// Pop removes and returns the oldest message.
+func (q *MsgQueue) Pop() *Msg {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil // release for the pool/GC
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}

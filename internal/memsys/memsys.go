@@ -16,6 +16,7 @@ import (
 	"github.com/gtsc-sim/gtsc/internal/mem"
 	"github.com/gtsc-sim/gtsc/internal/noc"
 	"github.com/gtsc-sim/gtsc/internal/nocoh"
+	"github.com/gtsc-sim/gtsc/internal/sched"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 	"github.com/gtsc-sim/gtsc/internal/tc"
 )
@@ -151,6 +152,16 @@ type System struct {
 	// staged interposes each L1's NoC sender for the two-phase
 	// parallel tick (see parallel.go); index = SM id.
 	staged []*stagedSender
+
+	// Wakes is the scheduled-wake agenda for the event-driven engine
+	// (see wakes.go); slot layout is [net, partitions, L2s, L1s] in
+	// canonical tick order, with SM slots appended by the simulator.
+	Wakes *sched.Agenda
+
+	slotNet  int
+	slotPart int // first partition slot; partition i is slotPart+i
+	slotL2   int // first L2 slot
+	slotL1   int // first L1 slot
 }
 
 // New builds the hierarchy. obs may be nil.
@@ -200,6 +211,10 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 				core.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
 				sendToL1, s.dramSender(i), obs)
 			l2.AttachResets(s.Resets)
+			// The G-TSC controllers follow the consume-and-free
+			// message ownership discipline, so the bank's partition
+			// recycles through the bank's pool (see mem.Pool).
+			s.Parts[i].SetPool(l2.Pool())
 			s.L2s[i] = l2
 		}
 	case TC:
@@ -289,6 +304,7 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		}
 		s.shims = append(s.shims, dShim)
 	}
+	s.initWakes()
 	return s
 }
 

@@ -19,10 +19,12 @@ package memsys
 import (
 	"github.com/gtsc-sim/gtsc/internal/coherence"
 	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/sched"
 )
 
-// Never is the NextEvent result when nothing is scheduled at all.
-const Never = ^uint64(0)
+// Never is the NextEvent result when nothing is scheduled at all
+// (shared sentinel, see internal/sched).
+const Never = sched.Never
 
 // stagedSender interposes one L1's request path to the NoC. Disarmed
 // (the serial loop, and every non-SM phase of the parallel loop) it is

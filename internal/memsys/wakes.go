@@ -1,0 +1,72 @@
+// Scheduled-wake registration for the event-driven engine.
+//
+// The agenda holds one slot per hierarchy component in canonical tick
+// order (net, partitions, L2 banks, L1s) plus the SM slots the
+// simulator appends. The hierarchy is still ticked as one unit every
+// executed cycle — Tick's internal back-to-front order is what golden
+// determinism is pinned to — so its slots exist purely to bound the
+// machine horizon: a slot's wake answers "when could ticking this
+// component next change state?", exactly the question the legacy
+// engine answered by calling NextEvent/Quiescent probes every cycle.
+package memsys
+
+import "github.com/gtsc-sim/gtsc/internal/sched"
+
+func (s *System) initWakes() {
+	s.Wakes = sched.NewAgenda()
+	s.slotNet = s.Wakes.AddSlot()
+	s.slotPart = s.Wakes.Slots()
+	for range s.Parts {
+		s.Wakes.AddSlot()
+	}
+	s.slotL2 = s.Wakes.Slots()
+	for range s.L2s {
+		s.Wakes.AddSlot()
+	}
+	s.slotL1 = s.Wakes.Slots()
+	for range s.L1s {
+		s.Wakes.AddSlot()
+	}
+}
+
+// AddSlot appends one extra slot (the simulator registers its SMs
+// here) so every timed component shares a single deterministic agenda.
+func (s *System) AddSlot() int { return s.Wakes.AddSlot() }
+
+// RefreshWakes re-registers every hierarchy component's wake after the
+// cycle at now fully executed. Each registration is O(1):
+//
+//   - the NoC reports its incrementally-maintained next-work cycle;
+//   - each DRAM partition reports its O(1) NextEvent (head-of-queue
+//     issue opportunity or earliest scheduled fill);
+//   - L1/L2 controllers are either quiescent (inert until an input
+//     arrives, and inputs only arrive on executed cycles, which
+//     re-refresh) or must tick every cycle (Hot).
+//
+// Fault shims hold messages on schedules the probes do not model, so
+// perturbed runs never use the agenda (see SkipSafe); RefreshWakes
+// pins the horizon to Hot in that case as a defensive backstop.
+func (s *System) RefreshWakes(now uint64) {
+	if s.inj != nil {
+		s.Wakes.Schedule(s.slotNet, sched.Hot)
+		return
+	}
+	s.Wakes.Schedule(s.slotNet, s.Net.NextWork(now))
+	for i, p := range s.Parts {
+		s.Wakes.Schedule(s.slotPart+i, p.NextEvent(now))
+	}
+	for i, l2 := range s.L2s {
+		if l2.Quiescent() {
+			s.Wakes.Schedule(s.slotL2+i, sched.Never)
+		} else {
+			s.Wakes.Schedule(s.slotL2+i, sched.Hot)
+		}
+	}
+	for i, l1 := range s.L1s {
+		if l1.Quiescent() {
+			s.Wakes.Schedule(s.slotL1+i, sched.Never)
+		} else {
+			s.Wakes.Schedule(s.slotL1+i, sched.Hot)
+		}
+	}
+}

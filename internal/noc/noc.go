@@ -12,6 +12,7 @@ import (
 
 	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
+	"github.com/gtsc-sim/gtsc/internal/sched"
 	"github.com/gtsc-sim/gtsc/internal/stats"
 )
 
@@ -45,6 +46,7 @@ func DefaultMeshConfig() Config {
 type Network struct {
 	cfg    Config
 	now    uint64
+	next   uint64  // cached earliest cycle ticking could change state (lower bound; Never when empty)
 	toL2   []*port // one per SM
 	toL1   []*port // one per L2 bank
 	wire   arrivalHeap
@@ -62,7 +64,7 @@ type Network struct {
 
 // New builds a crossbar with nSM SM-side ports and nBank bank-side ports.
 func New(cfg Config, nSM, nBank int) *Network {
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, next: Never}
 	if n.cfg.Latency == 0 {
 		n.cfg.Latency = DefaultConfig().Latency
 	}
@@ -134,6 +136,7 @@ func (n *Network) SendToL2(msg *mem.Msg) bool {
 		return false
 	}
 	n.inFlight++
+	n.noteWork(p)
 	return true
 }
 
@@ -144,12 +147,32 @@ func (n *Network) SendToL1(msg *mem.Msg) bool {
 		return false
 	}
 	n.inFlight++
+	n.noteWork(p)
 	return true
 }
 
+// noteWork lowers the cached next-event cycle after an injection: the
+// port just became (or stayed) non-empty, so its head can serialize no
+// earlier than the later of the port going un-busy and the next tick.
+func (n *Network) noteWork(p *port) {
+	if c := max(p.busyUntil, n.now+1); c < n.next {
+		n.next = c
+	}
+}
+
 // Tick serializes queued messages onto the wire and delivers arrivals.
+//
+// The cached next-event cycle makes ticking a provably idle network
+// O(1): n.next is a lower bound on the first cycle at which any port
+// head could serialize or any wire arrival come due (maintained by
+// noteWork on injection and recomputed after real work below), so when
+// now < n.next the legacy body would scan every port and the wire top
+// and do nothing — we return without the scan, leaving identical state.
 func (n *Network) Tick(now uint64) {
 	n.now = now
+	if now < n.next {
+		return
+	}
 	for _, p := range n.toL2 {
 		n.drainPort(p, true, now)
 	}
@@ -165,6 +188,7 @@ func (n *Network) Tick(now uint64) {
 			n.DeliverL1(a.msg.Dst, a.msg)
 		}
 	}
+	n.next = n.NextEvent(now)
 }
 
 func (n *Network) drainPort(p *port, toL2 bool, now uint64) {
@@ -295,8 +319,9 @@ func (h *arrivalHeap) pop() arrival {
 	return top
 }
 
-// Never is the NextEvent result when no event is scheduled at all.
-const Never = ^uint64(0)
+// Never is the NextEvent result when no event is scheduled at all
+// (shared sentinel, see internal/sched).
+const Never = sched.Never
 
 // NextEvent returns the earliest future cycle (> now) at which ticking
 // the network could change any state: the earliest cycle a non-empty
@@ -320,6 +345,19 @@ func (n *Network) NextEvent(now uint64) uint64 {
 		next = min(next, max(n.wire[0].at, now+1))
 	}
 	return next
+}
+
+// NextWork returns the cached next-event cycle in O(1) for the
+// scheduled-wake engine. It is exact (equal to NextEvent) whenever the
+// network was ticked at its current clock, and otherwise still a sound
+// wake cycle: the cache only ever under-estimates (candidates were
+// clamped to an older now+1), and under-estimates are clamped back up
+// to now+1 here, which merely schedules a no-op tick.
+func (n *Network) NextWork(now uint64) uint64 {
+	if n.next <= now {
+		return now + 1
+	}
+	return n.next
 }
 
 // InjectSpaceToL2 returns how many more messages SM sm's injection

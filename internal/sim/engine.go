@@ -33,6 +33,47 @@ type EngineStats struct {
 	// ParallelCycles counts executed run-phase cycles whose SM compute
 	// phase ran on the worker pool.
 	ParallelCycles uint64
+
+	// EventCycles counts executed cycles dispatched by the
+	// scheduled-wake event engine (a subset of RunCycles+DrainCycles;
+	// zero means every phase ran on the legacy loop).
+	EventCycles uint64
+	// SMTicks counts individual SM tick dispatches under the event
+	// engine. Sleeping SMs are not ticked, so on stall-heavy workloads
+	// this is far below EventCycles * numSMs.
+	SMTicks uint64
+	// SMSleepCycles counts SM-cycles bulk-applied lazily while an SM
+	// slept through executed machine cycles (the per-SM analogue of
+	// RunSkipped, which only counts whole-machine skips).
+	SMSleepCycles uint64
+	// SMWakes counts sleep -> awake transitions (including the forced
+	// flushes at phase boundaries and pause points).
+	SMWakes uint64
+}
+
+// Dispatches is the total number of event dispatches the event engine
+// performed: one hierarchy dispatch per executed event cycle plus one
+// per SM tick.
+func (e *EngineStats) Dispatches() uint64 { return e.EventCycles + e.SMTicks }
+
+// Mode names the engine that actually dispatched cycles — "event" if
+// any phase ran on the scheduled-wake agenda, "legacy" otherwise. This
+// is what the CLIs' `engine:` line reports: the EFFECTIVE engine after
+// auto-selection and fallbacks, not the requested one.
+func (e *EngineStats) Mode() string {
+	if e.EventCycles > 0 {
+		return "event"
+	}
+	return "legacy"
+}
+
+// MeanSkipWidth is the average number of cycles a machine-level
+// fast-forward jumped over (0 when no window was skipped).
+func (e *EngineStats) MeanSkipWidth() float64 {
+	if e.SkipWindows == 0 {
+		return 0
+	}
+	return float64(e.SkippedCycles()) / float64(e.SkipWindows)
 }
 
 // SkippedCycles is the total number of simulated cycles that were

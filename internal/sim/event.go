@@ -1,0 +1,329 @@
+// The scheduled-wake (event-driven) cycle engine.
+//
+// The legacy loop asks every component every cycle whether ticking it
+// would matter (trySkipRun's NextEvent/Quiesce probes) and only skips
+// when the WHOLE machine is simultaneously inert. This engine inverts
+// the contract: components register their next wake cycle on an agenda
+// (internal/sched) whenever their state changes, and the loop advances
+// time straight to the agenda horizon. Two independent levers fall out:
+//
+//   - machine-level skips no longer pay an O(components) probe per
+//     cycle — the horizon is an O(1) agenda query off cached wakes;
+//   - SMs sleep INDIVIDUALLY: a stall-quiesced SM is simply not ticked
+//     while the rest of the machine executes, and its provably
+//     identical stall cycles are bulk-applied on wake-up
+//     (gpu.SkipCycles). The legacy loop could only skip an SM's stall
+//     cycles when every other component was idle too.
+//
+// Bit-identity argument (DESIGN.md §7 carries the full version): the
+// engine executes exactly the cycles the legacy loop executes, ticks
+// the hierarchy identically on each of them, and ticks every SM either
+// really (awake) or as a bulk-applied pure stall whose per-cycle
+// effects the Quiesce probe proved constant. All sampling boundaries
+// (watchdog, ctx poll, checkpoint pauses, the (now|63)+1 cap) are
+// preserved, so every check fires at the same cycle with the same
+// state, and no lazily-slept state ever crosses a pause point: every
+// exit path flushes sleeping SMs first, which keeps checkpoints
+// engine-agnostic.
+package sim
+
+import (
+	"context"
+
+	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/sched"
+)
+
+// eventState is the engine's per-simulator bookkeeping: one agenda slot
+// and one sleep record per SM. It is lazily allocated on the first
+// event-engine phase and reused across kernels.
+type eventState struct {
+	smBase int // first SM slot in the shared agenda (SM i = smBase+i)
+
+	asleep []bool           // SM is sleeping (not ticked; stats applied lazily)
+	probes []gpu.StallProbe // the probe that justified the sleep
+	comps  []uint64         // sm.Completions() snapshot at sleep time
+	clocks []uint64         // last cycle each SM's stats actually cover
+	act    []uint64         // scratch: ActiveCycles before this cycle's tick
+	due    []int            // scratch: awake SM indices this cycle
+}
+
+// useEventEngine reports whether the next phase runs on the
+// scheduled-wake engine. Fault-injected runs fall back to the legacy
+// loop for the same reason they disable cycle skipping: delay shims
+// hold messages on schedules the wake registrations do not model.
+func (s *Simulator) useEventEngine() bool {
+	if s.Cfg.Engine == EngineLegacy || s.Cfg.DisableCycleSkip {
+		return false
+	}
+	return s.Sys.SkipSafe()
+}
+
+func (s *Simulator) ensureEventState() *eventState {
+	if s.ev != nil {
+		return s.ev
+	}
+	n := len(s.SMs)
+	ev := &eventState{
+		asleep: make([]bool, n),
+		probes: make([]gpu.StallProbe, n),
+		comps:  make([]uint64, n),
+		clocks: make([]uint64, n),
+		act:    make([]uint64, n),
+		due:    make([]int, 0, n),
+	}
+	ev.smBase = s.Sys.AddSlot()
+	for i := 1; i < n; i++ {
+		s.Sys.AddSlot()
+	}
+	s.ev = ev
+	return ev
+}
+
+// flushSMs applies every sleeping SM's deferred stall cycles up
+// through s.now and marks it awake (agenda slot Hot). It is called at
+// every point control can leave the event loop — pause, cancellation,
+// completion, error, deadlock — so that no lazily-deferred state is
+// observable from outside: stats, dumps, and checkpoint digests are
+// identical to the legacy loop's at the same cycle.
+func (s *Simulator) flushSMs() {
+	ev := s.ev
+	if ev == nil {
+		return
+	}
+	for i, sm := range s.SMs {
+		if !ev.asleep[i] {
+			continue
+		}
+		if k := s.now - ev.clocks[i]; k > 0 {
+			sm.SkipCycles(s.now, k, ev.probes[i])
+			s.eng.SMSleepCycles += k
+		}
+		ev.asleep[i] = false
+		ev.clocks[i] = s.now
+		s.Sys.Wakes.Schedule(ev.smBase+i, sched.Hot)
+		s.eng.SMWakes++
+	}
+}
+
+// runPhaseEvent is the event-driven main cycle loop. Per iteration it
+// either executes one cycle (hierarchy tick + awake-SM ticks + wake
+// refresh) or jumps the clock to just before the agenda horizon,
+// capped — exactly like trySkipRun — at the watchdog/ctx-poll sampling
+// boundary (now|63)+1, the MaxCycles budget, and the pause point, so
+// every check below fires at the same cycles as under the legacy loop.
+func (s *Simulator) runPhaseEvent(ctx context.Context, stopAt uint64) (bool, error) {
+	st := s.cur
+	ev := s.ensureEventState()
+	workers := s.effectiveWorkers()
+	par := workers > 1 && s.Cfg.Observer == nil && s.Sys.ParallelSafe()
+	var pool *tickPool
+	if par {
+		pool = newTickPool(s.SMs, workers)
+		defer pool.shutdown()
+		for _, sm := range s.SMs {
+			sm.SetDeferFills(true)
+		}
+		defer func() {
+			for _, sm := range s.SMs {
+				sm.SetDeferFills(false)
+			}
+		}()
+		s.eng.Workers = workers
+	} else {
+		s.eng.Workers = 1
+	}
+
+	// Phase entry: everything awake (slots Hot) with stats current
+	// through s.now, wakes re-registered from live component state.
+	// This also erases any slot state a previous phase (or the other
+	// engine) left behind, which is what makes engines freely mixable
+	// across pause/resume.
+	s.flushSMs()
+	for i := range s.SMs {
+		ev.clocks[i] = s.now
+		s.Sys.Wakes.Schedule(ev.smBase+i, sched.Hot)
+	}
+	s.Sys.RefreshWakes(s.now)
+
+	for {
+		if stopAt != 0 && s.now >= stopAt {
+			s.flushSMs()
+			return true, nil
+		}
+		if s.now&ctxPollMask == 0 && ctx.Err() != nil {
+			s.flushSMs()
+			return true, s.canceled(ctx, "run")
+		}
+		if s.budgetExhausted(s.now - st.start) {
+			s.flushSMs()
+			return false, s.deadlock(st.kernel.Name, "run", "max-cycles", s.now-st.lastProgress)
+		}
+		if !s.trySkipEvent(st.start+s.Cfg.MaxCycles, stopAt, true) {
+			s.now++
+			s.Sys.Tick(s.now)
+			s.tickSMsEvent(pool, par)
+			s.Sys.RefreshWakes(s.now)
+			s.eng.RunCycles++
+			s.eng.EventCycles++
+		}
+		if err := s.Sys.Err(); err != nil {
+			s.flushSMs()
+			return false, s.attachDump(err)
+		}
+		if s.done() {
+			s.flushSMs()
+			return false, nil
+		}
+		if !s.Cfg.DisableWatchdog && s.now&63 == 0 {
+			if sig := s.progressSig(); sig != st.lastSig {
+				st.lastSig = sig
+				st.lastProgress = s.now
+			} else if s.now-st.lastProgress >= s.Cfg.WatchdogWindow {
+				s.flushSMs()
+				return false, s.deadlock(st.kernel.Name, "run", "no-forward-progress", s.now-st.lastProgress)
+			}
+		}
+	}
+}
+
+// trySkipEvent fast-forwards to just before the agenda horizon. The
+// horizon is now+1 whenever any slot is Hot (an awake SM, a
+// non-quiescent controller) — identical to the legacy condition "some
+// component would do work next cycle" — so a jump here proves the
+// machine fully inert for the window, and the single Sys.Tick(j)
+// resync is a no-op exactly as in trySkipRun. Sleeping SMs' stall
+// stats stay deferred: the skipped window lies inside their sleep.
+func (s *Simulator) trySkipEvent(budgetCap, stopAt uint64, run bool) bool {
+	horizon := s.Sys.Wakes.Horizon(s.now)
+	if horizon <= s.now+1 {
+		return false
+	}
+	j := min(horizon-1, (s.now|63)+1, budgetCap)
+	if stopAt != 0 {
+		j = min(j, stopAt)
+	}
+	if j <= s.now {
+		return false
+	}
+	k := j - s.now
+	s.now = j
+	s.Sys.Tick(j)
+	if run {
+		s.eng.RunSkipped += k
+	} else {
+		s.eng.DrainSkipped += k
+		s.cur.guard += k - 1 // the drain loop's post-statement adds the last one
+	}
+	s.eng.SkipWindows++
+	return true
+}
+
+// tickSMsEvent runs the SM side of one executed cycle. Sleeping SMs
+// wake when their probe's wake cycle arrives or a memory completion
+// landed on them (the hierarchy tick for this cycle already ran, so
+// this-cycle deliveries are visible); waking bulk-applies the deferred
+// stall cycles before the real tick. Awake SMs tick in canonical index
+// order — serially, or via the pool's due-list with the same staged
+// commit as the legacy parallel path. After ticking, any SM that
+// issued nothing and probes quiescent goes to sleep, registering its
+// wake on the agenda.
+func (s *Simulator) tickSMsEvent(pool *tickPool, par bool) {
+	ev := s.ev
+	now := s.now
+	due := ev.due[:0]
+	for i, sm := range s.SMs {
+		if ev.asleep[i] {
+			if sm.Completions() == ev.comps[i] && now < ev.probes[i].Wake {
+				continue // provably still the same pure stall
+			}
+			if k := now - 1 - ev.clocks[i]; k > 0 {
+				sm.SkipCycles(now-1, k, ev.probes[i])
+				s.eng.SMSleepCycles += k
+			}
+			ev.asleep[i] = false
+			s.Sys.Wakes.Schedule(ev.smBase+i, sched.Hot)
+			s.eng.SMWakes++
+		}
+		ev.act[i] = sm.Stats().ActiveCycles
+		due = append(due, i)
+	}
+	ev.due = due
+	if len(due) > 0 {
+		if par {
+			s.Sys.BeginSMStage()
+			pool.tick(now, due)
+			s.Sys.CommitSMStage()
+			for _, sm := range s.SMs {
+				sm.CommitFill()
+			}
+			s.eng.ParallelCycles++
+		} else {
+			for _, i := range due {
+				s.SMs[i].Tick(now)
+			}
+		}
+		s.eng.SMTicks += uint64(len(due))
+	}
+	// Stall-onset probe, after fills committed so liveWarps is final.
+	// A zero-issue tick means the scheduler scanned every non-skipped
+	// warp without issuing, so the probe's view is exactly this tick's.
+	for _, i := range due {
+		sm := s.SMs[i]
+		ev.clocks[i] = now
+		if sm.Stats().ActiveCycles != ev.act[i] {
+			continue
+		}
+		if p, ok := sm.Quiesce(); ok {
+			ev.asleep[i] = true
+			ev.probes[i] = p
+			ev.comps[i] = sm.Completions()
+			// p.Wake is NeverWake (== sched.Never) or a cycle > now;
+			// either way it is a valid agenda registration.
+			s.Sys.Wakes.Schedule(ev.smBase+i, p.Wake)
+		}
+	}
+}
+
+// drainPhaseEvent is the event-driven kernel-boundary drain. SMs are
+// never ticked during drain (their warps have all retired), so their
+// slots are parked at Never and only the hierarchy drives the horizon.
+func (s *Simulator) drainPhaseEvent(ctx context.Context, stopAt uint64) (bool, error) {
+	st := s.cur
+	ev := s.ensureEventState()
+	s.flushSMs()
+	for i := range s.SMs {
+		s.Sys.Wakes.Schedule(ev.smBase+i, sched.Never)
+	}
+	s.Sys.RefreshWakes(s.now)
+	for ; !s.Sys.Drained(); st.guard++ {
+		if stopAt != 0 && s.now >= stopAt {
+			return true, nil
+		}
+		if s.now&ctxPollMask == 0 && ctx.Err() != nil {
+			return true, s.canceled(ctx, "drain")
+		}
+		if s.budgetExhausted(st.guard) {
+			return false, s.deadlock(st.kernel.Name, "drain", "max-cycles", s.now-st.lastProgress)
+		}
+		if !s.trySkipEvent(s.now+(s.Cfg.MaxCycles-st.guard), stopAt, false) {
+			s.now++
+			s.Sys.Tick(s.now)
+			s.Sys.RefreshWakes(s.now)
+			s.eng.DrainCycles++
+			s.eng.EventCycles++
+		}
+		if err := s.Sys.Err(); err != nil {
+			return false, s.attachDump(err)
+		}
+		if !s.Cfg.DisableWatchdog && s.now&63 == 0 {
+			if sig := s.progressSig(); sig != st.lastSig {
+				st.lastSig = sig
+				st.lastProgress = s.now
+			} else if s.now-st.lastProgress >= s.Cfg.WatchdogWindow {
+				return false, s.deadlock(st.kernel.Name, "drain", "no-forward-progress", s.now-st.lastProgress)
+			}
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,131 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/checkpoint"
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// TestLegacyEngineGoldenEquivalence re-runs every golden row with the
+// legacy per-cycle loop forced, serial and on 4 workers. The default
+// suite (TestOptimizedCycleLoopBitIdentical and the SimWorkers sweep)
+// exercises the scheduled-wake event engine, because EngineAuto picks
+// it; this is the other half of the engine matrix, proving the legacy
+// loop still reproduces every fingerprint after the agenda refactor —
+// the two engines must remain interchangeable schedules of the same
+// machine.
+func TestLegacyEngineGoldenEquivalence(t *testing.T) {
+	wls := map[string]*workload.Workload{}
+	for _, wl := range workload.All() {
+		wls[wl.Name] = wl
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		for _, row := range goldenRows {
+			row := row
+			t.Run(fmt.Sprintf("legacy/w%d/%s/%s", workers, row.workload, row.config), func(t *testing.T) {
+				t.Parallel()
+				wl, ok := wls[row.workload]
+				if !ok {
+					t.Fatalf("unknown workload %q", row.workload)
+				}
+				cfg, ok := goldenConfig(row.config)
+				if !ok {
+					t.Fatalf("unknown config label %q", row.config)
+				}
+				cfg.Engine = sim.EngineLegacy
+				cfg.SimWorkers = workers
+				run, err := wl.Build(1).Run(cfg)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%+v", *run)
+				if got := h.Sum64(); got != row.hash {
+					t.Errorf("legacy engine (w=%d) fingerprint = %#x, golden %#x", workers, got, row.hash)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineCheckpointInterop pins the claim Config.Engine makes: a
+// checkpoint is a coordinate in the simulation, not in the engine's
+// schedule, so a checkpoint taken under one engine restores and
+// completes under the other — in BOTH directions. Each CC golden row
+// is paused at a row-derived cycle under engine A, round-tripped
+// through the binary codec, resumed under engine B, and the final
+// fingerprint must still match the golden table.
+func TestEngineCheckpointInterop(t *testing.T) {
+	wls := map[string]*workload.Workload{}
+	for _, wl := range workload.All() {
+		wls[wl.Name] = wl
+	}
+	directions := []struct {
+		name           string
+		pause, resume  sim.EngineMode
+		resumeDisables bool // invert cycle skipping on the resume side too
+	}{
+		{"event-to-legacy", sim.EngineEvent, sim.EngineLegacy, true},
+		{"legacy-to-event", sim.EngineLegacy, sim.EngineEvent, false},
+	}
+	for _, dir := range directions {
+		dir := dir
+		for _, row := range goldenRows {
+			row := row
+			if row.workload != "CC" {
+				continue // one workload across all protocol configs keeps this O(seconds)
+			}
+			t.Run(dir.name+"/"+row.workload+"/"+row.config, func(t *testing.T) {
+				t.Parallel()
+				wl := wls[row.workload]
+				cfg, ok := goldenConfig(row.config)
+				if !ok {
+					t.Fatalf("unknown config label %q", row.config)
+				}
+				cfg.Engine = dir.pause
+				pause := 1 + row.hash%row.cycles
+
+				e1 := checkpoint.NewExecution(cfg, wl.Build(1), row.workload, 1)
+				_, paused, err := e1.RunUntil(context.Background(), pause)
+				if err != nil {
+					t.Fatalf("%s run to pause cycle %d failed: %v", dir.pause, pause, err)
+				}
+				if !paused {
+					t.Fatalf("execution did not pause at cycle %d", pause)
+				}
+				var buf bytes.Buffer
+				if err := e1.Checkpoint().Encode(&buf); err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				ck, err := checkpoint.Decode(&buf)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+
+				resumeCfg := cfg
+				resumeCfg.Engine = dir.resume
+				resumeCfg.DisableCycleSkip = dir.resumeDisables
+				e2, err := checkpoint.ResumeExecution(ck, resumeCfg, wl.Build(1), row.workload, 1)
+				if err != nil {
+					t.Fatalf("resume under %s (verified replay to cycle %d): %v", dir.resume, ck.Cycle, err)
+				}
+				run, err := e2.Run(context.Background())
+				if err != nil {
+					t.Fatalf("post-resume run failed: %v", err)
+				}
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%+v", *run)
+				if got := h.Sum64(); got != row.hash {
+					t.Errorf("%s fingerprint = %#x, golden %#x (pause at %d)", dir.name, got, row.hash, pause)
+				}
+			})
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sim_test
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
+	"strconv"
 	"testing"
 
 	"github.com/gtsc-sim/gtsc/internal/dram"
@@ -114,10 +116,30 @@ var goldenRows = []goldenRow{
 	{"SGM", "gtsc-rc-mesh-banked", 3793, 528, 0x788fa2aaaae58fd6},
 }
 
+// goldenConfig builds the benchmark machine for one golden row. The
+// GTSC_ENGINE and GTSC_SIMWORKERS environment variables override the
+// engine scheduling knobs so CI can re-run the whole golden suite on
+// every (engine, worker-count) matrix leg without duplicating the
+// table; fingerprints are engine-independent by contract, so every leg
+// asserts against the same hashes.
 func goldenConfig(label string) (sim.Config, bool) {
 	cfg := sim.DefaultConfig()
 	cfg.Mem.NumSMs = 4
 	cfg.Mem.NumBanks = 4
+	if v := os.Getenv("GTSC_ENGINE"); v != "" {
+		mode, err := sim.ParseEngineMode(v)
+		if err != nil {
+			panic(err)
+		}
+		cfg.Engine = mode
+	}
+	if v := os.Getenv("GTSC_SIMWORKERS"); v != "" {
+		w, err := strconv.Atoi(v)
+		if err != nil {
+			panic(fmt.Sprintf("GTSC_SIMWORKERS: %v", err))
+		}
+		cfg.SimWorkers = w
+	}
 	switch label {
 	case "gtsc-rc":
 		cfg.Mem.Protocol, cfg.SM.Consistency = memsys.GTSC, gpu.RC

@@ -25,6 +25,15 @@ type tickPool struct {
 	sms     []*gpu.SM
 	workers int // pool goroutines, excluding the master
 
+	// due lists the SM indices to tick this cycle. The master writes it
+	// before the epoch bump; workers read it only after observing the
+	// new epoch, so the atomic store/load pair gives the happens-before
+	// edge and the plain field stays race-detector clean. The event
+	// engine passes only awake SMs; the legacy loop passes all (the
+	// prebuilt identity list).
+	due []int
+	all []int
+
 	now    atomic.Uint64
 	epoch  atomic.Uint64
 	cursor atomic.Int64
@@ -38,6 +47,10 @@ type tickPool struct {
 // participant). workers must be >= 2; the serial loop needs no pool.
 func newTickPool(sms []*gpu.SM, workers int) *tickPool {
 	p := &tickPool{sms: sms, workers: workers - 1}
+	p.all = make([]int, len(sms))
+	for i := range p.all {
+		p.all[i] = i
+	}
 	for i := 0; i < p.workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -45,10 +58,15 @@ func newTickPool(sms []*gpu.SM, workers int) *tickPool {
 	return p
 }
 
-// tick runs one parallel compute phase: all SMs tick at cycle now,
-// partitioned dynamically over the pool. It returns only after every
-// SM tick has completed and every worker has acknowledged the cycle.
-func (p *tickPool) tick(now uint64) {
+// tick runs one parallel compute phase: the SMs listed in due (nil =
+// all of them) tick at cycle now, partitioned dynamically over the
+// pool. It returns only after every listed SM tick has completed and
+// every worker has acknowledged the cycle.
+func (p *tickPool) tick(now uint64, due []int) {
+	if due == nil {
+		due = p.all
+	}
+	p.due = due
 	p.now.Store(now)
 	p.cursor.Store(0)
 	p.acks.Store(0)
@@ -59,15 +77,16 @@ func (p *tickPool) tick(now uint64) {
 	}
 }
 
-// work claims and ticks SMs until the cursor runs out.
+// work claims and ticks due SMs until the cursor runs out.
 func (p *tickPool) work(now uint64) {
-	n := int64(len(p.sms))
+	due := p.due
+	n := int64(len(due))
 	for {
 		i := p.cursor.Add(1) - 1
 		if i >= n {
 			return
 		}
-		p.sms[i].Tick(now)
+		p.sms[due[i]].Tick(now)
 	}
 }
 

@@ -7,6 +7,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"github.com/gtsc-sim/gtsc/internal/coherence"
 	"github.com/gtsc-sim/gtsc/internal/diag"
@@ -70,8 +71,60 @@ type Config struct {
 	// no NoC/DRAM event due). Also a pure scheduling knob: skipping is
 	// gated on proofs that the skipped ticks were no-ops, so results
 	// are bit-identical either way. Exposed for debugging and for the
-	// engine benchmarks' baseline measurements.
+	// engine benchmarks' baseline measurements. Disabling cycle skip
+	// also disables the event engine (its horizons are the same proofs).
 	DisableCycleSkip bool
+
+	// Engine selects the cycle engine (see EngineMode). Like SimWorkers
+	// and DisableCycleSkip this is a pure scheduling knob: every stat,
+	// golden fingerprint, and checkpoint digest is bit-identical under
+	// either engine, and a checkpoint taken under one resumes under the
+	// other (TestEngineCheckpointInterop pins both directions).
+	Engine EngineMode
+}
+
+// EngineMode selects how the cycle loop advances time.
+type EngineMode uint8
+
+const (
+	// EngineAuto (the default) uses the scheduled-wake event engine
+	// whenever its preconditions hold — cycle skipping enabled and no
+	// fault injection — and falls back to the legacy per-cycle probe
+	// loop otherwise. See DESIGN.md §7.
+	EngineAuto EngineMode = iota
+	// EngineEvent requests the event engine explicitly. It still falls
+	// back exactly like EngineAuto when the preconditions fail; the
+	// value exists so CLIs and tests can state intent.
+	EngineEvent
+	// EngineLegacy forces the legacy loop: tick every component every
+	// executed cycle, probing for skippable windows (trySkipRun).
+	EngineLegacy
+)
+
+// String names the mode as the CLIs' -engine flag spells it.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineEvent:
+		return "event"
+	case EngineLegacy:
+		return "legacy"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngineMode parses the -engine flag / GTSC_ENGINE spelling of an
+// engine mode ("auto", "event", "legacy"; "" = auto).
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "event":
+		return EngineEvent, nil
+	case "legacy":
+		return EngineLegacy, nil
+	}
+	return EngineAuto, fmt.Errorf("unknown engine mode %q (want auto, event, or legacy)", s)
 }
 
 // DefaultConfig returns the paper's machine: 16 SMs x 48 warps over a
@@ -130,6 +183,7 @@ type Simulator struct {
 
 	eng    EngineStats      // engine scheduling counters (see engine.go)
 	probes []gpu.StallProbe // per-SM quiescence scratch (skip hot path)
+	ev     *eventState      // scheduled-wake engine state (see event.go)
 }
 
 // New builds a simulator. The TC variant is matched to the consistency
@@ -284,9 +338,12 @@ func (s *Simulator) advance(ctx context.Context, stopAt uint64) (*stats.Run, boo
 
 // runPhase executes the main cycle loop until every warp retires.
 //
-// The loop has two engine accelerations, both bit-identical to the
-// plain serial loop by construction (TestParallelTickGoldenEquivalence
-// pins this over every golden row):
+// When the scheduled-wake engine's preconditions hold this dispatches
+// to runPhaseEvent (see event.go), which pops the component agenda
+// instead of probing the whole machine every cycle. The legacy loop
+// below has two engine accelerations, both bit-identical to the plain
+// serial loop by construction (TestParallelTickGoldenEquivalence pins
+// this over every golden row):
 //
 //   - a two-phase parallel SM tick (compute concurrently into staged
 //     buffers, commit in canonical SM order), used when SimWorkers > 1
@@ -298,6 +355,9 @@ func (s *Simulator) advance(ctx context.Context, stopAt uint64) (*stats.Run, boo
 // contract (see advance); a skipped window preserves every check's
 // firing cycle by landing on each sampling boundary.
 func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
+	if s.useEventEngine() {
+		return s.runPhaseEvent(ctx, stopAt)
+	}
 	st := s.cur
 	workers := s.effectiveWorkers()
 	par := workers > 1 && s.Cfg.Observer == nil && s.Sys.ParallelSafe()
@@ -337,7 +397,7 @@ func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 				// staged messages and any deferred CTA refills in SM
 				// index order — the serial loop's order exactly.
 				s.Sys.BeginSMStage()
-				pool.tick(s.now)
+				pool.tick(s.now, nil)
 				s.Sys.CommitSMStage()
 				for _, sm := range s.SMs {
 					sm.CommitFill()
@@ -411,6 +471,9 @@ func (s *Simulator) endRunPhase() error {
 // the scan walked every MSHR and queue in the machine every cycle and
 // dominated short kernels (see BenchmarkDrainPhase).
 func (s *Simulator) drainPhase(ctx context.Context, stopAt uint64) (bool, error) {
+	if s.useEventEngine() {
+		return s.drainPhaseEvent(ctx, stopAt)
+	}
 	st := s.cur
 	skipOK := !s.Cfg.DisableCycleSkip && s.Sys.SkipSafe()
 	for ; !s.Sys.Drained(); st.guard++ {
