@@ -32,8 +32,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Simulator performance snapshot: single-sim ns/cycle and allocs at
-# simworkers 1 vs N (with the skipped-cycle breakdown), plus Fig-12
-# grid wall time serial vs parallel (see EXPERIMENTS.md).
+# simworkers 1 vs N (with the skipped-cycle and per-component dispatch
+# breakdowns), the same sim with per-component wakes on vs off
+# back-to-back, plus Fig-12 grid wall time serial vs parallel (see
+# EXPERIMENTS.md).
 bench-sim:
 	$(GO) run ./cmd/gtscbench -benchsim BENCH_sim.json -scale 1 -sms 4 -banks 4 -j 4 -simworkers 4
 	@cat BENCH_sim.json

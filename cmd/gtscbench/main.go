@@ -131,6 +131,13 @@ func realMain() int {
 			b.SingleSim.Engine, b.SingleSim.Dispatches, b.SingleSim.EventCycles, b.SingleSim.SMTicks,
 			b.SingleSim.MeanSkipWidth, b.SingleSim.SMSleepCycles, b.SingleSim.SMWakes,
 			b.LegacyLoop.EventSpeedup, b.LegacyLoop.BitIdentical)
+		fmt.Printf("bench-sim: engine: hierarchy dispatch (ticks/sleeps): noc %d/%d dram %d/%d l2 %d/%d l1 %d/%d, sleep fraction %.2f; full-tick mode %.2fx the wall time, bit-identical %v\n",
+			b.SingleSim.NoCTicks, b.SingleSim.NoCSleeps,
+			b.SingleSim.DRAMTicks, b.SingleSim.DRAMSleeps,
+			b.SingleSim.L2Ticks, b.SingleSim.L2Sleeps,
+			b.SingleSim.L1Ticks, b.SingleSim.L1Sleeps,
+			b.SingleSim.HierarchySleepFraction,
+			b.FullTick.CompWakesSpeedup, b.FullTick.BitIdentical)
 		return exitOK
 	}
 

@@ -100,6 +100,7 @@ func realMain() int {
 		jobs     = flag.Int("j", 1, "workers for multi-workload runs (0 = GOMAXPROCS); each run is hermetic, so output is identical at any -j")
 		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); with multi-workload -j the goroutine budget is j*simworkers, clamped to 2*GOMAXPROCS; output is bit-identical at any setting")
 		engine   = flag.String("engine", "auto", "cycle engine: auto (scheduled-wake event engine when its preconditions hold), event, or legacy (per-cycle loop); output is bit-identical under either")
+		compW    = flag.Bool("compwakes", true, "per-component wake dispatch under the event engine (quiet cache banks, NoC and DRAM sleep through busy cycles); output is bit-identical either way")
 
 		maxCycles = flag.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = default 200M)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
@@ -210,6 +211,7 @@ func realMain() int {
 	default:
 		cfg.Engine = mode
 	}
+	cfg.DisableComponentWakes = !*compW
 	if *faultSeed != 0 {
 		cfg.Mem.Fault = fault.Chaos(*faultSeed)
 		fmt.Printf("fault plan: %s\n", cfg.Mem.Fault)
@@ -229,6 +231,10 @@ func realMain() int {
 	defer stop()
 
 	if *cpuProfile != "" {
+		// Label the engine's phases so the profile splits hierarchy tick,
+		// SM tick and agenda overhead without manual stack bisection:
+		// `go tool pprof -tagfocus engine_phase=hierarchy-tick cpu.pprof`.
+		cfg.ProfileLabels = true
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatalf("cpuprofile: %v", err)
@@ -426,6 +432,17 @@ func printEngineLine(eng *sim.EngineStats) {
 		eng.Mode(), eng.Workers, executed, eng.SkippedCycles(), eng.SkipWindows, eng.MeanSkipWidth(),
 		eng.Dispatches(), eng.EventCycles, eng.SMTicks, eng.SMSleepCycles, eng.SMWakes,
 		eng.ParallelTickEfficiency())
+	// Per-component dispatch breakdown (event engine with component
+	// wakes on): of the hierarchy dispatches above, which component
+	// Ticks actually ran vs slept. Omitted when the mode never engaged
+	// (legacy engine, -compwakes=false, fault injection).
+	c := &eng.Comp
+	if total := c.HierarchyTicks() + c.HierarchySleeps(); total > 0 {
+		fmt.Printf("engine: hierarchy dispatch (ticks/sleeps): noc %d/%d dram %d/%d l2 %d/%d l1 %d/%d, sleep fraction %.2f\n",
+			c.NoCTicks, c.NoCSleeps, c.DRAMTicks, c.DRAMSleeps,
+			c.L2Ticks, c.L2Sleeps, c.L1Ticks, c.L1Sleeps,
+			float64(c.HierarchySleeps())/float64(total))
+	}
 }
 
 // reportChecker prints the invariant-checker verdict for one run and

@@ -58,10 +58,11 @@ type Checkpoint struct {
 // ConfigHash canonically hashes a simulator configuration. The
 // Observer is excluded: it receives events but never feeds state back
 // into the simulation, so it does not affect the run's trajectory.
-// SimWorkers, DisableCycleSkip and Engine are excluded for the same
-// reason — they schedule how the engine evaluates cycles, never what
-// the machine computes, so a checkpoint taken at one worker count or
-// under one cycle engine restores under any other
+// SimWorkers, DisableCycleSkip, Engine, DisableComponentWakes and
+// ProfileLabels are excluded for the same reason — they schedule how
+// the engine evaluates cycles (or annotate profiles), never what the
+// machine computes, so a checkpoint taken at one worker count or under
+// one cycle engine restores under any other
 // (TestEngineCheckpointInterop pins both engine directions). Every
 // other field of sim.Config is a plain value, so the rendering is
 // process-independent.
@@ -70,6 +71,8 @@ func ConfigHash(cfg sim.Config) uint64 {
 	cfg.SimWorkers = 0
 	cfg.DisableCycleSkip = false
 	cfg.Engine = sim.EngineAuto
+	cfg.DisableComponentWakes = false
+	cfg.ProfileLabels = false
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", cfg)
 	return h.Sum64()

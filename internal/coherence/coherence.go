@@ -82,6 +82,17 @@ type L1 interface {
 	Deliver(msg *mem.Msg)
 	// Tick advances internal state one cycle (retries, timeouts).
 	Tick(now uint64)
+	// SyncClock advances the controller's local clock to now without
+	// performing any work — exactly the effect Tick(now) has on a
+	// quiescent controller. The per-component dispatcher calls it on
+	// cycles it skips the controller's Tick, because the local clock
+	// feeds decisions on the Access and Deliver paths even while the
+	// controller is otherwise inert: TC's lease-validity check compares
+	// expiry against it on every SM access, fill handlers compare
+	// in-flight lease timestamps against it on arrival, and completions
+	// stamp it into reply messages. A controller with no clock
+	// implements this as a no-op.
+	SyncClock(now uint64)
 	// Flush invalidates the whole cache, e.g. at a kernel boundary.
 	// Outstanding misses are allowed to complete normally.
 	Flush()
@@ -114,6 +125,9 @@ type L2 interface {
 	// Tick advances internal state one cycle (TC write stalls,
 	// replayed fills, overflow resets).
 	Tick(now uint64)
+	// SyncClock advances the bank's local clock to now without
+	// performing any work (see L1.SyncClock).
+	SyncClock(now uint64)
 	// Pending reports in-flight work (stalled writes, DRAM waits).
 	Pending() int
 	// Peek returns the bank's current copy of a block, if cached —

@@ -703,6 +703,11 @@ func (l *L1) post(msg *mem.Msg) {
 	l.outQ.Push(msg)
 }
 
+// SyncClock implements coherence.L1: the local clock stamps array
+// Touch/Install recency and completion cycles, so it must track the
+// machine clock even across skipped ticks.
+func (l *L1) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L1: drain backpressured sends in order.
 func (l *L1) Tick(now uint64) {
 	l.now = now

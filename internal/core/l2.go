@@ -481,6 +481,9 @@ func (l *L2) reset(epoch uint64) {
 	l.memTS = initialTS
 }
 
+// SyncClock implements coherence.L2.
+func (l *L2) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L2: drain output backpressure first, then
 // service up to perCycle queued requests.
 func (l *L2) Tick(now uint64) {

@@ -414,6 +414,9 @@ func (l *L1) post(msg *mem.Msg) {
 	l.outQ = append(l.outQ, msg)
 }
 
+// SyncClock implements coherence.L1.
+func (l *L1) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L1.
 func (l *L1) Tick(now uint64) {
 	l.now = now

@@ -533,6 +533,9 @@ func (l *L2) route(msg *mem.Msg) {
 	l.serve(msg, line)
 }
 
+// SyncClock implements coherence.L2.
+func (l *L2) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L2.
 func (l *L2) Tick(now uint64) {
 	l.now = now

@@ -290,6 +290,16 @@ const Never = sched.Never
 // queued-request bound is conservative for the banked model (a free
 // bank may appear later than nextIssue), which only shortens skip
 // windows, never reorders events. Returns Never when idle.
+//
+// The per-component wake dispatcher skips Tick entirely on cycles
+// before the registered wake, so this bound carries a no-op contract:
+// for any u with now < u < NextEvent(now), Tick(u) must not change
+// state. That holds because the partition keeps no local clock — all
+// timing state (nextIssue, fill due-times, bank busyTill) is absolute —
+// and both tick bodies only act when now reaches one of those
+// deadlines, each of which is >= the bound returned here. New work can
+// only arrive via Enqueue, whose caller (the owning L2, see
+// memsys.dramSender) re-registers the wake at enqueue time.
 func (p *Partition) NextEvent(now uint64) uint64 {
 	next := uint64(Never)
 	if len(p.queue) > 0 {

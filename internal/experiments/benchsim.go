@@ -60,7 +60,33 @@ type BenchSim struct {
 		SMTicks       uint64  `json:"sm_ticks"`
 		SMSleepCycles uint64  `json:"sm_sleep_cycles"`
 		SMWakes       uint64  `json:"sm_wakes"`
+
+		// Per-component hierarchy dispatch: of the EventCycles executed,
+		// how many per-cycle component Ticks each class received vs slept
+		// through. ticks + sleeps = EventCycles * class size. The sleep
+		// fraction is the share of hierarchy component-cycles never
+		// evaluated — the work the wholesale tick used to burn on no-ops.
+		NoCTicks               uint64  `json:"noc_ticks"`
+		NoCSleeps              uint64  `json:"noc_sleeps"`
+		DRAMTicks              uint64  `json:"dram_ticks"`
+		DRAMSleeps             uint64  `json:"dram_sleeps"`
+		L2Ticks                uint64  `json:"l2_ticks"`
+		L2Sleeps               uint64  `json:"l2_sleeps"`
+		L1Ticks                uint64  `json:"l1_ticks"`
+		L1Sleeps               uint64  `json:"l1_sleeps"`
+		HierarchySleepFraction float64 `json:"hierarchy_sleep_fraction"`
 	} `json:"single_sim"`
+
+	// The same single simulation on the event engine with per-component
+	// wakes disabled (every executed cycle ticks the whole hierarchy).
+	// CompWakesSpeedup is the honest mode-vs-mode comparison for the
+	// per-component dispatcher: same engine, same machine, back-to-back.
+	FullTick struct {
+		WallNsPerRun     int64   `json:"wall_ns_per_run"`
+		NsPerSimCycle    float64 `json:"ns_per_sim_cycle"`
+		CompWakesSpeedup float64 `json:"comp_wakes_speedup"`
+		BitIdentical     bool    `json:"bit_identical"`
+	} `json:"full_hierarchy_tick"`
 
 	// The same single simulation forced onto the legacy per-cycle loop
 	// (tick every component every executed cycle, probe-based skipping).
@@ -116,10 +142,16 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 		Workers:    workers,
 	}
 
-	// Single-sim cycle loop: BH under G-TSC/RC. One warmup run, then
-	// timed runs bracketed by runtime.ReadMemStats for allocation
-	// accounting (the runs are strictly sequential, so the deltas are
-	// attributable).
+	// Single-sim cycle loop: BH under G-TSC/RC, measured three ways —
+	// event engine with per-component wakes (the default), same engine
+	// with wakes disabled (wholesale hierarchy tick), and the legacy
+	// per-cycle loop. Each mode gets a warmup run, then the timed runs
+	// are interleaved round-robin: on a shared, throttling-prone host,
+	// low-frequency load drift would otherwise land entirely on
+	// whichever mode happened to run in the slow window and invert the
+	// mode-vs-mode ratios. Allocation deltas bracket only the
+	// event-engine run of each round (the runs are strictly sequential,
+	// so the deltas are attributable).
 	var wl *workload.Workload
 	for _, w := range workload.All() {
 		if w.Name == "BH" {
@@ -137,18 +169,51 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 		return nil, err
 	}
 	warmEng := *warmSim.Engine()
+
+	// Warm the other two modes before any timed round.
+	ftCfg := simCfg
+	ftCfg.DisableComponentWakes = true
+	ftWarm, err := wl.Build(cfg.Scale).Run(ftCfg)
+	if err != nil {
+		return nil, err
+	}
+	legCfg := simCfg
+	legCfg.Engine = sim.EngineLegacy
+	legSim := sim.New(legCfg)
+	legWarm, err := wl.Build(cfg.Scale).RunOn(legSim)
+	if err != nil {
+		return nil, err
+	}
+	legEng := *legSim.Engine()
+
 	const iters = 5
 	var ms0, ms1 runtime.MemStats
+	var wall, ftWall, legWall time.Duration
+	var allocs, bytes uint64
 	runtime.GC()
-	runtime.ReadMemStats(&ms0)
-	t0 := time.Now()
 	for i := 0; i < iters; i++ {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
 		if _, err := wl.Build(cfg.Scale).Run(simCfg); err != nil {
 			return nil, err
 		}
+		wall += time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		allocs += ms1.Mallocs - ms0.Mallocs
+		bytes += ms1.TotalAlloc - ms0.TotalAlloc
+
+		t0 = time.Now()
+		if _, err := wl.Build(cfg.Scale).Run(ftCfg); err != nil {
+			return nil, err
+		}
+		ftWall += time.Since(t0)
+
+		t0 = time.Now()
+		if _, err := wl.Build(cfg.Scale).Run(legCfg); err != nil {
+			return nil, err
+		}
+		legWall += time.Since(t0)
 	}
-	wall := time.Since(t0)
-	runtime.ReadMemStats(&ms1)
 	ss := &out.SingleSim
 	ss.Workload = wl.Name
 	ss.Protocol = "G-TSC/RC"
@@ -157,8 +222,8 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 	ss.SimCycles = warm.Cycles
 	ss.WallNsPerRun = wall.Nanoseconds() / iters
 	ss.NsPerSimCycle = float64(ss.WallNsPerRun) / float64(warm.Cycles)
-	ss.AllocsPerRun = (ms1.Mallocs - ms0.Mallocs) / iters
-	ss.BytesPerRun = (ms1.TotalAlloc - ms0.TotalAlloc) / iters
+	ss.AllocsPerRun = allocs / iters
+	ss.BytesPerRun = bytes / iters
 	ss.RunCyclesExecuted = warmEng.RunCycles
 	ss.RunCyclesSkipped = warmEng.RunSkipped
 	ss.DrainCyclesExecuted = warmEng.DrainCycles
@@ -171,25 +236,28 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 	ss.SMTicks = warmEng.SMTicks
 	ss.SMSleepCycles = warmEng.SMSleepCycles
 	ss.SMWakes = warmEng.SMWakes
+	ss.NoCTicks = warmEng.Comp.NoCTicks
+	ss.NoCSleeps = warmEng.Comp.NoCSleeps
+	ss.DRAMTicks = warmEng.Comp.DRAMTicks
+	ss.DRAMSleeps = warmEng.Comp.DRAMSleeps
+	ss.L2Ticks = warmEng.Comp.L2Ticks
+	ss.L2Sleeps = warmEng.Comp.L2Sleeps
+	ss.L1Ticks = warmEng.Comp.L1Ticks
+	ss.L1Sleeps = warmEng.Comp.L1Sleeps
+	if total := warmEng.Comp.HierarchyTicks() + warmEng.Comp.HierarchySleeps(); total > 0 {
+		ss.HierarchySleepFraction = float64(warmEng.Comp.HierarchySleeps()) / float64(total)
+	}
+
+	// Per-component wakes off, same engine: isolates what the
+	// per-component dispatcher buys over the wholesale hierarchy tick.
+	ft := &out.FullTick
+	ft.WallNsPerRun = ftWall.Nanoseconds() / iters
+	ft.NsPerSimCycle = float64(ft.WallNsPerRun) / float64(ftWarm.Cycles)
+	ft.CompWakesSpeedup = float64(ft.WallNsPerRun) / float64(ss.WallNsPerRun)
+	ft.BitIdentical = reflect.DeepEqual(warm, ftWarm)
 
 	// The same simulation on the legacy per-cycle loop: the engine
-	// comparison the event engine is judged by. Same warmup-then-timed
-	// protocol as above.
-	legCfg := simCfg
-	legCfg.Engine = sim.EngineLegacy
-	legSim := sim.New(legCfg)
-	legWarm, err := wl.Build(cfg.Scale).RunOn(legSim)
-	if err != nil {
-		return nil, err
-	}
-	legEng := *legSim.Engine()
-	t0 = time.Now()
-	for i := 0; i < iters; i++ {
-		if _, err := wl.Build(cfg.Scale).Run(legCfg); err != nil {
-			return nil, err
-		}
-	}
-	legWall := time.Since(t0)
+	// comparison the event engine is judged by.
 	ll := &out.LegacyLoop
 	ll.WallNsPerRun = legWall.Nanoseconds() / iters
 	ll.NsPerSimCycle = float64(ll.WallNsPerRun) / float64(legWarm.Cycles)
@@ -210,7 +278,7 @@ func RunBenchSim(cfg Config, workers, simWorkers int) (*BenchSim, error) {
 	if err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
+	t0 := time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := wl.Build(cfg.Scale).Run(parSimCfg); err != nil {
 			return nil, err

@@ -54,6 +54,7 @@ func (f *fakeL1) release() {
 
 func (f *fakeL1) Deliver(*mem.Msg)           {}
 func (f *fakeL1) Tick(uint64)                {}
+func (f *fakeL1) SyncClock(uint64)           {}
 func (f *fakeL1) Flush()                     {}
 func (f *fakeL1) Pending() int               { return len(f.parked) }
 func (f *fakeL1) Quiescent() bool            { return true }

@@ -162,6 +162,18 @@ type System struct {
 	slotPart int // first partition slot; partition i is slotPart+i
 	slotL2   int // first L2 slot
 	slotL1   int // first L1 slot
+
+	// Per-component dispatch state (see wakes.go). compWakes gates the
+	// ingress hooks and the TickDue/RefreshDue pair; clock is the last
+	// cycle handed to Tick/TickDue/SyncClocks, which the hooks need to
+	// compute post-enqueue wakes; the ticked lists record which
+	// components TickDue dispatched this cycle so RefreshDue re-probes
+	// exactly those.
+	compWakes   bool
+	clock       uint64
+	tickedParts []int
+	tickedL2s   []int
+	tickedL1s   []int
 }
 
 // New builds the hierarchy. obs may be nil.
@@ -305,11 +317,57 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		s.shims = append(s.shims, dShim)
 	}
 	s.initWakes()
+
+	// Ingress hooks for per-component wake dispatch: a delivery marks
+	// its receiver Hot BEFORE the message lands, so a component whose
+	// tick was about to be skipped this cycle is dispatched instead the
+	// moment input reaches it (the NoC and partitions tick ahead of the
+	// controllers in canonical order, so the mark is always seen by this
+	// cycle's due-check). The hooks wrap whatever delivery path was
+	// wired above — including fault shims, though an active injector
+	// forces compWakes off, making the marks inert no-ops there.
+	deliverL2, deliverL1 := s.Net.DeliverL2, s.Net.DeliverL1
+	s.Net.DeliverL2 = func(bank int, msg *mem.Msg) {
+		if s.compWakes {
+			s.Wakes.Schedule(s.slotL2+bank, sched.Hot)
+		}
+		deliverL2(bank, msg)
+	}
+	s.Net.DeliverL1 = func(sm int, msg *mem.Msg) {
+		if s.compWakes {
+			s.Wakes.Schedule(s.slotL1+sm, sched.Hot)
+		}
+		deliverL1(sm, msg)
+	}
+	for i, p := range s.Parts {
+		bank, fill := i, p.Deliver
+		p.Deliver = func(msg *mem.Msg) {
+			if s.compWakes {
+				// A DRAM fill is consumed synchronously by the L2
+				// (DRAMFill), which can queue responses the bank's tick
+				// must drain this very cycle.
+				s.Wakes.Schedule(s.slotL2+bank, sched.Hot)
+			}
+			fill(msg)
+		}
+	}
 	return s
 }
 
 func (s *System) dramSender(bank int) coherence.Sender {
-	return coherence.SenderFunc(func(msg *mem.Msg) bool { return s.Parts[bank].Enqueue(msg) })
+	return coherence.SenderFunc(func(msg *mem.Msg) bool {
+		if !s.Parts[bank].Enqueue(msg) {
+			return false
+		}
+		if s.compWakes {
+			// The enqueue can pull the partition's wake earlier (an idle
+			// partition was parked at Never); its tick slot for this
+			// cycle has already passed, and NextEvent is always > clock,
+			// so the new wake is a valid future registration.
+			s.Wakes.Schedule(s.slotPart+bank, s.Parts[bank].NextEvent(s.clock))
+		}
+		return true
+	})
 }
 
 // Tick advances the hierarchy one cycle in back-to-front order so
@@ -317,6 +375,7 @@ func (s *System) dramSender(bank int) coherence.Sender {
 // release due messages after the transports tick, so unperturbed
 // messages still deliver in their arrival cycle.
 func (s *System) Tick(now uint64) {
+	s.clock = now
 	for _, sh := range s.shims {
 		sh.Sync(now)
 	}

@@ -1,16 +1,76 @@
-// Scheduled-wake registration for the event-driven engine.
+// Scheduled-wake registration and per-component dispatch for the
+// event-driven engine.
 //
 // The agenda holds one slot per hierarchy component in canonical tick
 // order (net, partitions, L2 banks, L1s) plus the SM slots the
-// simulator appends. The hierarchy is still ticked as one unit every
-// executed cycle — Tick's internal back-to-front order is what golden
-// determinism is pinned to — so its slots exist purely to bound the
-// machine horizon: a slot's wake answers "when could ticking this
-// component next change state?", exactly the question the legacy
+// simulator appends. A slot's wake answers "when could ticking this
+// component next change state?" — exactly the question the legacy
 // engine answered by calling NextEvent/Quiescent probes every cycle.
+//
+// The slots serve two roles. They always bound the machine horizon
+// (how far the clock may jump over fully-idle windows). With
+// per-component wakes enabled they additionally drive DISPATCH:
+// TickDue walks the components in canonical order and ticks only those
+// whose wake is due, so a quiet L2 bank sleeps through cycles on which
+// the rest of the machine is busy. Soundness rests on each component's
+// local contract:
+//
+//   - NoC: NextWork is a sound lower bound maintained on every
+//     injection (noc.noteWork) and recomputed after every real tick;
+//     Tick on a pre-wake cycle would only advance n.now, which Sync
+//     does instead.
+//   - DRAM partition: NextEvent is exact (flat) or conservative
+//     (banked); Tick before the wake is a no-op because all partition
+//     timing state is absolute (see dram.NextEvent).
+//   - L1/L2 controllers: Quiescent() means "Tick would be a pure no-op
+//     at any future cycle until a new message or access arrives"
+//     (coherence.L1 contract), so a quiescent controller parks at
+//     Never and is re-armed by the ingress hooks below the moment a
+//     delivery or enqueue targets it; a non-quiescent one is Hot.
+//
+// Re-registration happens at every point that can pull a wake earlier:
+// NoC delivery to an L2/L1 and DRAM-fill delivery mark the receiver
+// Hot before the message lands (memsys.New wires the hooks), an L2's
+// DRAM enqueue re-registers the partition from its post-enqueue
+// NextEvent (dramSender), and RefreshDue re-probes exactly the
+// components that were ticked this cycle — plus the L1s of SMs that
+// ticked, because an SM access can un-quiesce its L1 without any
+// hierarchy dispatch. The coarse System.NextEvent aggregate is no
+// longer the dispatcher; it remains the cross-check the horizon
+// property tests (sim.TestComponentWakeClaimsSound) verify the slots
+// against.
 package memsys
 
 import "github.com/gtsc-sim/gtsc/internal/sched"
+
+// DispatchStats counts per-component dispatch decisions made by
+// TickDue: for each component class, how many per-cycle ticks were
+// performed vs skipped because the component's wake was not due
+// (sleep-cycles). All zero when per-component wakes are off (the
+// hierarchy is then ticked wholesale). Like the rest of EngineStats
+// these are pure scheduling observability — the same machine state is
+// reached with any dispatch mode.
+type DispatchStats struct {
+	NoCTicks   uint64
+	NoCSleeps  uint64
+	DRAMTicks  uint64
+	DRAMSleeps uint64
+	L2Ticks    uint64
+	L2Sleeps   uint64
+	L1Ticks    uint64
+	L1Sleeps   uint64
+}
+
+// HierarchyTicks is the total number of component ticks dispatched.
+func (d *DispatchStats) HierarchyTicks() uint64 {
+	return d.NoCTicks + d.DRAMTicks + d.L2Ticks + d.L1Ticks
+}
+
+// HierarchySleeps is the total number of component-cycles skipped: a
+// component asleep through one executed cycle counts one.
+func (d *DispatchStats) HierarchySleeps() uint64 {
+	return d.NoCSleeps + d.DRAMSleeps + d.L2Sleeps + d.L1Sleeps
+}
 
 func (s *System) initWakes() {
 	s.Wakes = sched.NewAgenda()
@@ -27,21 +87,175 @@ func (s *System) initWakes() {
 	for range s.L1s {
 		s.Wakes.AddSlot()
 	}
+	s.tickedParts = make([]int, 0, len(s.Parts))
+	s.tickedL2s = make([]int, 0, len(s.L2s))
+	s.tickedL1s = make([]int, 0, len(s.L1s))
 }
 
 // AddSlot appends one extra slot (the simulator registers its SMs
 // here) so every timed component shares a single deterministic agenda.
 func (s *System) AddSlot() int { return s.Wakes.AddSlot() }
 
-// RefreshWakes re-registers every hierarchy component's wake after the
-// cycle at now fully executed. Each registration is O(1):
+// SetComponentWakes switches per-component dispatch on or off. On, the
+// ingress hooks re-arm receivers and TickDue/RefreshDue drive the
+// cycle; off, the hooks are inert (so the legacy loop never floods the
+// agenda heap with entries nothing drains) and the engine ticks the
+// hierarchy wholesale. Fault-injected runs force it off: delay shims
+// hold messages on schedules the wake registrations do not model.
+func (s *System) SetComponentWakes(on bool) {
+	s.compWakes = on && s.inj == nil
+}
+
+// ComponentWakesOn reports whether per-component dispatch is active.
+func (s *System) ComponentWakesOn() bool { return s.compWakes }
+
+// due reports whether a slot's wake means "tick this cycle": Hot (0)
+// always, Never never, a concrete wake when it has arrived. Overdue
+// concrete wakes (< now) can only arise from the Horizon clamp; they
+// dispatch immediately, which errs toward extra no-op ticks.
+func due(wake, now uint64) bool { return wake <= now }
+
+// TickDue advances the hierarchy one cycle, dispatching Tick only to
+// components whose agenda wake is due, in exactly the canonical order
+// Tick uses (net, partitions, L2s, L1s) — so among the components that
+// do tick, the observable event sequence is identical to the wholesale
+// tick, and the skipped ones were provably no-ops (see the package
+// comment). Ticked component indices are recorded for RefreshDue; d
+// accumulates the dispatch decisions.
+//
+// Deliveries mark their receiver Hot via the ingress hooks BEFORE the
+// receiver's own slot is inspected (the NoC and partitions dispatch
+// first), so a message delivered this cycle is consumed this cycle,
+// exactly as under the wholesale tick.
+func (s *System) TickDue(now uint64, d *DispatchStats) {
+	if s.inj != nil {
+		// Defensive: the engine never routes perturbed runs here, but a
+		// wholesale tick is always correct.
+		s.Tick(now)
+		return
+	}
+	s.clock = now
+	s.Net.Sync(now)
+	if due(s.Wakes.Wake(s.slotNet), now) {
+		s.Net.Tick(now)
+		d.NoCTicks++
+	} else {
+		d.NoCSleeps++
+	}
+	s.tickedParts = s.tickedParts[:0]
+	for i, p := range s.Parts {
+		if due(s.Wakes.Wake(s.slotPart+i), now) {
+			p.Tick(now)
+			d.DRAMTicks++
+			s.tickedParts = append(s.tickedParts, i)
+		} else {
+			d.DRAMSleeps++
+		}
+	}
+	s.tickedL2s = s.tickedL2s[:0]
+	for i, l2 := range s.L2s {
+		if due(s.Wakes.Wake(s.slotL2+i), now) {
+			l2.Tick(now)
+			d.L2Ticks++
+			s.tickedL2s = append(s.tickedL2s, i)
+		} else {
+			l2.SyncClock(now)
+			d.L2Sleeps++
+		}
+	}
+	s.tickedL1s = s.tickedL1s[:0]
+	for i, l1 := range s.L1s {
+		if due(s.Wakes.Wake(s.slotL1+i), now) {
+			l1.Tick(now)
+			d.L1Ticks++
+			s.tickedL1s = append(s.tickedL1s, i)
+		} else {
+			l1.SyncClock(now)
+			d.L1Sleeps++
+		}
+	}
+}
+
+// SyncClocks advances component-local clocks across a proven-quiet
+// window without ticking anything. It replaces the wholesale
+// Sys.Tick(j) resync at the end of a fast-forward jump when
+// per-component wakes are on: every slot's wake lies beyond j (that is
+// what made the window skippable), so each component's Tick(j) would
+// be a no-op — except the clock assignment it opens with, which is
+// exactly what Sync/SyncClock perform. Controller clocks matter even
+// while inert (see coherence.L1.SyncClock); DRAM partitions keep no
+// local clock (all their timing state is absolute).
+func (s *System) SyncClocks(now uint64) {
+	s.clock = now
+	s.Net.Sync(now)
+	for _, l2 := range s.L2s {
+		l2.SyncClock(now)
+	}
+	for _, l1 := range s.L1s {
+		l1.SyncClock(now)
+	}
+}
+
+// RefreshDue re-registers wakes after an executed cycle under
+// per-component dispatch, touching only the components whose state can
+// have changed: the NoC (always — any L1/SM send this cycle lowered
+// its cached next-work bound, and the read is O(1)), the partitions
+// and controllers that ticked, and the L1s of the SMs in smsTicked (an
+// SM access can un-quiesce its L1 with no hierarchy dispatch
+// involved). Everything else kept the wake it registered when it last
+// changed. Schedule dedups same-value writes, so double-refreshing an
+// index is free.
+func (s *System) RefreshDue(now uint64, smsTicked []int) {
+	if s.inj != nil {
+		s.Wakes.Schedule(s.slotNet, sched.Hot)
+		return
+	}
+	s.Wakes.Schedule(s.slotNet, s.Net.NextWork(now))
+	for _, i := range s.tickedParts {
+		s.Wakes.Schedule(s.slotPart+i, s.Parts[i].NextEvent(now))
+	}
+	for _, i := range s.tickedL2s {
+		s.refreshL2(i)
+	}
+	for _, i := range s.tickedL1s {
+		s.refreshL1(i)
+	}
+	for _, i := range smsTicked {
+		s.refreshL1(i)
+	}
+}
+
+func (s *System) refreshL2(i int) {
+	if s.L2s[i].Quiescent() {
+		s.Wakes.Schedule(s.slotL2+i, sched.Never)
+	} else {
+		s.Wakes.Schedule(s.slotL2+i, sched.Hot)
+	}
+}
+
+func (s *System) refreshL1(i int) {
+	if s.L1s[i].Quiescent() {
+		s.Wakes.Schedule(s.slotL1+i, sched.Never)
+	} else {
+		s.Wakes.Schedule(s.slotL1+i, sched.Hot)
+	}
+}
+
+// RefreshWakes re-registers every hierarchy component's wake from live
+// state after the cycle at now fully executed. Each registration is
+// O(1):
 //
 //   - the NoC reports its incrementally-maintained next-work cycle;
 //   - each DRAM partition reports its O(1) NextEvent (head-of-queue
 //     issue opportunity or earliest scheduled fill);
 //   - L1/L2 controllers are either quiescent (inert until an input
-//     arrives, and inputs only arrive on executed cycles, which
-//     re-refresh) or must tick every cycle (Hot).
+//     arrives, at which point an ingress hook or RefreshDue re-arms
+//     them) or must tick every cycle (Hot).
+//
+// Under per-component dispatch this full scan runs only at phase entry
+// (after between-phase work like the kernel-boundary L1 flush, or an
+// engine switch across a checkpoint, mutated components outside any
+// dispatch); steady-state cycles use the incremental RefreshDue.
 //
 // Fault shims hold messages on schedules the probes do not model, so
 // perturbed runs never use the agenda (see SkipSafe); RefreshWakes
@@ -55,18 +269,10 @@ func (s *System) RefreshWakes(now uint64) {
 	for i, p := range s.Parts {
 		s.Wakes.Schedule(s.slotPart+i, p.NextEvent(now))
 	}
-	for i, l2 := range s.L2s {
-		if l2.Quiescent() {
-			s.Wakes.Schedule(s.slotL2+i, sched.Never)
-		} else {
-			s.Wakes.Schedule(s.slotL2+i, sched.Hot)
-		}
+	for i := range s.L2s {
+		s.refreshL2(i)
 	}
-	for i, l1 := range s.L1s {
-		if l1.Quiescent() {
-			s.Wakes.Schedule(s.slotL1+i, sched.Never)
-		} else {
-			s.Wakes.Schedule(s.slotL1+i, sched.Hot)
-		}
+	for i := range s.L1s {
+		s.refreshL1(i)
 	}
 }

@@ -154,11 +154,40 @@ func (n *Network) SendToL1(msg *mem.Msg) bool {
 // noteWork lowers the cached next-event cycle after an injection: the
 // port just became (or stayed) non-empty, so its head can serialize no
 // earlier than the later of the port going un-busy and the next tick.
+//
+// Staleness audit (every event that can schedule EARLIER work must
+// invalidate the cache, or NextWork overclaims and the wake engine
+// sleeps through real work):
+//
+//   - Injection (SendToL2/SendToL1): handled here, on every push.
+//   - Port credit return (busyUntil expiry): busyUntil only ever moves
+//     inside drainPort, which runs inside Tick, and Tick ends with a
+//     full recompute (n.next = NextEvent) — already covered.
+//   - Wire arrivals: pushed only by drainPort, same recompute covers
+//     them.
+//
+// The one remaining hazard is the clock itself: the clamp below reads
+// n.now, so if the network's clock lags the machine's (its tick was
+// skipped by the per-component dispatcher), an injection would register
+// a wake in the PAST and Horizon would clamp it into an extra no-op
+// tick at best — or, worse, the enqueue timestamp behind QueueDelay
+// would be wrong. Sync keeps n.now current on exactly the cycles Tick
+// is skipped, closing that hole; TestNoCWakeMovesUpOnInject pins the
+// mid-quiet-window behaviour.
 func (n *Network) noteWork(p *port) {
 	if c := max(p.busyUntil, n.now+1); c < n.next {
 		n.next = c
 	}
 }
+
+// Sync advances the network's local clock without ticking it. The
+// per-component wake dispatcher calls this on executed cycles where
+// the network's wake is not due: n.now feeds the enqueue timestamps
+// behind the QueueDelay stat and the noteWork clamp, so it must track
+// the global clock even on cycles the tick body provably would not
+// run. It touches nothing else — exactly what Tick does on a quiet
+// cycle (now < n.next), minus the due-check.
+func (n *Network) Sync(now uint64) { n.now = now }
 
 // Tick serializes queued messages onto the wire and delivers arrivals.
 //

@@ -180,3 +180,80 @@ func TestMeshBisectionThrottles(t *testing.T) {
 		t.Fatalf("mesh (%d) should be slower than crossbar (%d) under bisection pressure", meshDone, xbarDone)
 	}
 }
+
+// TestInjectionMidQuietWindowMovesWakeUp is the regression test for the
+// cached-horizon staleness hazard the per-component dispatcher sleeps
+// on: `next` is recomputed only at the end of a real Tick, so when the
+// event engine lets a quiet network sleep, an injection arriving
+// mid-window (an L1 miss from an SM that kept running) must pull the
+// cached wake up THROUGH noteWork, with n.now kept current by Sync —
+// otherwise the network would sleep until Never and swallow the
+// message. It also pins that sleeping until the claimed wake delivers
+// at the exact cycle a tick-every-cycle network delivers at.
+func TestInjectionMidQuietWindowMovesWakeUp(t *testing.T) {
+	send := func(n *Network) {
+		if !n.SendToL2(&mem.Msg{Type: mem.BusRd, Src: 0, Dst: 1}) {
+			t.Fatal("send rejected")
+		}
+	}
+
+	n := New(Config{Latency: 10, InjectQueue: 4}, 2, 2)
+	var arrival, cur uint64
+	n.DeliverL2 = func(bank int, msg *mem.Msg) { arrival = cur }
+	n.DeliverL1 = func(int, *mem.Msg) {}
+	n.Tick(1)
+	if got := n.NextWork(1); got != uint64(Never) {
+		t.Fatalf("quiet network claims work at %d, want Never", got)
+	}
+
+	// The engine sleeps the network; machine time advances to cycle 40
+	// with only clock syncs (the skip-window resync). An injection then
+	// lands mid-window.
+	n.Sync(40)
+	send(n)
+	if got := n.NextWork(40); got != 41 {
+		t.Fatalf("wake after mid-quiet-window injection = %d, want 41 (stale cached horizon)", got)
+	}
+
+	// Sleep-until-wake discipline: tick only when the claimed wake is
+	// due, exactly like TickDue.
+	ticks := 0
+	for cur = 41; cur <= 100; cur++ {
+		if n.NextWork(cur-1) > cur {
+			continue
+		}
+		n.Tick(cur)
+		ticks++
+		if arrival != 0 {
+			break
+		}
+	}
+
+	// Reference: identical network ticked every cycle.
+	ref := New(Config{Latency: 10, InjectQueue: 4}, 2, 2)
+	var refArrival, refCur uint64
+	ref.DeliverL2 = func(bank int, msg *mem.Msg) { refArrival = refCur }
+	ref.DeliverL1 = func(int, *mem.Msg) {}
+	for refCur = 1; refCur <= 100; refCur++ {
+		ref.Tick(refCur)
+		if refCur == 40 {
+			send(ref)
+		}
+		if refArrival != 0 {
+			break
+		}
+	}
+
+	if arrival == 0 || arrival != refArrival {
+		t.Fatalf("sleeping network delivered at %d, tick-every-cycle reference at %d", arrival, refArrival)
+	}
+	if ticks >= int(arrival-40) {
+		t.Fatalf("sleeping network ticked %d times for a %d-cycle window; it never actually slept", ticks, arrival-40)
+	}
+	if n.Pending() != 0 {
+		t.Fatal("pending should drain")
+	}
+	if got := n.NextWork(arrival); got != uint64(Never) {
+		t.Fatalf("drained network claims work at %d, want Never", got)
+	}
+}

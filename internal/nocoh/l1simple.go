@@ -275,6 +275,9 @@ func (l *L1Simple) post(msg *mem.Msg) {
 	l.outQ = append(l.outQ, msg)
 }
 
+// SyncClock implements coherence.L1.
+func (l *L1Simple) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L1.
 func (l *L1Simple) Tick(now uint64) {
 	l.now = now

@@ -228,6 +228,9 @@ func (l *L2Plain) process(msg *mem.Msg, line *cache.Line[struct{}]) {
 	}
 }
 
+// SyncClock implements coherence.L2.
+func (l *L2Plain) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L2.
 func (l *L2Plain) Tick(now uint64) {
 	l.now = now

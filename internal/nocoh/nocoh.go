@@ -166,6 +166,9 @@ func (l *L1Bypass) post(msg *mem.Msg) {
 	l.outQ = append(l.outQ, msg)
 }
 
+// SyncClock implements coherence.L1.
+func (l *L1Bypass) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L1.
 func (l *L1Bypass) Tick(now uint64) {
 	l.now = now

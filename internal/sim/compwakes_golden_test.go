@@ -1,0 +1,125 @@
+package sim_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/sim"
+	"github.com/gtsc-sim/gtsc/internal/workload"
+)
+
+// TestComponentWakesOffGoldenEquivalence re-runs every golden row on
+// the event engine with per-component wake dispatch disabled, serial
+// and on 4 workers. The default suite exercises the event engine WITH
+// per-component wakes (the default); this is the wholesale-tick leg of
+// the dispatch-mode matrix, proving DisableComponentWakes is a pure
+// scheduling knob — the two dispatch modes must remain interchangeable
+// schedules of the same machine, and CI runs the golden drift check on
+// both.
+func TestComponentWakesOffGoldenEquivalence(t *testing.T) {
+	wls := map[string]*workload.Workload{}
+	for _, wl := range workload.All() {
+		wls[wl.Name] = wl
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		for _, row := range goldenRows {
+			row := row
+			t.Run(fmt.Sprintf("fulltick/w%d/%s/%s", workers, row.workload, row.config), func(t *testing.T) {
+				t.Parallel()
+				wl, ok := wls[row.workload]
+				if !ok {
+					t.Fatalf("unknown workload %q", row.workload)
+				}
+				cfg, ok := goldenConfig(row.config)
+				if !ok {
+					t.Fatalf("unknown config label %q", row.config)
+				}
+				cfg.Engine = sim.EngineEvent
+				cfg.DisableComponentWakes = true
+				cfg.SimWorkers = workers
+				run, err := wl.Build(1).Run(cfg)
+				if err != nil {
+					t.Fatalf("run failed: %v", err)
+				}
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%+v", *run)
+				if got := h.Sum64(); got != row.hash {
+					t.Errorf("full-tick event engine (w=%d) fingerprint = %#x, golden %#x", workers, got, row.hash)
+				}
+			})
+		}
+	}
+}
+
+// TestComponentDispatchAccounting pins the bookkeeping identity behind
+// the engine's hierarchy breakdown: under per-component dispatch every
+// executed event cycle makes exactly one tick-or-sleep decision per
+// component, so per class ticks + sleeps = EventCycles * class size —
+// and on real workloads at least one class must actually sleep, or the
+// dispatcher is dead weight. With the mode disabled the counters must
+// stay exactly zero (the line CLIs omit).
+func TestComponentDispatchAccounting(t *testing.T) {
+	wl := func() *workload.Workload {
+		for _, w := range workload.All() {
+			if w.Name == "CC" {
+				return w
+			}
+		}
+		t.Fatal("workload CC missing")
+		return nil
+	}()
+	for _, label := range []string{"gtsc-rc", "tc-rc"} {
+		label := label
+		t.Run(label, func(t *testing.T) {
+			t.Parallel()
+			cfg, ok := goldenConfig(label)
+			if !ok {
+				t.Fatalf("unknown config label %q", label)
+			}
+			cfg.Engine = sim.EngineEvent
+			cfg.DisableComponentWakes = false
+			s := sim.New(cfg)
+			if _, err := wl.Build(1).RunOn(s); err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			eng := s.Engine()
+			if eng.EventCycles == 0 {
+				t.Fatal("event engine never dispatched; accounting test is vacuous")
+			}
+			c := eng.Comp
+			nL1, nL2, nPart := len(s.Sys.L1s), len(s.Sys.L2s), len(s.Sys.Parts)
+			checks := []struct {
+				class         string
+				ticks, sleeps uint64
+				size          int
+			}{
+				{"noc", c.NoCTicks, c.NoCSleeps, 1},
+				{"dram", c.DRAMTicks, c.DRAMSleeps, nPart},
+				{"l2", c.L2Ticks, c.L2Sleeps, nL2},
+				{"l1", c.L1Ticks, c.L1Sleeps, nL1},
+			}
+			for _, ch := range checks {
+				want := eng.EventCycles * uint64(ch.size)
+				if got := ch.ticks + ch.sleeps; got != want {
+					t.Errorf("%s: ticks %d + sleeps %d = %d, want EventCycles(%d) * %d = %d",
+						ch.class, ch.ticks, ch.sleeps, got, eng.EventCycles, ch.size, want)
+				}
+			}
+			if c.HierarchySleeps() == 0 {
+				t.Error("no hierarchy component ever slept; per-component dispatch bought nothing on a real workload")
+			}
+
+			off := cfg
+			off.DisableComponentWakes = true
+			s2 := sim.New(off)
+			if _, err := wl.Build(1).RunOn(s2); err != nil {
+				t.Fatalf("full-tick run failed: %v", err)
+			}
+			if c2 := s2.Engine().Comp; c2.HierarchyTicks() != 0 || c2.HierarchySleeps() != 0 {
+				t.Errorf("dispatch counters nonzero with component wakes disabled: %+v", c2)
+			}
+		})
+	}
+}

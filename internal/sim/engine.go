@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"github.com/gtsc-sim/gtsc/internal/gpu"
+	"github.com/gtsc-sim/gtsc/internal/memsys"
 )
 
 // EngineStats counts what the cycle ENGINE did, as opposed to what the
@@ -49,6 +50,15 @@ type EngineStats struct {
 	// SMWakes counts sleep -> awake transitions (including the forced
 	// flushes at phase boundaries and pause points).
 	SMWakes uint64
+
+	// Comp breaks the hierarchy side of executed event cycles down per
+	// component class under per-component wake dispatch: for the NoC,
+	// DRAM partitions, L2 banks, and L1s, how many per-cycle Ticks were
+	// dispatched vs slept through (the hierarchy analogue of
+	// SMTicks/SMSleepCycles). All zero when the dispatch mode is off
+	// (legacy engine, DisableComponentWakes, fault injection) — the
+	// hierarchy is then ticked wholesale and only EventCycles counts it.
+	Comp memsys.DispatchStats
 }
 
 // Dispatches is the total number of event dispatches the event engine

@@ -13,18 +13,25 @@
 //     while the rest of the machine executes, and its provably
 //     identical stall cycles are bulk-applied on wake-up
 //     (gpu.SkipCycles). The legacy loop could only skip an SM's stall
-//     cycles when every other component was idle too.
+//     cycles when every other component was idle too;
+//   - hierarchy components sleep individually too: on each executed
+//     cycle, memsys.TickDue dispatches Tick only to the L1s, L2 banks,
+//     NoC, and DRAM partitions whose agenda wake is due, instead of
+//     ticking the machine wholesale (Config.DisableComponentWakes
+//     restores the wholesale behaviour for comparison).
 //
 // Bit-identity argument (DESIGN.md §7 carries the full version): the
-// engine executes exactly the cycles the legacy loop executes, ticks
-// the hierarchy identically on each of them, and ticks every SM either
-// really (awake) or as a bulk-applied pure stall whose per-cycle
-// effects the Quiesce probe proved constant. All sampling boundaries
-// (watchdog, ctx poll, checkpoint pauses, the (now|63)+1 cap) are
-// preserved, so every check fires at the same cycle with the same
-// state, and no lazily-slept state ever crosses a pause point: every
-// exit path flushes sleeping SMs first, which keeps checkpoints
-// engine-agnostic.
+// engine executes exactly the cycles the legacy loop executes; on each
+// of them it ticks the due hierarchy components in the wholesale
+// tick's canonical order while the skipped ones were provably no-ops
+// (quiescent controller, pre-deadline DRAM, pre-wake NoC — the
+// contracts in memsys/wakes.go); and it ticks every SM either really
+// (awake) or as a bulk-applied pure stall whose per-cycle effects the
+// Quiesce probe proved constant. All sampling boundaries (watchdog,
+// ctx poll, checkpoint pauses, the (now|63)+1 cap) are preserved, so
+// every check fires at the same cycle with the same state, and no
+// lazily-slept state ever crosses a pause point: every exit path
+// flushes sleeping SMs first, which keeps checkpoints engine-agnostic.
 package sim
 
 import (
@@ -46,6 +53,12 @@ type eventState struct {
 	clocks []uint64         // last cycle each SM's stats actually cover
 	act    []uint64         // scratch: ActiveCycles before this cycle's tick
 	due    []int            // scratch: awake SM indices this cycle
+
+	// compWakes mirrors Config.DisableComponentWakes for the running
+	// phase: true means executed cycles dispatch the hierarchy through
+	// TickDue/RefreshDue (per-component sleep) instead of the wholesale
+	// Tick/RefreshWakes pair.
+	compWakes bool
 }
 
 // useEventEngine reports whether the next phase runs on the
@@ -138,13 +151,20 @@ func (s *Simulator) runPhaseEvent(ctx context.Context, stopAt uint64) (bool, err
 	// through s.now, wakes re-registered from live component state.
 	// This also erases any slot state a previous phase (or the other
 	// engine) left behind, which is what makes engines freely mixable
-	// across pause/resume.
+	// across pause/resume. The full RefreshWakes scan (not the
+	// incremental RefreshDue) is required here: between-phase work —
+	// the kernel-boundary L1 flush, a checkpoint restore, cycles run on
+	// the other engine — mutates components outside any dispatch.
 	s.flushSMs()
+	ev.compWakes = !s.Cfg.DisableComponentWakes
+	s.Sys.SetComponentWakes(ev.compWakes)
 	for i := range s.SMs {
 		ev.clocks[i] = s.now
 		s.Sys.Wakes.Schedule(ev.smBase+i, sched.Hot)
 	}
 	s.Sys.RefreshWakes(s.now)
+	pl := s.newPhaseLabels()
+	defer pl.clear()
 
 	for {
 		if stopAt != 0 && s.now >= stopAt {
@@ -159,11 +179,23 @@ func (s *Simulator) runPhaseEvent(ctx context.Context, stopAt uint64) (bool, err
 			s.flushSMs()
 			return false, s.deadlock(st.kernel.Name, "run", "max-cycles", s.now-st.lastProgress)
 		}
+		pl.set(pl.agenda)
 		if !s.trySkipEvent(st.start+s.Cfg.MaxCycles, stopAt, true) {
 			s.now++
-			s.Sys.Tick(s.now)
+			pl.set(pl.hierarchy)
+			if ev.compWakes {
+				s.Sys.TickDue(s.now, &s.eng.Comp)
+			} else {
+				s.Sys.Tick(s.now)
+			}
+			pl.set(pl.smTick)
 			s.tickSMsEvent(pool, par)
-			s.Sys.RefreshWakes(s.now)
+			pl.set(pl.agenda)
+			if ev.compWakes {
+				s.Sys.RefreshDue(s.now, ev.due)
+			} else {
+				s.Sys.RefreshWakes(s.now)
+			}
 			s.eng.RunCycles++
 			s.eng.EventCycles++
 		}
@@ -192,7 +224,10 @@ func (s *Simulator) runPhaseEvent(ctx context.Context, stopAt uint64) (bool, err
 // non-quiescent controller) — identical to the legacy condition "some
 // component would do work next cycle" — so a jump here proves the
 // machine fully inert for the window, and the single Sys.Tick(j)
-// resync is a no-op exactly as in trySkipRun. Sleeping SMs' stall
+// resync is a no-op exactly as in trySkipRun. Under per-component
+// wakes even that wholesale no-op tick is elided: every slot's wake
+// lies beyond j, so the only state a Tick(j) would touch is the NoC's
+// local clock, which SyncClocks advances directly. Sleeping SMs' stall
 // stats stay deferred: the skipped window lies inside their sleep.
 func (s *Simulator) trySkipEvent(budgetCap, stopAt uint64, run bool) bool {
 	horizon := s.Sys.Wakes.Horizon(s.now)
@@ -208,7 +243,11 @@ func (s *Simulator) trySkipEvent(budgetCap, stopAt uint64, run bool) bool {
 	}
 	k := j - s.now
 	s.now = j
-	s.Sys.Tick(j)
+	if s.ev.compWakes {
+		s.Sys.SyncClocks(j)
+	} else {
+		s.Sys.Tick(j)
+	}
 	if run {
 		s.eng.RunSkipped += k
 	} else {
@@ -292,10 +331,14 @@ func (s *Simulator) drainPhaseEvent(ctx context.Context, stopAt uint64) (bool, e
 	st := s.cur
 	ev := s.ensureEventState()
 	s.flushSMs()
+	ev.compWakes = !s.Cfg.DisableComponentWakes
+	s.Sys.SetComponentWakes(ev.compWakes)
 	for i := range s.SMs {
 		s.Sys.Wakes.Schedule(ev.smBase+i, sched.Never)
 	}
 	s.Sys.RefreshWakes(s.now)
+	pl := s.newPhaseLabels()
+	defer pl.clear()
 	for ; !s.Sys.Drained(); st.guard++ {
 		if stopAt != 0 && s.now >= stopAt {
 			return true, nil
@@ -306,10 +349,21 @@ func (s *Simulator) drainPhaseEvent(ctx context.Context, stopAt uint64) (bool, e
 		if s.budgetExhausted(st.guard) {
 			return false, s.deadlock(st.kernel.Name, "drain", "max-cycles", s.now-st.lastProgress)
 		}
+		pl.set(pl.agenda)
 		if !s.trySkipEvent(s.now+(s.Cfg.MaxCycles-st.guard), stopAt, false) {
 			s.now++
-			s.Sys.Tick(s.now)
-			s.Sys.RefreshWakes(s.now)
+			pl.set(pl.hierarchy)
+			if ev.compWakes {
+				s.Sys.TickDue(s.now, &s.eng.Comp)
+			} else {
+				s.Sys.Tick(s.now)
+			}
+			pl.set(pl.agenda)
+			if ev.compWakes {
+				s.Sys.RefreshDue(s.now, nil)
+			} else {
+				s.Sys.RefreshWakes(s.now)
+			}
 			s.eng.DrainCycles++
 			s.eng.EventCycles++
 		}

@@ -117,11 +117,12 @@ var goldenRows = []goldenRow{
 }
 
 // goldenConfig builds the benchmark machine for one golden row. The
-// GTSC_ENGINE and GTSC_SIMWORKERS environment variables override the
-// engine scheduling knobs so CI can re-run the whole golden suite on
-// every (engine, worker-count) matrix leg without duplicating the
-// table; fingerprints are engine-independent by contract, so every leg
-// asserts against the same hashes.
+// GTSC_ENGINE, GTSC_SIMWORKERS and GTSC_COMPONENT_WAKES environment
+// variables override the engine scheduling knobs so CI can re-run the
+// whole golden suite on every (engine, worker-count, dispatch-mode)
+// matrix leg without duplicating the table; fingerprints are
+// engine-independent by contract, so every leg asserts against the
+// same hashes.
 func goldenConfig(label string) (sim.Config, bool) {
 	cfg := sim.DefaultConfig()
 	cfg.Mem.NumSMs = 4
@@ -139,6 +140,14 @@ func goldenConfig(label string) (sim.Config, bool) {
 			panic(fmt.Sprintf("GTSC_SIMWORKERS: %v", err))
 		}
 		cfg.SimWorkers = w
+	}
+	switch v := os.Getenv("GTSC_COMPONENT_WAKES"); v {
+	case "", "on", "1":
+		// default: per-component dispatch stays enabled
+	case "off", "0":
+		cfg.DisableComponentWakes = true
+	default:
+		panic(fmt.Sprintf("GTSC_COMPONENT_WAKES: want on/1/off/0, got %q", v))
 	}
 	switch label {
 	case "gtsc-rc":

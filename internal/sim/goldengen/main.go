@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 
 	"github.com/gtsc-sim/gtsc/internal/dram"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
@@ -45,6 +46,16 @@ func main() {
 			}
 			if c.bank {
 				cfg.Mem.DRAM = dram.DefaultBankedConfig()
+			}
+			// Same override the golden tests honor: CI's drift check
+			// regenerates the table under both dispatch modes, and the
+			// output must be identical either way.
+			switch v := os.Getenv("GTSC_COMPONENT_WAKES"); v {
+			case "", "on", "1":
+			case "off", "0":
+				cfg.DisableComponentWakes = true
+			default:
+				panic(fmt.Sprintf("GTSC_COMPONENT_WAKES: want on/1/off/0, got %q", v))
 			}
 			run, err := wl.Build(1).Run(cfg)
 			if err != nil {

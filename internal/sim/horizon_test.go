@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"testing"
 
+	"github.com/gtsc-sim/gtsc/internal/coherence"
 	"github.com/gtsc-sim/gtsc/internal/fault"
 	"github.com/gtsc-sim/gtsc/internal/gpu"
 	"github.com/gtsc-sim/gtsc/internal/memsys"
@@ -131,6 +132,140 @@ func TestHorizonClaimsSound(t *testing.T) {
 	}
 }
 
+// TestComponentWakeClaimsSound is the per-component refinement of
+// TestHorizonClaimsSound: the property behind TickDue's dispatch
+// decisions. The wholesale horizon test proves the MACHINE-wide claim;
+// this one probes each component's LOCAL claim — the exact contract the
+// per-component dispatcher sleeps on:
+//
+//   - an L1/L2 reporting Quiescent() promises Tick at any future cycle
+//     is a pure no-op until new input arrives;
+//   - the NoC's NextWork(now) promises Tick on any earlier cycle only
+//     advances its clock;
+//   - a DRAM partition's NextEvent(now) promises the same with no clock
+//     at all.
+//
+// Stepping a simulation one executed cycle at a time (legacy loop,
+// skipping disabled), every component currently claiming quiet is
+// given an EXTRA Tick one cycle in the future, its clock is restored
+// with SyncClock/Sync, and its canonical state digest must be
+// bit-identical — so each probe is also provably invisible to the
+// ongoing run, and the run doubles as millions of adversarial inputs.
+// An overclaiming component fails here with its name and cycle rather
+// than as a fingerprint mismatch 80 tests later.
+func TestComponentWakeClaimsSound(t *testing.T) {
+	cases := []struct {
+		name   string
+		proto  memsys.Protocol
+		kernel *gpu.Kernel
+	}{
+		{"gtsc-conflict", memsys.GTSC, conflictKernel(0x60000, 4, 8)},
+		{"gtsc-writeread", memsys.GTSC, writeReadKernel(0x50000)},
+		{"dir-conflict", memsys.DIR, conflictKernel(0x61000, 4, 8)},
+		{"tc-writeread", memsys.TC, writeReadKernel(0x52000)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smallConfig(tc.proto, gpu.RC)
+			cfg.DisableCycleSkip = true
+			cfg.Engine = EngineLegacy
+			s := New(cfg)
+			ctx := context.Background()
+
+			// Component clocks advance on the probe tick by design;
+			// SyncClock restores them, and the comparison strips them
+			// anyway (clocks are schedule, not state).
+			clocks := regexp.MustCompile(` now=\d+`)
+			digest := func(d coherence.StateDigester) uint64 {
+				var buf bytes.Buffer
+				d.DigestState(&buf)
+				h := fnv.New64a()
+				h.Write(clocks.ReplaceAll(buf.Bytes(), nil))
+				return h.Sum64()
+			}
+
+			covered := map[string]int{}
+			step := func(first bool) bool {
+				var paused bool
+				var err error
+				if first {
+					_, paused, err = s.RunUntil(ctx, tc.kernel, s.now+1)
+				} else {
+					_, paused, err = s.Resume(ctx, s.now+1)
+				}
+				if err != nil {
+					t.Fatalf("step to cycle %d: %v", s.now+1, err)
+				}
+				return paused
+			}
+			for i := 0; ; i++ {
+				if i > 100_000 {
+					t.Fatal("step budget exhausted")
+				}
+				if !step(i == 0) {
+					break // kernel completed
+				}
+				// Every component ticked at s.now; probe one cycle ahead.
+				probe := s.now + 1
+				sys := s.Sys
+				for j, l1 := range sys.L1s {
+					if !l1.Quiescent() {
+						continue
+					}
+					d := l1.(coherence.StateDigester)
+					before := digest(d)
+					l1.Tick(probe)
+					l1.SyncClock(s.now)
+					if digest(d) != before {
+						t.Fatalf("l1[%d] claimed Quiescent at cycle %d but Tick(%d) changed state", j, s.now, probe)
+					}
+					covered["l1"]++
+				}
+				for j, l2 := range sys.L2s {
+					if !l2.Quiescent() {
+						continue
+					}
+					d := l2.(coherence.StateDigester)
+					before := digest(d)
+					l2.Tick(probe)
+					l2.SyncClock(s.now)
+					if digest(d) != before {
+						t.Fatalf("l2[%d] claimed Quiescent at cycle %d but Tick(%d) changed state", j, s.now, probe)
+					}
+					covered["l2"]++
+				}
+				if sys.Net.NextWork(s.now) > probe {
+					before := digest(sys.Net)
+					sys.Net.Tick(probe)
+					sys.Net.Sync(s.now)
+					if digest(sys.Net) != before {
+						t.Fatalf("noc claimed NextWork beyond %d at cycle %d but Tick(%d) changed state", probe, s.now, probe)
+					}
+					covered["noc"]++
+				}
+				for j, p := range sys.Parts {
+					if p.NextEvent(s.now) <= probe {
+						continue
+					}
+					before := digest(p)
+					p.Tick(probe)
+					if digest(p) != before {
+						t.Fatalf("dram[%d] claimed NextEvent beyond %d at cycle %d but Tick(%d) changed state", j, probe, s.now, probe)
+					}
+					covered["dram"]++
+				}
+			}
+			for _, class := range []string{"l1", "l2", "noc", "dram"} {
+				if covered[class] == 0 {
+					t.Errorf("component class %q never claimed a quiet cycle; its half of the property test is vacuous", class)
+				}
+			}
+		})
+	}
+}
+
 // TestChaosNeverTrustsHorizons pins the soundness story under fault
 // injection: delay shims hold messages on release schedules the
 // next-event query does not model, so under an active injector the
@@ -167,6 +302,9 @@ func TestChaosNeverTrustsHorizons(t *testing.T) {
 			}
 			if skipped := s.eng.SkippedCycles(); skipped != 0 {
 				t.Errorf("engine skipped %d cycles under fault injection", skipped)
+			}
+			if ticks, sleeps := s.eng.Comp.HierarchyTicks(), s.eng.Comp.HierarchySleeps(); ticks != 0 || sleeps != 0 {
+				t.Errorf("per-component dispatch ran under fault injection (%d ticks, %d sleeps); perturbed runs must tick the hierarchy wholesale", ticks, sleeps)
 			}
 
 			refCfg := newCfg()

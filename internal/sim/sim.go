@@ -81,6 +81,25 @@ type Config struct {
 	// either engine, and a checkpoint taken under one resumes under the
 	// other (TestEngineCheckpointInterop pins both directions).
 	Engine EngineMode
+
+	// DisableComponentWakes keeps the event engine but ticks the whole
+	// memory hierarchy on every executed cycle instead of dispatching
+	// per-component wakes (quiet cache banks, NoC, and DRAM partitions
+	// sleeping through busy cycles). Another pure scheduling knob —
+	// results are bit-identical either way (the CI GTSC_COMPONENT_WAKES
+	// matrix leg and TestComponentWakesGoldenEquivalence pin it) —
+	// exposed for the engine benchmarks' back-to-back comparison and
+	// for bisecting a suspected dispatch bug.
+	DisableComponentWakes bool
+
+	// ProfileLabels annotates the engine's hot phases with pprof
+	// goroutine labels (engine_phase = sm-tick / hierarchy-tick /
+	// agenda) so CPU profiles attribute time per phase without manual
+	// bisection. Off by default: the labels cost a goroutine-label
+	// store per phase transition on the hot loop. gtscsim switches it
+	// on together with -cpuprofile. Scheduling-only: labels never feed
+	// back into the simulation.
+	ProfileLabels bool
 }
 
 // EngineMode selects how the cycle loop advances time.
@@ -358,6 +377,10 @@ func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 	if s.useEventEngine() {
 		return s.runPhaseEvent(ctx, stopAt)
 	}
+	// The legacy loop never calls TickDue, so the ingress hooks must be
+	// inert: with nothing draining the agenda heap, their registrations
+	// would accumulate unread.
+	s.Sys.SetComponentWakes(false)
 	st := s.cur
 	workers := s.effectiveWorkers()
 	par := workers > 1 && s.Cfg.Observer == nil && s.Sys.ParallelSafe()
@@ -474,6 +497,7 @@ func (s *Simulator) drainPhase(ctx context.Context, stopAt uint64) (bool, error)
 	if s.useEventEngine() {
 		return s.drainPhaseEvent(ctx, stopAt)
 	}
+	s.Sys.SetComponentWakes(false)
 	st := s.cur
 	skipOK := !s.Cfg.DisableCycleSkip && s.Sys.SkipSafe()
 	for ; !s.Sys.Drained(); st.guard++ {

@@ -331,6 +331,14 @@ func (l *L1) post(msg *mem.Msg) {
 	l.outQ = append(l.outQ, msg)
 }
 
+// SyncClock implements coherence.L1. For TC the local clock is
+// semantically load-bearing outside Tick: accessLoad compares it
+// against line lease expiries on every SM access, and the fill path
+// detects leases that died in flight with msg.RTS <= l.now — so a
+// controller skipped by the per-component dispatcher must still see
+// its clock advance or stale leases read as live.
+func (l *L1) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L1.
 func (l *L1) Tick(now uint64) {
 	l.now = now

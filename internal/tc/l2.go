@@ -313,6 +313,11 @@ func (l *L2) performWrite(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	l.postNoC(ack)
 }
 
+// SyncClock implements coherence.L2. The bank clock gates lease-expiry
+// eviction eligibility and write-unblocking, and stamps granted leases,
+// so it must track the machine clock across skipped ticks.
+func (l *L2) SyncClock(now uint64) { l.now = now }
+
 // Tick implements coherence.L2.
 func (l *L2) Tick(now uint64) {
 	l.now = now
