@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sim vet fmt cover evaluate examples clean check smoke
+.PHONY: all build test bench bench-sim vet fmt cover evaluate examples clean check smoke modelcheck
 
 all: build test
 
@@ -11,6 +11,12 @@ all: build test
 check: vet
 	$(GO) test -race ./...
 	$(GO) test -run 'TestLitmusUnderFaults|TestWorkloadsUnderFaults' ./internal/sim ./internal/harness
+
+# Exhaustive small-state model check: enumerate every interleaving of
+# the 2-SM micro machine for all four protocols (G-TSC through §V-D
+# rollover), plus the mutation tests that prove the checker has teeth.
+modelcheck:
+	$(GO) test -v -run 'TestExhaustive|TestMutation' ./internal/model
 
 # Kill-and-resume smoke: interrupt real binaries with real signals,
 # resume from checkpoint/journal, and diff against uninterrupted runs.

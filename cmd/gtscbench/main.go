@@ -75,6 +75,7 @@ func realMain() int {
 		sms      = flag.Int("sms", 16, "number of SMs")
 		banks    = flag.Int("banks", 8, "number of L2 banks")
 		lease    = flag.Uint64("gtsc-lease", 10, "G-TSC logical lease")
+		tsbits   = flag.Int("tsbits", 0, "G-TSC timestamp width in bits (0 = protocol default 16; narrow widths make the §V-D overflow reset routine)")
 		tcl      = flag.Uint64("tc-lease", 400, "TC lease in cycles")
 		jobs     = flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any -j")
 		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); goroutine budget is j*simworkers, clamped so it stays <= 2*GOMAXPROCS; results are bit-identical at any setting")
@@ -94,6 +95,7 @@ func realMain() int {
 	cfg.NumSMs = *sms
 	cfg.NumBanks = *banks
 	cfg.GTSCLease = *lease
+	cfg.GTSCTSBits = *tsbits
 	cfg.TCLease = *tcl
 	cfg.Workers = *jobs
 	cfg.SimWorkers = clampSimWorkers(*jobs, *simw)

@@ -150,6 +150,64 @@ func TestRecorder(t *testing.T) {
 	}
 }
 
+// TestTimestampOrderAcrossRollover pins the §V-D rollover contract
+// between the simulator and this checker: Op.TS is the UNROLLED
+// timestamp, epoch*(tsMax+1)+ts, so a mid-log overflow reset appears
+// as a jump to the next epoch's range, never as a wrap back to small
+// values. An MP (message-passing) litmus log whose raw 8-bit
+// timestamps wrap mid-history must verify when unrolled — and the
+// same history logged with raw (un-unrolled) timestamps must fail,
+// which is what makes the checker a real rollover oracle.
+func TestTimestampOrderAcrossRollover(t *testing.T) {
+	const span = uint64(256) // tsMax+1 at TSBits=8
+	// Epoch 0: data and flag stored near the top of the 8-bit range;
+	// epoch 1 (post-reset): both loads carry unrolled timestamps.
+	good := record(
+		op(false, 1, 0, 0, 250),    // data reads 0 before the store
+		op(true, 1, 0, 7, 254),     // data = 7, raw ts 254
+		op(true, 2, 0, 1, 255),     // flag = 1, raw ts 255 (counter saturated)
+		op(false, 2, 0, 1, span+3), // flag read after reset: epoch 1, raw 3
+		op(false, 1, 0, 7, span+4), // data read: sees the pre-reset store
+	)
+	if v := CheckTimestampOrder(good, 0); len(v) != 0 {
+		t.Fatalf("wrapping litmus log rejected despite unrolled timestamps: %v", v[0].Error())
+	}
+
+	// The same execution logged WITHOUT unrolling: the post-reset data
+	// read's raw timestamp (4) sorts before every epoch-0 operation,
+	// so it claims to be in the logical past yet returns the store's
+	// value — the checker must flag the misordering. (It surfaces as a
+	// violation on the pre-store read: the wrapped load usurps the
+	// initial-value inference.)
+	bad := record(
+		op(false, 1, 0, 0, 250),
+		op(true, 1, 0, 7, 254),
+		op(true, 2, 0, 1, 255),
+		op(false, 2, 0, 1, 3),
+		op(false, 1, 0, 7, 4),
+	)
+	if v := CheckTimestampOrder(bad, 0); len(v) == 0 {
+		t.Fatal("raw wrapped timestamps must be flagged as misordered")
+	}
+}
+
+// TestWarpMonotonicAcrossRollover: unrolled warp timestamps keep
+// increasing across a §V-D reset; raw ones regress and must be caught.
+func TestWarpMonotonicAcrossRollover(t *testing.T) {
+	const span = uint64(256)
+	r := NewRecorder()
+	r.Observe(coherence.Op{SM: 0, Warp: 0, TS: 250})
+	r.Observe(coherence.Op{SM: 0, Warp: 0, TS: 255})
+	r.Observe(coherence.Op{SM: 0, Warp: 0, TS: span + 2}) // post-reset, unrolled
+	if errs := CheckWarpMonotonic(r.Ops()); len(errs) != 0 {
+		t.Fatalf("unrolled post-reset timestamp rejected: %v", errs[0])
+	}
+	r.Observe(coherence.Op{SM: 0, Warp: 0, TS: 2}) // raw post-reset value: regression
+	if errs := CheckWarpMonotonic(r.Ops()); len(errs) != 1 {
+		t.Fatal("raw wrapped warp timestamp must be flagged")
+	}
+}
+
 // TestSerialHistoriesAlwaysPass is a property test: any history
 // generated by executing stores/loads against a reference memory in
 // timestamp order (with unique increasing timestamps) passes the

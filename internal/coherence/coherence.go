@@ -180,3 +180,32 @@ type SenderFunc func(msg *mem.Msg) bool
 
 // TrySend implements Sender.
 func (f SenderFunc) TrySend(msg *mem.Msg) bool { return f(msg) }
+
+// LeaseHolder is implemented by controllers whose lines carry
+// timestamp leases: G-TSC [wts, rts] intervals, or TC [0, expiry]
+// physical-time leases reported as (0, expiry). The model checker
+// walks them at every explored state to check lease containment
+// invariants (wts <= rts at the holder; an L1 lease contained in the
+// backing L2 state).
+type LeaseHolder interface {
+	ForEachLease(fn func(b mem.BlockAddr, wts, rts uint64))
+}
+
+// StateHolder is implemented by controllers with named per-line
+// protocol states (the directory protocol's MESI letters). The model
+// checker walks them to check the single-writer/multiple-reader
+// invariant across private caches.
+type StateHolder interface {
+	ForEachLineState(fn func(b mem.BlockAddr, state string))
+}
+
+// TimeSensitive is implemented by controllers whose behavior can
+// change with the passage of physical time alone (TC lease expiry:
+// L1 hits die, blocked TC-Strong writes unblock). NextTimeEvent
+// reports the earliest cycle after now at which such a change can
+// occur, or ok=false if none is armed. The model checker uses it to
+// advance its logical clock in semantic jumps instead of enumerating
+// empty cycles.
+type TimeSensitive interface {
+	NextTimeEvent(now uint64) (at uint64, ok bool)
+}

@@ -15,8 +15,8 @@ import (
 // architectural field of the record (data, mask, lock accounting) is
 // rendered by value — replay reproduces the callbacks.
 func (l *L1) DigestState(w io.Writer) {
-	fmt.Fprintf(w, "gtsc-l1[%d] now=%d epoch=%d next=%d pend=%d\n",
-		l.smID, l.now, l.epoch, l.nextReqID, l.pending)
+	fmt.Fprintf(w, "gtsc-l1[%d] now=%d epoch=%d next=%d pend=%d out=%d floor=%d\n",
+		l.smID, l.now, l.epoch, l.nextReqID, l.pending, l.reqsOut, l.epochFloor)
 	fmt.Fprintf(w, "warpts %d\n", l.warpTS)
 	l.array.DigestInto(w)
 	l.mshr.DigestInto(w)

@@ -28,8 +28,7 @@
 package core
 
 import (
-	"fmt"
-
+	"github.com/gtsc-sim/gtsc/internal/diag"
 	"github.com/gtsc-sim/gtsc/internal/mem"
 )
 
@@ -66,6 +65,17 @@ type Config struct {
 	// reset fires within the first few accesses of every kernel;
 	// overflow resets themselves always return to initialTS.
 	InitTS uint64
+	// EpochBits is the wire width of the timestamp-epoch tag carried in
+	// every message (default 64 = effectively unbounded). Unlike data
+	// timestamps, the epoch counter is never reset, so a narrow tag
+	// wraps; receivers decode tags against a one-sided bound they each
+	// hold — an L1 against its epoch at the oldest outstanding
+	// request's send, a bank against its own epoch as a ceiling (see
+	// tswrap.go). The decode stays exact while no component sleeps
+	// through 2^EpochBits or more resets between exchanges with the
+	// banks; the exhaustive model checker drives EpochBits=2 through
+	// enough resets to wrap the tag and relies on exactly this window.
+	EpochBits int
 }
 
 // DefaultConfig returns the configuration the paper evaluates.
@@ -78,6 +88,9 @@ func (c *Config) fillDefaults() {
 	if c.TSBits == 0 {
 		c.TSBits = 16
 	}
+	if c.EpochBits == 0 {
+		c.EpochBits = 64
+	}
 	if c.MaxLease == 0 {
 		c.MaxLease = 8 * c.Lease
 	}
@@ -85,16 +98,75 @@ func (c *Config) fillDefaults() {
 		c.MaxLease = c.Lease
 	}
 	// The overflow reset must leave room for at least one full
-	// store+lease computation in the fresh epoch, or resets cannot
-	// make progress (worst post-reset value is 2*leaseCeil + 3).
-	if worst := c.leaseCeil(); 2*worst+3 > c.tsMax() {
-		panic(fmt.Sprintf("gtsc: lease %d too large for %d-bit timestamps", worst, c.TSBits))
+	// store+lease computation in the fresh epoch, or resets cannot make
+	// progress (worst post-reset value is 2*leaseCeil + 3). Validate
+	// reports the misconfiguration as a typed error; callers that skip
+	// it (constructing controllers directly) get the lease clamped to
+	// the largest workable value instead of a wedged machine.
+	if c.TSBits < minTSBits {
+		c.TSBits = minTSBits
+	}
+	if limit := (c.tsMax() - 3) / 2; c.Lease > limit || c.MaxLease > limit {
+		if c.Lease > limit {
+			c.Lease = limit
+		}
+		if c.MaxLease > limit {
+			c.MaxLease = limit
+		}
 	}
 	// A stressed start value must still leave room for one full
 	// store+lease computation before the reset protocol engages.
 	if limit := c.tsMax() - 2*c.leaseCeil() - 3; c.InitTS > limit {
 		c.InitTS = limit
 	}
+}
+
+// minTSBits is the narrowest workable timestamp width: even a lease of
+// 1 needs 2*1+3 = 5 distinct values after a reset, which 3 bits (tsMax
+// 7) is the first width to provide.
+const minTSBits = 3
+
+// Validate reports lease/TSBits combinations the protocol cannot make
+// forward progress under, as a typed *diag.ConfigError (no panics; the
+// simulator surfaces it like any other run failure). The zero fields
+// of an unvalidated config are defaulted first, exactly as the
+// controller constructors default them.
+func (c Config) Validate() error {
+	if c.TSBits < 0 || c.TSBits > 64 {
+		return diag.ConfigErrf("gtsc", "TSBits", "timestamp width %d outside 1..64", c.TSBits)
+	}
+	if c.TSBits != 0 && c.TSBits < minTSBits {
+		return diag.ConfigErrf("gtsc", "TSBits",
+			"timestamp width %d too narrow: the §V-D reset protocol needs at least %d bits", c.TSBits, minTSBits)
+	}
+	if c.EpochBits < 0 || c.EpochBits > 64 {
+		return diag.ConfigErrf("gtsc", "EpochBits", "epoch tag width %d outside 1..64", c.EpochBits)
+	}
+	if c.EpochBits == 1 {
+		// A 1-bit ring tolerates zero lag: one quiet reset anywhere
+		// and the bound-decode window is already exhausted.
+		return diag.ConfigErrf("gtsc", "EpochBits",
+			"epoch tag width 1 cannot order resets; need at least 2 bits")
+	}
+	d := c
+	if d.Lease == 0 {
+		d.Lease = 10
+	}
+	if d.TSBits == 0 {
+		d.TSBits = 16
+	}
+	if d.MaxLease == 0 {
+		d.MaxLease = 8 * d.Lease
+	}
+	if d.MaxLease < d.Lease {
+		d.MaxLease = d.Lease
+	}
+	if worst := d.leaseCeil(); 2*worst+3 > d.tsMax() {
+		return diag.ConfigErrf("gtsc", "Lease/TSBits",
+			"lease %d too large for %d-bit timestamps: a post-reset store+lease reaches %d but tsMax is %d, so the overflow reset cannot make progress",
+			worst, d.TSBits, 2*worst+3, d.tsMax())
+	}
+	return nil
 }
 
 // startTS is the power-on / kernel-boundary timestamp value.

@@ -508,16 +508,20 @@ func TestTimestampOverflowReset(t *testing.T) {
 	}
 }
 
-// TestLeaseTooLargePanics: the config guard rejects leases the reset
-// protocol cannot recover from.
-func TestLeaseTooLargePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for oversized lease")
-		}
-	}()
+// TestLeaseTooLargeRejected: the config guard rejects leases the reset
+// protocol cannot recover from — as a typed error from Validate, not a
+// panic — and fillDefaults clamps the lease so a controller built from
+// the unvalidated config still makes progress.
+func TestLeaseTooLargeRejected(t *testing.T) {
 	cfg := Config{Lease: 60000, TSBits: 16}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected a config error for oversized lease")
+	}
 	cfg.fillDefaults()
+	if limit := (cfg.tsMax() - 3) / 2; cfg.Lease > limit || cfg.MaxLease > limit {
+		t.Fatalf("fillDefaults left lease %d / maxLease %d above workable limit %d",
+			cfg.Lease, cfg.MaxLease, limit)
+	}
 }
 
 // TestWarpTimestampMonotone: a warp's timestamp never regresses within

@@ -84,6 +84,22 @@ type L1 struct {
 	epoch   uint64 // timestamp overflow epoch learned from L2 responses
 	pending int    // outstanding Done callbacks
 	fail    *diag.ProtocolError
+
+	// reqsOut counts posted requests whose response has not yet been
+	// delivered; epochFloor is this L1's epoch when the oldest of them
+	// was sent. No response still owed can be older than that, so the
+	// floor decodes a narrow response epoch tag unambiguously across up
+	// to 2^EpochBits-1 resets (see tswrap.go) — the signed half-ring
+	// compare it replaces livelocked after just two back-to-back
+	// resets at EpochBits=2.
+	reqsOut    int
+	epochFloor uint64
+
+	// MutDropLeaseCheck is a test-only protocol mutation: loads treat
+	// any tag match as a hit, ignoring the lease bound (warp_ts <= rts).
+	// It exists so the model checker's mutation tests can prove the
+	// coherence invariants have teeth; never set it in a real run.
+	MutDropLeaseCheck bool
 }
 
 // L1Geometry describes the cache organization.
@@ -158,6 +174,15 @@ func (l *L1) DumpState() diag.CacheState {
 // WarpTS exposes a warp's current timestamp (tests, trace tooling).
 func (l *L1) WarpTS(warp int) uint64 { return l.warpTS[warp] }
 
+// Epoch exposes the current (full, unwrapped) timestamp epoch.
+func (l *L1) Epoch() uint64 { return l.epoch }
+
+// ForEachLease implements coherence.LeaseHolder: it visits every valid
+// line's [wts, rts] lease, for invariant checking by the model checker.
+func (l *L1) ForEachLease(fn func(b mem.BlockAddr, wts, rts uint64)) {
+	l.array.ForEach(func(c *cache.Line[l1Meta]) { fn(c.Addr, c.Meta.wts, c.Meta.rts) })
+}
+
 // Access implements coherence.L1.
 func (l *L1) Access(req *coherence.Request) coherence.AccessResult {
 	if req.Atomic {
@@ -193,7 +218,7 @@ func (l *L1) accessAtomic(req *coherence.Request) coherence.AccessResult {
 		Atom:   req.Atom,
 		ReqID:  l.nextReqID,
 		Warp:   req.Warp,
-		Epoch:  l.epoch,
+		Epoch:  l.cfg.wireEpoch(l.epoch),
 	}
 	l.post(msg)
 	return coherence.Pending
@@ -236,7 +261,7 @@ func (l *L1) accessLoad(req *coherence.Request) coherence.AccessResult {
 		return coherence.Pending
 	}
 
-	if line != nil && wts <= line.Meta.rts {
+	if line != nil && (wts <= line.Meta.rts || l.MutDropLeaseCheck) {
 		// L1 hit: tag match and warp_ts within the lease (§IV-A-1).
 		l.stats.Hits++
 		l.stats.DataAccesses++
@@ -311,7 +336,7 @@ func (l *L1) sendBusRd(b mem.BlockAddr, line *cache.Line[l1Meta], warpTS uint64)
 		WTS:    wts,
 		WarpTS: warpTS,
 		ReqID:  l.nextReqID,
-		Epoch:  l.epoch,
+		Epoch:  l.cfg.wireEpoch(l.epoch),
 	}
 	l.post(msg)
 }
@@ -367,7 +392,7 @@ func (l *L1) accessStore(req *coherence.Request) coherence.AccessResult {
 		Mask:   req.Mask,
 		ReqID:  ps.reqID,
 		Warp:   req.Warp,
-		Epoch:  l.epoch,
+		Epoch:  l.cfg.wireEpoch(l.epoch),
 	}
 	l.post(msg)
 	return coherence.Pending
@@ -406,21 +431,36 @@ func (l *L1) Deliver(msg *mem.Msg) {
 	if l.fail != nil {
 		return
 	}
-	if msg.Epoch > l.epoch {
+	// Decode the response's epoch tag against the epoch this L1 held
+	// when its oldest outstanding request went out — a sound lower
+	// bound on any owed response's true epoch, which disambiguates a
+	// narrow wire tag across multiple back-to-back resets (tswrap.go).
+	full := l.cfg.epochAtLeast(msg.Epoch, l.epochFloor)
+	if l.reqsOut > 0 {
+		l.reqsOut--
+	}
+	if full > l.epoch {
 		// The L2 reset its timestamps since we sent the request
 		// (§V-D): flush everything and adopt the new epoch before
 		// processing the response.
-		l.timestampReset(msg.Epoch)
+		l.timestampReset(full)
 	}
+	// A response older than the current epoch was computed before a
+	// reset this L1 has already adopted (it was in the NoC when the
+	// reset fired): its timestamps belong to a dead epoch and must not
+	// leak into the new one — installing such a fill's lease would let
+	// warps read the old version long after new-epoch stores
+	// superseded it.
+	stale := full < l.epoch
 	switch msg.Type {
 	case mem.BusFill:
-		l.onFill(msg)
+		l.onFill(msg, stale)
 	case mem.BusRnw:
-		l.onRenew(msg)
+		l.onRenew(msg, stale)
 	case mem.BusWrAck:
-		l.onWriteAck(msg)
+		l.onWriteAck(msg, stale)
 	case mem.BusAtomAck:
-		l.onAtomAck(msg)
+		l.onAtomAck(msg, stale)
 	default:
 		l.failf("unexpected-message", "message %v for block %v from bank %d", msg.Type, msg.Block, msg.Src)
 	}
@@ -434,9 +474,19 @@ func (l *L1) Deliver(msg *mem.Msg) {
 
 // onFill installs new data + lease and completes eligible waiters
 // (Fig 8).
-func (l *L1) onFill(msg *mem.Msg) {
+func (l *L1) onFill(msg *mem.Msg, stale bool) {
 	l.stats.Fills++
 	l.noteResponse(msg.Block)
+	if stale {
+		// The fill's lease belongs to the epoch a reset just retired;
+		// drop it and refetch in the current epoch for whoever still
+		// waits (the retry carries new-epoch tags, so the L2 answers
+		// with a current lease).
+		if e := l.mshr.Lookup(msg.Block); e != nil && len(e.Waiters) > 0 && e.InFlight == 0 {
+			l.sendRead(e, l.array.Lookup(msg.Block), l.maxWaiterTS(e))
+		}
+		return
+	}
 	line := l.array.Lookup(msg.Block)
 	if line == nil {
 		// Allocate; locked lines are not evictable (their pending
@@ -474,16 +524,17 @@ func (l *L1) onFill(msg *mem.Msg) {
 }
 
 // onRenew extends the lease of data the L1 already holds (Fig 7a).
-func (l *L1) onRenew(msg *mem.Msg) {
+func (l *L1) onRenew(msg *mem.Msg, stale bool) {
 	l.stats.RenewalHits++
 	l.noteResponse(msg.Block)
 	line := l.array.Lookup(msg.Block)
-	if line == nil {
+	if stale || line == nil {
 		// The line was evicted or flushed while the renewal was in
-		// flight; the dataless response cannot complete the waiters.
-		// Refetch on their behalf.
+		// flight — or the renewal's rts belongs to a dead epoch — so the
+		// dataless response cannot complete the waiters. Refetch on
+		// their behalf.
 		if e := l.mshr.Lookup(msg.Block); e != nil && len(e.Waiters) > 0 && e.InFlight == 0 {
-			l.sendRead(e, nil, l.maxWaiterTS(e))
+			l.sendRead(e, line, l.maxWaiterTS(e))
 		}
 		return
 	}
@@ -496,7 +547,7 @@ func (l *L1) onRenew(msg *mem.Msg) {
 
 // onWriteAck finishes a store: adopt the assigned timestamps, unlock
 // the line, and wake parked readers (Fig 7b).
-func (l *L1) onWriteAck(msg *mem.Msg) {
+func (l *L1) onWriteAck(msg *mem.Msg, stale bool) {
 	l.stats.WriteAcks++
 	ps, ok := l.storesByID[msg.ReqID]
 	if !ok {
@@ -506,8 +557,12 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 	delete(l.storesByID, msg.ReqID)
 	l.removeBlockStore(ps)
 
-	// The writing warp's timestamp jumps to the store's wts (§IV-D).
-	if msg.WTS > l.warpTS[ps.warp] {
+	// The writing warp's timestamp jumps to the store's wts (§IV-D) —
+	// unless the ack's timestamps belong to a dead epoch: then the
+	// store is ordered before everything in the current epoch, which
+	// the post-reset warp_ts already is. (A stale ack also implies the
+	// reset flush cleared ps.lineHit, so no line update runs below.)
+	if !stale && msg.WTS > l.warpTS[ps.warp] {
 		l.warpTS[ps.warp] = msg.WTS
 		l.stats.TSUpdates++
 	}
@@ -554,14 +609,14 @@ func (l *L1) onWriteAck(msg *mem.Msg) {
 
 // onAtomAck completes an atomic: the warp's timestamp jumps to the
 // operation's wts and the pre-update values return to the lanes.
-func (l *L1) onAtomAck(msg *mem.Msg) {
+func (l *L1) onAtomAck(msg *mem.Msg, stale bool) {
 	req, ok := l.atomicsByID[msg.ReqID]
 	if !ok {
 		l.failf("unknown-atomic-ack", "atomic ack req=%d block=%v has no pending request", msg.ReqID, msg.Block)
 		return
 	}
 	delete(l.atomicsByID, msg.ReqID)
-	if msg.WTS > l.warpTS[req.Warp] {
+	if !stale && msg.WTS > l.warpTS[req.Warp] {
 		l.warpTS[req.Warp] = msg.WTS
 		l.stats.TSUpdates++
 	}
@@ -697,6 +752,10 @@ func (l *L1) Flush() {
 
 // post sends a message, queueing it when the NoC port is full.
 func (l *L1) post(msg *mem.Msg) {
+	if l.reqsOut == 0 {
+		l.epochFloor = l.epoch
+	}
+	l.reqsOut++
 	if l.outQ.Empty() && l.send.TrySend(msg) {
 		return
 	}

@@ -141,6 +141,15 @@ func (l *L2) Drained() bool {
 // MemTS exposes the bank's memory timestamp (tests, trace tooling).
 func (l *L2) MemTS() uint64 { return l.memTS }
 
+// Epoch exposes the bank's current (full, unwrapped) timestamp epoch.
+func (l *L2) Epoch() uint64 { return l.epoch }
+
+// ForEachLease implements coherence.LeaseHolder: it visits every valid
+// line's [wts, rts] lease, for invariant checking by the model checker.
+func (l *L2) ForEachLease(fn func(b mem.BlockAddr, wts, rts uint64)) {
+	l.array.ForEach(func(c *cache.Line[l2Meta]) { fn(c.Addr, c.Meta.wts, c.Meta.rts) })
+}
+
 // RenewalDistances returns the histogram of rts extension distances —
 // how far each read pushed a block's lease forward. Large values mean
 // the reader's warp_ts had advanced far past the block (store-heavy
@@ -311,20 +320,35 @@ func (l *L2) processAtomic(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	*ack = mem.Msg{
 		Type: mem.BusAtomAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
 		WTS: wts, RTS: rts, Data: old, Mask: msg.Mask,
-		ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.epoch,
-		Reset: msg.Epoch < l.epoch,
+		ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.cfg.wireEpoch(l.epoch),
+		Reset: l.staleReq(msg),
 	}
 	l.postNoC(ack)
 }
 
 // reqWarpTS interprets the request's warp timestamp, discarding
 // timestamps from a previous epoch (the requester will be told to
-// reset via the response's Epoch/Reset fields).
+// reset via the response's Epoch/Reset fields). Epoch tags are
+// decoded against the bank's own epoch as a ceiling so a narrow wire
+// tag survives counter wraparound (see tswrap.go).
 func (l *L2) reqWarpTS(msg *mem.Msg) uint64 {
-	if msg.Epoch < l.epoch {
+	if l.staleReq(msg) {
 		return initialTS
 	}
 	return msg.WarpTS
+}
+
+// staleReq reports whether the request was sent before the bank's
+// current epoch began (its timestamps belong to a dead epoch). A
+// requester can never be ahead of a bank — L1s learn epochs only from
+// bank responses and all banks reset together — so the bank's own
+// epoch is a ceiling for the decode and any non-current tag is stale,
+// no matter how many resets the requester slept through (exact while
+// the requester lags fewer than 2^EpochBits resets; the signed
+// half-ring compare this replaces misread a lag of 2^(EpochBits-1) or
+// more as "requester ahead").
+func (l *L2) staleReq(msg *mem.Msg) bool {
+	return l.cfg.epochAtMost(msg.Epoch, l.epoch) < l.epoch
 }
 
 // processRead implements Fig 4: renewal when the requester's version
@@ -333,7 +357,7 @@ func (l *L2) processRead(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	// A same-version re-request means the fixed lease ran out while
 	// the data stayed current: under the adaptive policy the block
 	// earns a longer lease (Tardis-2.0-style prediction).
-	if l.cfg.AdaptiveLease && msg.Epoch == l.epoch && msg.WTS == line.Meta.wts && line.Meta.lease < l.cfg.MaxLease {
+	if l.cfg.AdaptiveLease && !l.staleReq(msg) && msg.WTS == line.Meta.wts && line.Meta.lease < l.cfg.MaxLease {
 		line.Meta.lease *= 2
 		if line.Meta.lease > l.cfg.MaxLease {
 			line.Meta.lease = l.cfg.MaxLease
@@ -352,14 +376,14 @@ func (l *L2) processRead(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	line.Meta.rts = newRTS
 	l.array.Touch(line, l.now)
 
-	stale := msg.Epoch < l.epoch
+	stale := l.staleReq(msg)
 	if !stale && msg.WTS == line.Meta.wts {
 		// Same version at the requester: renew the lease without data.
 		l.stats.RenewalsSent++
 		rnw := l.pool.Msg()
 		*rnw = mem.Msg{
 			Type: mem.BusRnw, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
-			RTS: newRTS, ReqID: msg.ReqID, Epoch: l.epoch,
+			RTS: newRTS, ReqID: msg.ReqID, Epoch: l.cfg.wireEpoch(l.epoch),
 		}
 		l.postNoC(rnw)
 		return
@@ -372,7 +396,7 @@ func (l *L2) processRead(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	*fill = mem.Msg{
 		Type: mem.BusFill, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
 		WTS: line.Meta.wts, RTS: newRTS, Data: data, ReqID: msg.ReqID,
-		Epoch: l.epoch, Reset: stale,
+		Epoch: l.cfg.wireEpoch(l.epoch), Reset: stale,
 	}
 	l.postNoC(fill)
 }
@@ -416,10 +440,10 @@ func (l *L2) processWrite(msg *mem.Msg, line *cache.Line[l2Meta]) {
 	ack := l.pool.Msg()
 	*ack = mem.Msg{
 		Type: mem.BusWrAck, Block: msg.Block, Src: l.bankID, Dst: msg.Src,
-		WTS: wts, RTS: rts, ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.epoch,
-		Reset: msg.Epoch < l.epoch,
+		WTS: wts, RTS: rts, ReqID: msg.ReqID, Warp: msg.Warp, Epoch: l.cfg.wireEpoch(l.epoch),
+		Reset: l.staleReq(msg),
 	}
-	if msg.WTS != mem.NoWTS && (msg.WTS != prevWTS || msg.Epoch < l.epoch) {
+	if msg.WTS != mem.NoWTS && (msg.WTS != prevWTS || l.staleReq(msg)) {
 		// The writer's cached base version was stale: return the
 		// authoritative merged block so its L1 copy is coherent.
 		data := l.pool.Block()
@@ -453,7 +477,7 @@ func (l *L2) ensureRoom(worst uint64) {
 		l.failf("timestamp-overflow", "timestamp overflow (%d > %d) with no reset controller", worst, l.cfg.tsMax())
 		return
 	}
-	l.resets.trigger()
+	l.resets.trigger(l)
 }
 
 // checked asserts a computed timestamp fits the width; ensureRoom must
@@ -570,6 +594,13 @@ type ResetController struct {
 	banks []*L2
 	epoch uint64
 	count uint64
+
+	// MutSkipBroadcast is a test-only protocol mutation: a triggered
+	// reset is applied only to the overflowing bank instead of being
+	// broadcast chip-wide, leaving the other banks in the old epoch.
+	// It exists so the model checker's mutation tests can prove the
+	// epoch-agreement invariant has teeth; never set it in a real run.
+	MutSkipBroadcast bool
 }
 
 // NewResetController returns an empty controller; banks join via
@@ -582,13 +613,22 @@ func (rc *ResetController) Resets() uint64 { return rc.count }
 // Epoch reports the current timestamp epoch.
 func (rc *ResetController) Epoch() uint64 { return rc.epoch }
 
-func (rc *ResetController) trigger() {
+func (rc *ResetController) trigger(origin *L2) {
 	rc.epoch++
 	rc.count++
 	for _, b := range rc.banks {
+		if rc.MutSkipBroadcast && origin != nil && b != origin {
+			continue
+		}
 		b.reset(rc.epoch)
 	}
 }
+
+// ForceReset triggers a chip-wide overflow reset out of band — the
+// fault package's rollover plan uses it to exercise the §V-D protocol
+// mid-run instead of only near a natural wraparound. It is exactly the
+// reset an overflowing bank would trigger, minus the overflow.
+func (rc *ResetController) ForceReset() { rc.trigger(nil) }
 
 // Peek implements coherence.L2 (verification hook).
 func (l *L2) Peek(b mem.BlockAddr) (*mem.Block, bool) {

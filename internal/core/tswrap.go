@@ -1,0 +1,105 @@
+// Wraparound-safe comparison of width-limited counters.
+//
+// The §V-D overflow protocol guarantees that *data* timestamps (wts,
+// rts, warp_ts, mem_ts) never wrap inside an epoch: ensureRoom fires
+// the chip-wide reset before any computation could exceed tsMax, so
+// in-epoch compares are plain integer compares. The one counter that
+// DOES wrap is the epoch tag itself: it increments on every reset for
+// the lifetime of the machine, and on a real chip it travels in a
+// narrow message field. This file makes that tag safe to narrow, the
+// way Cicada's CompactTimestamp makes its counters safe: compare by
+// signed difference in the ring, valid while the true distance stays
+// under half the ring (2^(bits-1)).
+package core
+
+// tsLess reports a < b for counters confined to `bits` low-order bits,
+// by signed difference: the comparison is exact as long as the true
+// distance |a-b| is below 2^(bits-1), even when the counter has
+// wrapped between the two observations. bits <= 0 or >= 64 selects the
+// full-width (plain) comparison.
+func tsLess(a, b uint64, bits int) bool {
+	if bits <= 0 || bits >= 64 {
+		return int64(a-b) < 0
+	}
+	return int64((a-b)<<uint(64-bits)) < 0
+}
+
+// tsBefore reports a <= b under the same signed-difference order.
+func tsBefore(a, b uint64, bits int) bool {
+	return a == b || tsLess(a, b, bits)
+}
+
+// sdelta returns the signed ring distance from b to a (positive when a
+// is ahead), sign-extended from `bits`. Exact while |a-b| < 2^(bits-1).
+func sdelta(a, b uint64, bits int) int64 {
+	if bits <= 0 || bits >= 64 {
+		return int64(a - b)
+	}
+	shift := uint(64 - bits)
+	return int64((a-b)<<shift) >> shift
+}
+
+// epochMask returns the wire mask of the epoch tag.
+func (c *Config) epochMask() uint64 {
+	if c.EpochBits <= 0 || c.EpochBits >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(c.EpochBits)) - 1
+}
+
+// wireEpoch narrows a full epoch counter to the tag width messages
+// carry. Controllers keep the full counter internally (it feeds the
+// monotone unrolled-timestamp domain the checker consumes); only the
+// wire representation is narrowed.
+func (c *Config) wireEpoch(full uint64) uint64 { return full & c.epochMask() }
+
+// epochDelta reconstructs the signed epoch distance from a message's
+// wire tag to the local full counter. Positive means the sender has
+// seen resets the receiver has not (the receiver must catch up);
+// negative means the message was sent before a reset the receiver
+// already adopted (the message's timestamps belong to a dead epoch).
+// Exact while the true distance is under 2^(EpochBits-1) — the §V-D
+// reset is chip-wide and synchronous, so a component only lags by the
+// number of resets that fired since it last heard from an L2, which
+// stays far below the window for any practical EpochBits.
+func (c *Config) epochDelta(tag, local uint64) int64 {
+	return sdelta(tag, local&c.epochMask(), c.EpochBits)
+}
+
+// The signed half-ring decode above is symmetric: it assumes the true
+// distance may point either way and splits the ring down the middle,
+// which caps the tolerable lag at 2^(EpochBits-1)-1. Both directions
+// of G-TSC traffic actually come with a one-sided bound, and decoding
+// against that bound doubles the window — this is what makes a 2-bit
+// wire tag survive multiple back-to-back resets (the exhaustive model
+// checker found the failure: an L1 that slept through two resets saw
+// the legitimately-newer fill alias to "two behind", discarded it as
+// dead, and re-requested forever).
+//
+//   - A response owed to an L1 can never be older than the L1's epoch
+//     when it sent the request (banks only move forward, and the bank
+//     was at least at the L1's epoch then): decode the tag as the
+//     unique representative at or above that floor.
+//   - A request arriving at a bank can never be from the future (L1s
+//     learn epochs only from bank responses, and all banks reset
+//     together): decode against the bank's own epoch as a ceiling.
+
+// epochAtLeast reconstructs a full epoch counter from a wire tag,
+// given a sound lower bound on the true value. Exact while
+// true - floor < 2^EpochBits.
+func (c *Config) epochAtLeast(tag, floor uint64) uint64 {
+	if c.EpochBits <= 0 || c.EpochBits >= 64 {
+		return tag
+	}
+	return floor + ((tag - floor) & c.epochMask())
+}
+
+// epochAtMost reconstructs a full epoch counter from a wire tag,
+// given a sound upper bound on the true value. Exact while
+// ceil - true < 2^EpochBits.
+func (c *Config) epochAtMost(tag, ceil uint64) uint64 {
+	if c.EpochBits <= 0 || c.EpochBits >= 64 {
+		return tag
+	}
+	return ceil - ((ceil - tag) & c.epochMask())
+}

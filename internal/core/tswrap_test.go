@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/diag"
+)
+
+func TestTsLessWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		bits int
+		want bool
+	}{
+		// Plain in-ring ordering.
+		{1, 2, 8, true},
+		{2, 1, 8, false},
+		{5, 5, 8, false},
+		// Wrap: 255 -> 0 in an 8-bit ring means 255 < 0.
+		{255, 0, 8, true},
+		{0, 255, 8, false},
+		{250, 3, 8, true},
+		// Past half the ring the order flips: distance 129 of 256 reads
+		// as the other direction (exactly 128 is ambiguous by design).
+		{0, 127, 8, true},
+		{0, 129, 8, false},
+		// Full-width behaves as plain signed comparison.
+		{^uint64(0), 0, 64, true},
+		{1, 2, 0, true},
+		// 2-bit ring (the narrowest Validate allows): 3 -> 0 wraps.
+		{3, 0, 2, true},
+		{0, 3, 2, false},
+	}
+	for _, c := range cases {
+		if got := tsLess(c.a, c.b, c.bits); got != c.want {
+			t.Errorf("tsLess(%d, %d, %d) = %v, want %v", c.a, c.b, c.bits, got, c.want)
+		}
+	}
+	if !tsBefore(7, 7, 4) {
+		t.Errorf("tsBefore(7, 7, 4) = false, want true (reflexive)")
+	}
+	if !tsBefore(15, 0, 4) {
+		t.Errorf("tsBefore(15, 0, 4) = false, want true (wrap)")
+	}
+}
+
+func TestSdelta(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		bits int
+		want int64
+	}{
+		{5, 3, 8, 2},
+		{3, 5, 8, -2},
+		{0, 255, 8, 1},  // wrapped forward by one
+		{255, 0, 8, -1}, // one behind
+		{0, 3, 2, 1},    // 2-bit ring: 3 -> 0 is +1
+		{2, 3, 2, -1},   // and 3 -> 2 is -1
+		{10, 10, 16, 0},
+	}
+	for _, c := range cases {
+		if got := sdelta(c.a, c.b, c.bits); got != c.want {
+			t.Errorf("sdelta(%d, %d, %d) = %d, want %d", c.a, c.b, c.bits, got, c.want)
+		}
+	}
+}
+
+func TestEpochDeltaNarrowTag(t *testing.T) {
+	cfg := Config{EpochBits: 3}
+	cfg.fillDefaults()
+	// Local epoch 6; a sender one reset ahead tags with wireEpoch(7)=7.
+	if d := cfg.epochDelta(cfg.wireEpoch(7), 6); d != 1 {
+		t.Errorf("epochDelta ahead-by-1 = %d, want 1", d)
+	}
+	// Local epoch 8 (wire tag 0); a message sent in epoch 7 (tag 7) is
+	// one epoch stale even though its raw tag is numerically larger.
+	if d := cfg.epochDelta(cfg.wireEpoch(7), 8); d != -1 {
+		t.Errorf("epochDelta stale-across-wrap = %d, want -1", d)
+	}
+	// Sender ahead across the wrap: local 7, sender at full epoch 9
+	// (tag 1) is +2.
+	if d := cfg.epochDelta(cfg.wireEpoch(9), 7); d != 2 {
+		t.Errorf("epochDelta ahead-across-wrap = %d, want 2", d)
+	}
+	// Default config (EpochBits 64) is the identity.
+	def := DefaultConfig()
+	def.fillDefaults()
+	if def.wireEpoch(123456) != 123456 {
+		t.Errorf("wireEpoch not identity at 64 bits")
+	}
+	if d := def.epochDelta(3, 5); d != -2 {
+		t.Errorf("full-width epochDelta = %d, want -2", d)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	ok := []Config{
+		{},                          // all defaults
+		DefaultConfig(),             // paper config
+		{Lease: 10, TSBits: 8},      // narrow timestamps, default lease
+		{Lease: 1, TSBits: 3},       // minimum workable width
+		{TSBits: 16, EpochBits: 2},  // narrowest epoch tag
+		{TSBits: 16, EpochBits: 64}, // explicit full-width tag
+	}
+	for _, c := range ok {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+
+	bad := []Config{
+		{TSBits: 2},             // below minTSBits
+		{TSBits: 65},            // too wide
+		{TSBits: -1},            // negative
+		{Lease: 100, TSBits: 6}, // reset cannot make progress
+		{Lease: 10, MaxLease: 200, TSBits: 8, AdaptiveLease: true}, // adaptive ceiling too big
+		{TSBits: 16, EpochBits: 1},                                 // 1-bit ring is unordered
+		{TSBits: 16, EpochBits: 65},                                // tag too wide
+	}
+	for _, c := range bad {
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+			continue
+		}
+		var ce *diag.ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("Validate(%+v) error %T is not *diag.ConfigError", c, err)
+		}
+	}
+}
+
+func TestEpochBoundDecode(t *testing.T) {
+	cfg := Config{EpochBits: 2}
+	cfg.fillDefaults()
+	// The half-ring failure the model checker found: a component at
+	// epoch 0 sleeps through two resets; the response's tag wire(2)=2
+	// aliases to "two behind" under signed decode, but the floor
+	// (epoch at request send = 0) recovers the true value.
+	if got := cfg.epochAtLeast(cfg.wireEpoch(2), 0); got != 2 {
+		t.Errorf("epochAtLeast(wire(2), floor 0) = %d, want 2", got)
+	}
+	// Exact up to 2^bits-1 ahead of the floor, including across the
+	// tag wrap: true epoch 5 tags as wire(5)=1.
+	if got := cfg.epochAtLeast(cfg.wireEpoch(5), 2); got != 5 {
+		t.Errorf("epochAtLeast(wire(5), floor 2) = %d, want 5", got)
+	}
+	// A genuinely dead-epoch response (sent at the floor, receiver
+	// since moved on) still decodes to its true old value.
+	if got := cfg.epochAtLeast(cfg.wireEpoch(4), 4); got != 4 {
+		t.Errorf("epochAtLeast(wire(4), floor 4) = %d, want 4", got)
+	}
+	// Bank side: the bank's own epoch is a ceiling. A requester three
+	// resets behind a bank at epoch 7 tags wire(4)=0.
+	if got := cfg.epochAtMost(cfg.wireEpoch(4), 7); got != 4 {
+		t.Errorf("epochAtMost(wire(4), ceil 7) = %d, want 4", got)
+	}
+	// Current-epoch request decodes to the ceiling itself.
+	if got := cfg.epochAtMost(cfg.wireEpoch(7), 7); got != 7 {
+		t.Errorf("epochAtMost(wire(7), ceil 7) = %d, want 7", got)
+	}
+	// Wide tags are the identity regardless of the bound.
+	def := DefaultConfig()
+	def.fillDefaults()
+	if got := def.epochAtLeast(9, 3); got != 9 {
+		t.Errorf("full-width epochAtLeast = %d, want 9", got)
+	}
+	if got := def.epochAtMost(9, 30); got != 9 {
+		t.Errorf("full-width epochAtMost = %d, want 9", got)
+	}
+}

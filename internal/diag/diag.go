@@ -44,6 +44,33 @@ func (e *ProtocolError) Error() string {
 	return fmt.Sprintf("protocol error: %s: %s: %s", e.Component, e.Event, e.Detail)
 }
 
+// ConfigError reports a configuration the simulated machine cannot run
+// correctly — e.g. a G-TSC lease too large for the timestamp width, so
+// the §V-D overflow reset could never make forward progress. It is
+// returned from validation paths in place of the panics they replaced.
+type ConfigError struct {
+	// Component names the subsystem rejecting the config, e.g. "gtsc".
+	Component string
+	// Param names the offending parameter(s), e.g. "Lease/TSBits".
+	Param string
+	// Detail is the human-readable specifics.
+	Detail string
+}
+
+// ConfigErrf builds a ConfigError.
+func ConfigErrf(component, param, format string, args ...any) *ConfigError {
+	return &ConfigError{
+		Component: component,
+		Param:     param,
+		Detail:    fmt.Sprintf(format, args...),
+	}
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("config error: %s: %s: %s", e.Component, e.Param, e.Detail)
+}
+
 // DeadlockError reports that the machine stopped making forward
 // progress: no instructions issued, no warps retired and no memory
 // traffic moved for StalledFor cycles (Reason "no-forward-progress"),

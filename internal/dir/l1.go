@@ -68,6 +68,13 @@ type L1 struct {
 	nextReqID uint64
 	pending   int
 	fail      *diag.ProtocolError
+
+	// MutAckWithoutInval is a test-only mutation hook for the model
+	// checker's teeth: when set, onInv acknowledges the directory's
+	// invalidation without actually invalidating (or downgrading) the
+	// local copy — a misordered-ack bug that breaks single-writer:
+	// this L1 keeps serving stale hits after another SM is granted M.
+	MutAckWithoutInval bool
 }
 
 // Geometry describes the cache organization.
@@ -362,6 +369,10 @@ func (l *L1) onInv(msg *mem.Msg) {
 			ack.Data = data
 			ack.Mask = mem.MaskAll
 		}
+		if l.MutAckWithoutInval {
+			l.post(ack)
+			return
+		}
 		if msg.WTS == invDowngrade {
 			line.Meta.state = stateS
 			line.Dirty = false
@@ -375,6 +386,26 @@ func (l *L1) onInv(msg *mem.Msg) {
 		ack.Reset = true
 	}
 	l.post(ack)
+}
+
+// ForEachLineState implements coherence.StateHolder, reporting each
+// valid line's MESI letter ("S", "E", or "M") so an external checker
+// can verify the single-writer invariant across SMs.
+func (l *L1) ForEachLineState(fn func(b mem.BlockAddr, state string)) {
+	l.array.ForEach(func(c *cache.Line[l1Meta]) {
+		var s string
+		switch c.Meta.state {
+		case stateS:
+			s = "S"
+		case stateE:
+			s = "E"
+		case stateM:
+			s = "M"
+		default:
+			s = "?"
+		}
+		fn(c.Addr, s)
+	})
 }
 
 // evict writes back dirty victims; clean victims leave silently (the

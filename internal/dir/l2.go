@@ -114,6 +114,15 @@ func NewL2(cfg Config, bankID int, geo L2Geometry, sendNoC, sendDRAM coherence.S
 // Stats implements coherence.L2.
 func (l *L2) Stats() *stats.L2Stats { return &l.stats }
 
+// ForEachLineState implements coherence.StateHolder, reporting each
+// directory entry as "owner=<sm> sharers=<bitmap>" so checker
+// counterexamples can show the directory's view next to the L1s'.
+func (l *L2) ForEachLineState(fn func(b mem.BlockAddr, state string)) {
+	l.array.ForEach(func(c *cache.Line[dirMeta]) {
+		fn(c.Addr, fmt.Sprintf("owner=%d sharers=%#x", c.Meta.owner, c.Meta.sharers))
+	})
+}
+
 // Pending implements coherence.L2.
 func (l *L2) Pending() int {
 	n := len(l.inQ) + len(l.outNoC) + len(l.outDRAM)

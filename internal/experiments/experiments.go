@@ -40,6 +40,12 @@ type Config struct {
 	NumBanks int
 	// GTSCLease is G-TSC's logical lease (paper default 10).
 	GTSCLease uint64
+	// GTSCTSBits is G-TSC's timestamp counter width in bits (0 = the
+	// protocol default, 16). Narrow widths make the §V-D overflow
+	// reset a routine event instead of a once-per-billion-cycles one,
+	// so sweeps can characterize rollover cost. Result-affecting: part
+	// of the journal config signature.
+	GTSCTSBits int
 	// TCLease is TC's physical lease in cycles (default 400).
 	TCLease uint64
 	// MaxCycles guards against non-convergence.
@@ -382,6 +388,7 @@ func (s *Session) simConfig(v variant, attempt int) sim.Config {
 	cfg.SimWorkers = s.Cfg.SimWorkers
 	cfg.Engine = s.Cfg.Engine
 	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+	cfg.Mem.GTSC.TSBits = s.Cfg.GTSCTSBits
 	cfg.Mem.TC.Lease = s.Cfg.TCLease
 	if v.lease != 0 {
 		cfg.Mem.GTSC.Lease = v.lease

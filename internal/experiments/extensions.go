@@ -228,6 +228,7 @@ func (s *Session) runAt(wl *workload.Workload, v variant, sms int) (*stats.Run, 
 		cfg.SM.Consistency = v.cons
 		cfg.MaxCycles = s.Cfg.MaxCycles
 		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.GTSC.TSBits = s.Cfg.GTSCTSBits
 		cfg.Mem.TC.Lease = s.Cfg.TCLease
 		scale := maxi(s.Cfg.Scale, sms/8)
 		run, err := wl.Build(scale).Run(cfg)
@@ -412,6 +413,7 @@ func (s *Session) runPlatform(wl *workload.Workload, v variant, mesh, banked boo
 		cfg.SM.Consistency = v.cons
 		cfg.MaxCycles = s.Cfg.MaxCycles
 		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.GTSC.TSBits = s.Cfg.GTSCTSBits
 		cfg.Mem.TC.Lease = s.Cfg.TCLease
 		if mesh {
 			cfg.Mem.NoC = noc.DefaultMeshConfig()
@@ -507,6 +509,7 @@ func (s *Session) runCache(wl *workload.Workload, v variant, sets, mshrs int) (*
 		cfg.SM.Consistency = v.cons
 		cfg.MaxCycles = s.Cfg.MaxCycles
 		cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
+		cfg.Mem.GTSC.TSBits = s.Cfg.GTSCTSBits
 		cfg.Mem.TC.Lease = s.Cfg.TCLease
 		run, err := wl.Build(s.Cfg.Scale).Run(cfg)
 		if err != nil {

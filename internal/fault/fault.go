@@ -51,12 +51,28 @@ type Config struct {
 	// first few accesses of every kernel, and shortens TC leases so
 	// expiry/renewal churn is constant.
 	TSStress bool
+
+	// RolloverEvery forces a §V-D chip-wide timestamp rollover roughly
+	// every N cycles during kernel execution (0 = never), regardless of
+	// how far the counters are from natural overflow. Each firing point
+	// is drawn as Every±Jitter from the seeded stream, so a plan
+	// replays exactly from its seed. Intervals are floored at
+	// rolloverFloor cycles: a reset storm faster than the hierarchy's
+	// round-trip time livelocks L1 refetches instead of testing the
+	// epoch-crossing paths. Only G-TSC honors the schedule; other
+	// protocols ignore it.
+	RolloverEvery  uint64
+	RolloverJitter uint64
 }
+
+// rolloverFloor is the minimum spacing between forced rollovers; see
+// Config.RolloverEvery.
+const rolloverFloor = 500
 
 // Enabled reports whether the plan perturbs anything.
 func (c Config) Enabled() bool {
 	return c.DelayProb > 0 || c.Reorder || c.RejectProb > 0 ||
-		c.DRAMSpikeProb > 0 || c.TSStress
+		c.DRAMSpikeProb > 0 || c.TSStress || c.RolloverEvery > 0
 }
 
 // String summarizes the plan for diagnostics.
@@ -64,9 +80,10 @@ func (c Config) String() string {
 	if !c.Enabled() {
 		return "disabled"
 	}
-	return fmt.Sprintf("seed=%d delay=%.2f/%d reorder=%v reject=%.2f dramspike=%.2f/%d tsstress=%v",
+	return fmt.Sprintf("seed=%d delay=%.2f/%d reorder=%v reject=%.2f dramspike=%.2f/%d tsstress=%v rollover=%d±%d",
 		c.Seed, c.DelayProb, c.DelayMax, c.Reorder, c.RejectProb,
-		c.DRAMSpikeProb, c.DRAMSpikeMax, c.TSStress)
+		c.DRAMSpikeProb, c.DRAMSpikeMax, c.TSStress,
+		c.RolloverEvery, c.RolloverJitter)
 }
 
 // Chaos returns a moderately hostile all-knobs plan for the given
@@ -83,6 +100,17 @@ func Chaos(seed int64) Config {
 		DRAMSpikeMax:  300,
 		TSStress:      true,
 	}
+}
+
+// ChaosRollover is Chaos plus a forced-rollover schedule: on top of
+// the near-wraparound start (TSStress), a §V-D reset is forced roughly
+// every 2000±1500 cycles, so epochs churn continuously for the whole
+// kernel instead of only when a counter overflows.
+func ChaosRollover(seed int64) Config {
+	c := Chaos(seed)
+	c.RolloverEvery = 2000
+	c.RolloverJitter = 1500
+	return c
 }
 
 // rng is the same xorshift64* generator the workload package uses, so
@@ -126,6 +154,11 @@ func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 type Injector struct {
 	cfg Config
 	rng *rng
+
+	// nextRollover is the cycle at which the next forced §V-D reset
+	// fires (0 = schedule not armed). Re-armed per kernel by
+	// ArmRollover so every kernel sees the plan from its own start.
+	nextRollover uint64
 }
 
 // NewInjector builds the injector for a plan.
@@ -149,6 +182,47 @@ func (in *Injector) WrapSender(s coherence.Sender) coherence.Sender {
 		}
 		return s.TrySend(msg)
 	})
+}
+
+// ArmRollover (re)seeds the forced-rollover schedule for a kernel
+// whose run phase starts at cycle now. A no-op for plans without
+// RolloverEvery. Draws come from the injector's single stream in
+// deterministic simulation order, so the schedule replays from the
+// seed like every other perturbation.
+func (in *Injector) ArmRollover(now uint64) {
+	if in.cfg.RolloverEvery == 0 {
+		return
+	}
+	in.nextRollover = now + in.drawRolloverGap()
+}
+
+// RolloverDue reports whether a forced rollover fires at cycle now,
+// advancing the schedule when it does. The caller (the cycle engine)
+// is responsible for actually triggering the reset.
+func (in *Injector) RolloverDue(now uint64) bool {
+	if in.nextRollover == 0 || now < in.nextRollover {
+		return false
+	}
+	in.nextRollover = now + in.drawRolloverGap()
+	return true
+}
+
+// NextRollover exposes the armed schedule point (0 = unarmed), for
+// state digests: machines with equal state must agree on when the next
+// forced reset lands.
+func (in *Injector) NextRollover() uint64 { return in.nextRollover }
+
+// drawRolloverGap draws one Every±Jitter interval, floored so resets
+// cannot outrun the hierarchy's round-trip time.
+func (in *Injector) drawRolloverGap() uint64 {
+	gap := int64(in.cfg.RolloverEvery)
+	if j := in.cfg.RolloverJitter; j > 0 {
+		gap += int64(in.rng.uint64n(2*j+1)) - int64(j)
+	}
+	if gap < rolloverFloor {
+		gap = rolloverFloor
+	}
+	return uint64(gap)
 }
 
 // RNGState exposes the injector's current RNG position, for checkpoint

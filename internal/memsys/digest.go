@@ -31,7 +31,7 @@ func (s *System) DigestState(w io.Writer) {
 		fmt.Fprintf(w, "resets epoch=%d count=%d\n", s.Resets.Epoch(), s.Resets.Resets())
 	}
 	if s.inj != nil {
-		fmt.Fprintf(w, "rng %#x\n", s.inj.RNGState())
+		fmt.Fprintf(w, "rng %#x rollover=%d\n", s.inj.RNGState(), s.inj.NextRollover())
 	}
 	for _, sh := range s.shims {
 		sh.DigestState(w)

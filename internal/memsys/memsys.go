@@ -136,6 +136,17 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// Validate reports configuration errors that would leave the hierarchy
+// unable to make progress, as typed *diag.ConfigError values rather
+// than panics. Only protocol-level parameters are checked; geometry
+// zero-values are legal (fillDefaults completes them).
+func (c Config) Validate() error {
+	if c.Protocol == GTSC {
+		return c.GTSC.Validate()
+	}
+	return nil
+}
+
 // System is the assembled memory hierarchy of one run.
 type System struct {
 	Cfg    Config
@@ -431,6 +442,41 @@ func (s *System) Err() error {
 		}
 	}
 	return nil
+}
+
+// ForceTimestampReset fires the §V-D overflow reset protocol
+// immediately, as if some bank's timestamps had overflowed. It reports
+// whether a reset was actually triggered (only G-TSC runs have a reset
+// controller; other protocols ignore the request). The fault package's
+// rollover plan uses this to exercise epoch-crossing paths mid-run at
+// chosen points instead of waiting for natural overflow.
+func (s *System) ForceTimestampReset() bool {
+	if s.Resets == nil {
+		return false
+	}
+	s.Resets.ForceReset()
+	return true
+}
+
+// ArmRollover (re)seeds the fault plan's forced-rollover schedule for
+// a kernel starting at cycle now. A no-op without an injector or a
+// rollover plan — the cycle engine calls it unconditionally at every
+// kernel launch.
+func (s *System) ArmRollover(now uint64) {
+	if s.inj != nil {
+		s.inj.ArmRollover(now)
+	}
+}
+
+// TickRollover fires the fault plan's forced §V-D reset when its
+// schedule reaches cycle now, reporting whether one fired. Non-G-TSC
+// hierarchies consume the schedule draw but reset nothing, so a plan's
+// perturbation stream is protocol-independent.
+func (s *System) TickRollover(now uint64) bool {
+	if s.inj == nil || !s.inj.RolloverDue(now) {
+		return false
+	}
+	return s.ForceTimestampReset()
 }
 
 // Dump snapshots the hierarchy for failure diagnostics. The simulator

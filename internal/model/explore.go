@@ -1,0 +1,188 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gtsc-sim/gtsc/internal/diag"
+)
+
+// Result summarizes one exhaustive exploration.
+type Result struct {
+	Protocol    Protocol
+	States      int    // distinct canonical states visited
+	Edges       int    // productive transitions explored
+	FinalStates int    // states where every warp retired
+	MaxDepth    int    // longest shortest-path from the initial state
+	Resets      uint64 // max §V-D resets observed in any state (G-TSC)
+	MaxEpoch    uint64 // max timestamp epoch reached (G-TSC)
+}
+
+// String renders the exploration summary for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("model[%s]: %d states, %d edges, %d final, depth %d, resets %d, epoch %d",
+		r.Protocol, r.States, r.Edges, r.FinalStates, r.MaxDepth, r.Resets, r.MaxEpoch)
+}
+
+// Counterexample is a minimal-length violating execution: the event
+// trace from the initial state to the first state that breaks an
+// invariant (BFS explores in depth order, so no shorter trace reaches
+// a violation). It implements error and unwraps to the underlying
+// invariant failure (usually a *diag.ProtocolError).
+type Counterexample struct {
+	Protocol Protocol
+	Cause    error
+	Trace    []string // human-readable transition labels, in order
+}
+
+// Error renders the counterexample with its full event trace.
+func (c *Counterexample) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "model[%s]: invariant violated after %d events: %v\n",
+		c.Protocol, len(c.Trace), c.Cause)
+	fmt.Fprintf(&b, "counterexample (minimal):\n")
+	for i, step := range c.Trace {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, step)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Unwrap exposes the underlying invariant failure to errors.Is/As.
+func (c *Counterexample) Unwrap() error { return c.Cause }
+
+// node is one BFS frontier entry: the transition sequence that reaches
+// the state from the initial machine. Machines are not copyable, so
+// the path IS the state (replay restores it). The digest is carried
+// along so expansion never recomputes the parent's hash.
+type node struct {
+	path []trans
+	hash uint64
+}
+
+// replay rebuilds the machine and re-applies a recorded path,
+// returning the machine and the human-readable labels of the applied
+// transitions.
+func replay(cfg *Config, path []trans) (*machine, []string) {
+	m := build(cfg)
+	labels := make([]string, 0, len(path))
+	for _, t := range path {
+		labels = append(labels, m.apply(t))
+	}
+	return m, labels
+}
+
+// Explore exhaustively enumerates every interleaving of the configured
+// micro machine, checking invariants on every productive transition.
+// It returns the exploration summary, or a *Counterexample error (the
+// minimal violating trace) if any invariant fails, a deadlock error if
+// some non-final state admits no productive transition, or a budget
+// error if the state space exceeds Config.MaxStates.
+func Explore(cfg Config) (*Result, error) {
+	if cfg.NumSMs == 0 {
+		cfg.NumSMs = len(cfg.Program)
+	}
+	if cfg.NumBanks == 0 {
+		cfg.NumBanks = 1
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = defaultMaxStates
+	}
+
+	res := &Result{Protocol: cfg.Protocol}
+	root := build(&cfg)
+	if err := root.checkInvariants(); err != nil {
+		return nil, &Counterexample{Protocol: cfg.Protocol, Cause: err}
+	}
+	rootHash := root.digest()
+	visited := map[uint64]struct{}{rootHash: {}}
+	res.States = 1
+	if root.final() {
+		res.FinalStates++
+		return res, nil
+	}
+
+	queue := []node{{hash: rootHash}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+
+		parent, _ := replay(&cfg, n.path)
+		parentHash := n.hash
+		parentFinal := parent.final()
+		choices := parent.enumerate()
+		productive := false
+		for i, t := range choices {
+			// The parent machine itself serves as the last child's base
+			// (nothing reads it afterwards); earlier children replay.
+			var child *machine
+			var labels []string
+			if i == len(choices)-1 {
+				child = parent
+			} else {
+				child, labels = replay(&cfg, n.path)
+			}
+			label := child.apply(t)
+			childHash := child.digest()
+			if childHash == parentHash {
+				continue // self-loop (Reject, no-op tick): prune
+			}
+			productive = true
+			res.Edges++
+			if err := child.checkInvariants(); err != nil {
+				if labels == nil {
+					_, labels = replay(&cfg, n.path)
+				}
+				return nil, &Counterexample{
+					Protocol: cfg.Protocol,
+					Cause:    err,
+					Trace:    append(labels, label),
+				}
+			}
+			if _, seen := visited[childHash]; seen {
+				continue
+			}
+			visited[childHash] = struct{}{}
+			res.States++
+			if res.States > maxStates {
+				return nil, fmt.Errorf("model[%s]: state budget exceeded (%d states): shrink the program or raise MaxStates",
+					cfg.Protocol, maxStates)
+			}
+			if d := len(n.path) + 1; d > res.MaxDepth {
+				res.MaxDepth = d
+			}
+			if child.resets != nil {
+				if r := child.resets.Resets(); r > res.Resets {
+					res.Resets = r
+				}
+				if e := child.resets.Epoch(); e > res.MaxEpoch {
+					res.MaxEpoch = e
+				}
+			}
+			if child.final() {
+				res.FinalStates++
+				continue
+			}
+			path := make([]trans, len(n.path)+1)
+			copy(path, n.path)
+			path[len(n.path)] = t
+			queue = append(queue, node{path: path, hash: childHash})
+		}
+		if !productive && !parentFinal {
+			_, labels := replay(&cfg, n.path)
+			stuck := ""
+			for _, w := range parent.warps {
+				if !w.done() {
+					stuck += fmt.Sprintf(" sm%d.w%d@pc=%d(wait=%t)", w.sm, w.warp, w.pc, w.wait)
+				}
+			}
+			return nil, &Counterexample{
+				Protocol: cfg.Protocol,
+				Cause: diag.Errf("model", "deadlock",
+					"no productive transition from a non-final state; stuck warps:%s", stuck),
+				Trace: labels,
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/gtsc-sim/gtsc/internal/check"
+	"github.com/gtsc-sim/gtsc/internal/coherence"
+	"github.com/gtsc-sim/gtsc/internal/core"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/mem"
+)
+
+// checkInvariants validates the machine's current state. It is called
+// on every explored EDGE (after each productive transition, before
+// visited-state deduplication), so every distinct history is checked
+// up to the point where it provably converges with one already
+// checked. A nil return means the state satisfies every invariant of
+// its protocol.
+func (m *machine) checkInvariants() error {
+	// Any controller-internal protocol violation is a failure outright.
+	for _, l1 := range m.l1s {
+		if err := l1.Err(); err != nil {
+			return err
+		}
+	}
+	for _, l2 := range m.l2s {
+		if err := l2.Err(); err != nil {
+			return err
+		}
+	}
+
+	ops := m.rec.Ops()
+	switch m.cfg.Protocol {
+	case GTSC:
+		if err := m.checkLeaseSanity(); err != nil {
+			return err
+		}
+		if err := m.checkEpochAgreement(); err != nil {
+			return err
+		}
+		if vs := check.CheckTimestampOrder(ops, 1); len(vs) > 0 {
+			return diag.Errf("model-gtsc", "timestamp-order", "%v", &vs[0])
+		}
+		if errs := check.CheckWarpMonotonic(ops); len(errs) > 0 {
+			return diag.Errf("model-gtsc", "warp-monotonic", "%v", errs[0])
+		}
+	case TCStrong:
+		if err := m.checkTCContainment(); err != nil {
+			return err
+		}
+		if vs := check.CheckPhysical(ops, 1); len(vs) > 0 {
+			return diag.Errf("model-tc", "physical-order", "%v", &vs[0])
+		}
+	case DIR:
+		if err := m.checkSWMR(); err != nil {
+			return err
+		}
+		if vs := check.CheckPhysical(ops, 1); len(vs) > 0 {
+			return diag.Errf("model-dir", "physical-order", "%v", &vs[0])
+		}
+	case BL:
+		if vs := check.CheckPhysical(ops, 1); len(vs) > 0 {
+			return diag.Errf("model-bl", "physical-order", "%v", &vs[0])
+		}
+	}
+	return nil
+}
+
+// checkLeaseSanity: every G-TSC lease anywhere in the hierarchy is a
+// well-formed interval, wts <= rts (§III-B). Both timestamps live in
+// the current epoch (ensureRoom fires the reset before either can
+// wrap), so the comparison is plain.
+func (m *machine) checkLeaseSanity() error {
+	var bad error
+	walk := func(name string, c any) {
+		holder, ok := c.(coherence.LeaseHolder)
+		if !ok || bad != nil {
+			return
+		}
+		holder.ForEachLease(func(b mem.BlockAddr, wts, rts uint64) {
+			if wts > rts && bad == nil {
+				bad = diag.Errf("model-gtsc", "lease-inverted",
+					"%s holds block %v with wts=%d > rts=%d", name, b, wts, rts)
+			}
+		})
+	}
+	for i, l1 := range m.l1s {
+		walk(fmt.Sprintf("l1[%d]", i), l1)
+	}
+	for i, l2 := range m.l2s {
+		walk(fmt.Sprintf("l2[%d]", i), l2)
+	}
+	return bad
+}
+
+// checkEpochAgreement: the §V-D overflow reset is chip-wide and
+// synchronous, so every L2 bank must be in the same epoch at every
+// reachable state. L1s learn of resets lazily from response epoch
+// tags, so an L1 may lag the banks but never lead them.
+func (m *machine) checkEpochAgreement() error {
+	var epoch uint64
+	for i, l2 := range m.l2s {
+		bank := l2.(*core.L2)
+		if i == 0 {
+			epoch = bank.Epoch()
+			continue
+		}
+		if bank.Epoch() != epoch {
+			return diag.Errf("model-gtsc", "epoch-divergence",
+				"l2[0] is in epoch %d but l2[%d] is in epoch %d (the §V-D reset must be chip-wide)",
+				epoch, i, bank.Epoch())
+		}
+	}
+	for i, l1 := range m.l1s {
+		if e := l1.(*core.L1).Epoch(); e > epoch {
+			return diag.Errf("model-gtsc", "epoch-ahead",
+				"l1[%d] is in epoch %d, ahead of the banks' epoch %d", i, e, epoch)
+		}
+	}
+	return nil
+}
+
+// checkTCContainment: an unexpired L1 lease must be backed by its bank
+// — TC's L2 is inclusive and only expired lines are evictable, so a
+// line any L1 can still hit must exist at the bank with an expiry at
+// least as late (the bank's expiry is the max it ever granted).
+func (m *machine) checkTCContainment() error {
+	type bankKey struct {
+		bank  int
+		block mem.BlockAddr
+	}
+	bankExp := map[bankKey]uint64{}
+	for i, l2 := range m.l2s {
+		l2.(coherence.LeaseHolder).ForEachLease(func(b mem.BlockAddr, _, rts uint64) {
+			bankExp[bankKey{i, b}] = rts
+		})
+	}
+	var bad error
+	for i, l1 := range m.l1s {
+		sm := i
+		l1.(coherence.LeaseHolder).ForEachLease(func(b mem.BlockAddr, _, exp uint64) {
+			if exp <= m.now || bad != nil {
+				return // expired: a dead line, not a coherence liability
+			}
+			bank := int(uint64(b) % uint64(len(m.l2s)))
+			if got, ok := bankExp[bankKey{bank, b}]; !ok || got < exp {
+				bad = diag.Errf("model-tc", "lease-containment",
+					"sm%d holds %v live until %d but l2[%d] backs it only until %d (present=%t)",
+					sm, b, exp, bank, got, ok)
+			}
+		})
+	}
+	return bad
+}
+
+// checkSWMR: the directory protocol's single-writer/multiple-reader
+// invariant — while any L1 holds a block in M or E, no other L1 may
+// hold it in any state.
+func (m *machine) checkSWMR() error {
+	type holder struct {
+		sm    int
+		state string
+	}
+	byBlock := map[mem.BlockAddr][]holder{}
+	for i, l1 := range m.l1s {
+		sh, ok := l1.(coherence.StateHolder)
+		if !ok {
+			continue
+		}
+		sm := i
+		sh.ForEachLineState(func(b mem.BlockAddr, state string) {
+			byBlock[b] = append(byBlock[b], holder{sm, state})
+		})
+	}
+	for b, hs := range byBlock {
+		if len(hs) < 2 {
+			continue
+		}
+		for _, h := range hs {
+			if h.state == "M" || h.state == "E" {
+				return diag.Errf("model-dir", "swmr",
+					"block %v held %s by sm%d while %d other SM(s) also hold it (%v)",
+					b, h.state, h.sm, len(hs)-1, hs)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gtsc-sim/gtsc/internal/core"
+	"github.com/gtsc-sim/gtsc/internal/tc"
+)
+
+// mp is the message-passing litmus shape: SM0 publishes data then a
+// flag; SM1 polls in the opposite order. It is the smallest program
+// that distinguishes a coherent machine from a racy one.
+func mpProgram() [][][]Op {
+	return [][][]Op{
+		{{St(0, 0, 1), St(1, 0, 1)}},
+		{{Ld(1, 0), Ld(0, 0)}},
+	}
+}
+
+// mp22 adds a second warp per SM contending on block 0, so warp
+// interleaving *within* an SM and cross-SM races are both explored.
+// With Lease 6 at TSBits 6 the second store to block 0 pushes the
+// lease extension past tsMax, firing the natural §V-D overflow reset
+// inside the explored space.
+func mp22Program() [][][]Op {
+	return [][][]Op{
+		{{St(0, 0, 1), St(1, 0, 1)}, {St(0, 1, 3)}},
+		{{Ld(1, 0), Ld(0, 0)}, {Ld(0, 1)}},
+	}
+}
+
+// TestExhaustive enumerates every reachable interleaving of the micro
+// machine for all four protocols, checking the full invariant set on
+// every edge. The G-TSC configs are sized so the §V-D overflow reset
+// fires inside the explored space three different ways: forced at
+// every reachable point (mp-forced), by natural timestamp exhaustion
+// (mp22-natural), and repeatedly against a 2-bit wire epoch tag
+// (narrow-epoch, which exercises the bound-decode in
+// core/tswrap.go through three back-to-back resets).
+func TestExhaustive(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       Config
+		minResets uint64 // require at least this many §V-D resets observed
+		minEpoch  uint64 // require the epoch counter to get this far
+		maxStates int    // regression bound: fail if the space grows past this
+		minFinal  int    // at least this many distinct completed-run states
+	}{
+		{"gtsc-mp-forced", Config{Protocol: GTSC, NumBanks: 2, Program: mpProgram(),
+			GTSC: core.Config{TSBits: 6, Lease: 4, InitTS: ^uint64(0)}, ForcedResets: 2},
+			2, 2, 20_000, 1},
+		{"gtsc-mp22-natural", Config{Protocol: GTSC, NumBanks: 2, Program: mp22Program(),
+			GTSC: core.Config{TSBits: 6, Lease: 6, InitTS: ^uint64(0)}, MaxStates: 2_000_000},
+			1, 1, 200_000, 1},
+		{"gtsc-narrow-epoch", Config{Protocol: GTSC, NumBanks: 2, Program: mpProgram(),
+			GTSC: core.Config{TSBits: 6, Lease: 4, EpochBits: 2}, ForcedResets: 3,
+			GateResets: true, MaxStates: 2_000_000},
+			3, 3, 30_000, 1},
+		{"tc-mp", Config{Protocol: TCStrong, NumBanks: 2, Program: mpProgram(),
+			TC: tc.Config{Lease: 30}},
+			0, 0, 10_000, 1},
+		{"tc-mp22", Config{Protocol: TCStrong, NumBanks: 2, Program: mp22Program(),
+			TC: tc.Config{Lease: 30}, MaxStates: 2_000_000},
+			0, 0, 200_000, 1},
+		{"dir-mp22", Config{Protocol: DIR, NumBanks: 2, Program: mp22Program(),
+			MaxStates: 2_000_000},
+			0, 0, 200_000, 1},
+		{"bl-mp22", Config{Protocol: BL, NumBanks: 2, Program: mp22Program()},
+			0, 0, 200_000, 1},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			start := time.Now()
+			res, err := Explore(c.cfg)
+			if err != nil {
+				t.Fatalf("exhaustive exploration found a violation: %v", err)
+			}
+			t.Logf("%v in %v", res, time.Since(start))
+			if res.Resets < c.minResets {
+				t.Errorf("observed %d §V-D resets, want >= %d (the reset paths went unexplored)",
+					res.Resets, c.minResets)
+			}
+			if res.MaxEpoch < c.minEpoch {
+				t.Errorf("reached epoch %d, want >= %d", res.MaxEpoch, c.minEpoch)
+			}
+			if res.States > c.maxStates {
+				t.Errorf("%d states explored, regression bound is %d (did a change inflate the state space?)",
+					res.States, c.maxStates)
+			}
+			if res.FinalStates < c.minFinal {
+				t.Errorf("%d final states, want >= %d (no interleaving ran to completion?)",
+					res.FinalStates, c.minFinal)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/gtsc-sim/gtsc/internal/core"
+	"github.com/gtsc-sim/gtsc/internal/diag"
+	"github.com/gtsc-sim/gtsc/internal/tc"
+)
+
+// requireCounterexample asserts that a mutated protocol is caught: the
+// exploration must end in a *Counterexample whose cause is a
+// structured diag error with the expected event tag, carrying a
+// non-empty human-readable trace.
+func requireCounterexample(t *testing.T, err error, wantEvent string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("mutated protocol explored cleanly: the invariants have no teeth for this mutation")
+	}
+	var ce *Counterexample
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *Counterexample, got %T: %v", err, err)
+	}
+	var pe *diag.ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("counterexample cause is not a *diag.ProtocolError: %v", ce.Cause)
+	}
+	if pe.Event != wantEvent {
+		t.Errorf("caught by event %q, want %q (cause: %v)", pe.Event, wantEvent, pe)
+	}
+	if len(ce.Trace) == 0 {
+		t.Error("counterexample has an empty event trace")
+	}
+	if !strings.Contains(ce.Error(), "counterexample (minimal)") {
+		t.Error("rendered counterexample is missing the trace header")
+	}
+	t.Logf("caught:\n%v", ce)
+}
+
+// TestMutationDropLeaseCheck: G-TSC L1 loads that ignore lease expiry
+// serve stale cached data at warp timestamps past the lease — the
+// read-value check must flag the misordered load. SM1 caches block 0,
+// advances its warp timestamp past that lease by observing SM0's later
+// stores, then re-reads block 0; the mutated hit returns the old value
+// at a timestamp that should already see the new one.
+func TestMutationDropLeaseCheck(t *testing.T) {
+	prog := [][][]Op{
+		{{St(0, 0, 1), St(1, 0, 1)}},
+		{{Ld(0, 0), Ld(1, 0), Ld(0, 0)}},
+	}
+	_, err := Explore(Config{Protocol: GTSC, NumBanks: 2, Program: prog,
+		GTSC: core.Config{TSBits: 6, Lease: 4}, MaxStates: 2_000_000,
+		MutDropLeaseCheck: true})
+	requireCounterexample(t, err, "timestamp-order")
+}
+
+// TestMutationSkipBroadcast: a natural §V-D overflow reset that
+// rewrites only the originating bank leaves the chip with diverged
+// epochs — the chip-wide-agreement invariant must catch the very edge
+// on which the partial reset fires. Uses the natural-overflow program
+// (the mutation only affects organically triggered resets; forced
+// resets always broadcast).
+func TestMutationSkipBroadcast(t *testing.T) {
+	_, err := Explore(Config{Protocol: GTSC, NumBanks: 2, Program: mp22Program(),
+		GTSC: core.Config{TSBits: 6, Lease: 6, InitTS: ^uint64(0)}, MaxStates: 2_000_000,
+		MutSkipBroadcast: true})
+	requireCounterexample(t, err, "epoch-divergence")
+}
+
+// TestMutationAckWithoutInval: a MESI-dir L1 that acknowledges an
+// invalidation without dropping its copy leaves a sharer alive next
+// to the new owner's M line — the single-writer/multiple-reader
+// invariant must flag the pair.
+func TestMutationAckWithoutInval(t *testing.T) {
+	prog := [][][]Op{
+		{{Ld(0, 0)}},
+		{{St(0, 0, 7)}},
+	}
+	_, err := Explore(Config{Protocol: DIR, NumBanks: 1, Program: prog,
+		MaxStates: 2_000_000, MutAckWithoutInval: true})
+	requireCounterexample(t, err, "swmr")
+}
+
+// TestMutationIgnoreWriteStall: a TC-Strong bank that commits a store
+// without stalling for live reader leases lets an L1 keep hitting its
+// unexpired (now stale) copy — the physical-order check must flag the
+// stale read.
+func TestMutationIgnoreWriteStall(t *testing.T) {
+	prog := [][][]Op{
+		{{Ld(0, 0), Ld(0, 0)}},
+		{{St(0, 0, 7)}},
+	}
+	_, err := Explore(Config{Protocol: TCStrong, NumBanks: 1, Program: prog,
+		TC: tc.Config{Lease: 30}, MaxStates: 2_000_000,
+		MutIgnoreWriteStall: true})
+	requireCounterexample(t, err, "physical-order")
+}

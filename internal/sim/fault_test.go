@@ -74,36 +74,79 @@ func TestLitmusUnderFaults(t *testing.T) {
 			gpu.Load(0, lane0(litX)),
 		})
 
+	plans := []struct {
+		name string
+		mk   func(int64) fault.Config
+	}{
+		{"chaos", fault.Chaos},
+		// Chaos plus forced mid-run §V-D rollovers: epochs churn on the
+		// fault plan's schedule, not only at natural counter overflow.
+		{"rollover", fault.ChaosRollover},
+	}
 	for _, pc := range faultProtocols {
-		for _, seed := range faultSeeds {
-			pc, seed := pc, seed
-			t.Run(fmt.Sprintf("%s/seed%d", pc.name, seed), func(t *testing.T) {
-				t.Parallel()
-				newCfg := func() (Config, *check.Recorder) {
-					cfg := smallConfig(pc.p, gpu.SC)
-					cfg.Mem.NumSMs = 2
-					cfg.Mem.NoC = noc.Config{Latency: 4, InjectQueue: 8}
-					cfg.Mem.Fault = fault.Chaos(seed)
-					rec := check.NewRecorder()
-					cfg.Observer = rec
-					return cfg, rec
-				}
+		for _, plan := range plans {
+			for _, seed := range faultSeeds {
+				pc, plan, seed := pc, plan, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", pc.name, plan.name, seed), func(t *testing.T) {
+					t.Parallel()
+					newCfg := func() (Config, *check.Recorder) {
+						cfg := smallConfig(pc.p, gpu.SC)
+						cfg.Mem.NumSMs = 2
+						cfg.Mem.NoC = noc.Config{Latency: 4, InjectQueue: 8}
+						cfg.Mem.Fault = plan.mk(seed)
+						rec := check.NewRecorder()
+						cfg.Observer = rec
+						return cfg, rec
+					}
 
-				cfg, rec := newCfg()
-				r := runLitmus(t, cfg, mp)
-				if flag, data := r[1][0], r[1][1]; flag == 1 && data == 0 {
-					t.Fatalf("forbidden MP outcome flag=1,data=0 under [%s]", cfg.Mem.Fault)
-				}
-				checkFaultInvariants(t, pc.p, rec.Ops())
+					cfg, rec := newCfg()
+					r := runLitmus(t, cfg, mp)
+					if flag, data := r[1][0], r[1][1]; flag == 1 && data == 0 {
+						t.Fatalf("forbidden MP outcome flag=1,data=0 under [%s]", cfg.Mem.Fault)
+					}
+					checkFaultInvariants(t, pc.p, rec.Ops())
 
-				cfg, rec = newCfg()
-				r = runLitmus(t, cfg, sb)
-				if r[0][0] == 0 && r[1][0] == 0 {
-					t.Fatalf("forbidden SB outcome 0/0 under [%s]", cfg.Mem.Fault)
-				}
-				checkFaultInvariants(t, pc.p, rec.Ops())
-			})
+					cfg, rec = newCfg()
+					r = runLitmus(t, cfg, sb)
+					if r[0][0] == 0 && r[1][0] == 0 {
+						t.Fatalf("forbidden SB outcome 0/0 under [%s]", cfg.Mem.Fault)
+					}
+					checkFaultInvariants(t, pc.p, rec.Ops())
+				})
+			}
 		}
+	}
+}
+
+// TestForcedRolloverFires pins the rollover plan's mechanism in
+// isolation: a plan with ONLY RolloverEvery set (full-width counters,
+// so no natural overflow is possible) must still drive §V-D resets on
+// its schedule, the run must verify, and the schedule must replay
+// exactly from its seed.
+func TestForcedRolloverFires(t *testing.T) {
+	run := func() (uint64, uint64) {
+		cfg := smallConfig(memsys.GTSC, gpu.SC)
+		cfg.Mem.Fault = fault.Config{Seed: 11, RolloverEvery: 600, RolloverJitter: 200}
+		rec := check.NewRecorder()
+		cfg.Observer = rec
+		s := New(cfg)
+		r, err := s.Run(conflictKernel(0x80000, 64, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vio := check.CheckTimestampOrder(rec.Ops(), 3); len(vio) > 0 {
+			t.Fatalf("ordering invariant violated under forced rollover: %v", vio[0].Error())
+		}
+		return s.Sys.Resets.Resets(), r.Cycles
+	}
+	resets, cycles := run()
+	if resets == 0 {
+		t.Fatalf("no §V-D reset fired in %d cycles despite RolloverEvery=600", cycles)
+	}
+	resets2, cycles2 := run()
+	if resets != resets2 || cycles != cycles2 {
+		t.Fatalf("same rollover seed diverged: resets %d/%d cycles %d/%d",
+			resets, resets2, cycles, cycles2)
 	}
 }
 

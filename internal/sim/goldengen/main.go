@@ -19,20 +19,24 @@ import (
 
 func main() {
 	type cfgT struct {
-		label string
-		proto memsys.Protocol
-		cons  gpu.Consistency
-		mesh  bool
-		bank  bool
+		label  string
+		proto  memsys.Protocol
+		cons   gpu.Consistency
+		mesh   bool
+		bank   bool
+		tsbits int
 	}
 	cfgs := []cfgT{
-		{"gtsc-rc", memsys.GTSC, gpu.RC, false, false},
-		{"gtsc-sc", memsys.GTSC, gpu.SC, false, false},
-		{"gtsc-tso", memsys.GTSC, gpu.TSO, false, false},
-		{"tc-rc", memsys.TC, gpu.RC, false, false},
-		{"bl-rc", memsys.BL, gpu.RC, false, false},
-		{"dir-rc", memsys.DIR, gpu.RC, false, false},
-		{"gtsc-rc-mesh-banked", memsys.GTSC, gpu.RC, true, true},
+		{"gtsc-rc", memsys.GTSC, gpu.RC, false, false, 0},
+		{"gtsc-sc", memsys.GTSC, gpu.SC, false, false, 0},
+		{"gtsc-tso", memsys.GTSC, gpu.TSO, false, false, 0},
+		{"tc-rc", memsys.TC, gpu.RC, false, false, 0},
+		{"bl-rc", memsys.BL, gpu.RC, false, false, 0},
+		{"dir-rc", memsys.DIR, gpu.RC, false, false, 0},
+		{"gtsc-rc-mesh-banked", memsys.GTSC, gpu.RC, true, true, 0},
+		// 8-bit timestamps: the §V-D overflow reset becomes a routine
+		// event, so its epoch-crossing paths are golden-pinned too.
+		{"gtsc-rc-ts8", memsys.GTSC, gpu.RC, false, false, 8},
 	}
 	for _, wl := range workload.All() {
 		for _, c := range cfgs {
@@ -47,6 +51,7 @@ func main() {
 			if c.bank {
 				cfg.Mem.DRAM = dram.DefaultBankedConfig()
 			}
+			cfg.Mem.GTSC.TSBits = c.tsbits
 			// Same override the golden tests honor: CI's drift check
 			// regenerates the table under both dispatch modes, and the
 			// output must be identical either way.

@@ -203,6 +203,12 @@ type Simulator struct {
 	eng    EngineStats      // engine scheduling counters (see engine.go)
 	probes []gpu.StallProbe // per-SM quiescence scratch (skip hot path)
 	ev     *eventState      // scheduled-wake engine state (see event.go)
+
+	// cfgErr holds a configuration validation failure detected at New
+	// time. New keeps its no-error signature (a Simulator is still
+	// constructed, with clamped-safe parameters); the error surfaces
+	// from the first Run/RunUntil instead of panicking mid-build.
+	cfgErr error
 }
 
 // New builds a simulator. The TC variant is matched to the consistency
@@ -220,7 +226,7 @@ func New(cfg Config) *Simulator {
 	}
 	store := mem.NewStore()
 	sys := memsys.New(cfg.Mem, store, cfg.Observer)
-	s := &Simulator{Cfg: cfg, Store: store, Sys: sys}
+	s := &Simulator{Cfg: cfg, Store: store, Sys: sys, cfgErr: cfg.Mem.Validate()}
 	for i, l1 := range sys.L1s {
 		smCfg := cfg.SM
 		smCfg.MaxWarps = cfg.Mem.MaxWarps
@@ -276,6 +282,9 @@ func (s *Simulator) RunContext(ctx context.Context, kernel *gpu.Kernel) (*stats.
 // bit-identical however many times the execution is paused and
 // resumed, which is what makes checkpoint/restore exact.
 func (s *Simulator) RunUntil(ctx context.Context, kernel *gpu.Kernel, stopAt uint64) (*stats.Run, bool, error) {
+	if s.cfgErr != nil {
+		return nil, false, s.cfgErr
+	}
 	if s.cur != nil {
 		return nil, false, errors.New("sim: a kernel is already in flight; use Resume")
 	}
@@ -311,6 +320,10 @@ func (s *Simulator) beginKernel(kernel *gpu.Kernel) {
 			}
 		}
 	}
+	// Re-arm the fault plan's forced-rollover schedule from this
+	// kernel's start, so every kernel sees the plan afresh (§V-D resets
+	// also happen naturally at kernel boundaries).
+	s.Sys.ArmRollover(s.now)
 	s.cur = &runState{
 		kernel:       kernel,
 		phase:        phaseRun,
@@ -431,6 +444,10 @@ func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 					sm.Tick(s.now)
 				}
 			}
+			// Forced mid-run §V-D rollovers (fault plans only; a plan
+			// with any knob set keeps the run on this serial loop, so
+			// this is the single firing point).
+			s.Sys.TickRollover(s.now)
 			s.eng.RunCycles++
 		}
 		if err := s.Sys.Err(); err != nil {

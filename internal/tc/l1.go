@@ -331,6 +331,26 @@ func (l *L1) post(msg *mem.Msg) {
 	l.outQ = append(l.outQ, msg)
 }
 
+// ForEachLease implements coherence.LeaseHolder. TC leases are
+// physical-time intervals; they are reported as (0, expiry) so checkers
+// can compare containment against the bank's granted expiries.
+func (l *L1) ForEachLease(fn func(b mem.BlockAddr, wts, rts uint64)) {
+	l.array.ForEach(func(c *cache.Line[l1Meta]) { fn(c.Addr, 0, c.Meta.expiry) })
+}
+
+// NextTimeEvent implements coherence.TimeSensitive: the earliest future
+// lease expiry, after which a currently-hitting load would miss.
+func (l *L1) NextTimeEvent(now uint64) (uint64, bool) {
+	var at uint64
+	ok := false
+	l.array.ForEach(func(c *cache.Line[l1Meta]) {
+		if e := c.Meta.expiry; e > now && (!ok || e < at) {
+			at, ok = e, true
+		}
+	})
+	return at, ok
+}
+
 // SyncClock implements coherence.L1. For TC the local clock is
 // semantically load-bearing outside Tick: accessLoad compares it
 // against line lease expiries on every SM access, and the fill path

@@ -52,6 +52,12 @@ type L2 struct {
 	fail    *diag.ProtocolError
 	scratch []mem.BlockAddr // reusable sorted-block buffer (hot path)
 
+	// MutIgnoreWriteStall is a test-only mutation hook for the model
+	// checker's teeth: when set, TC-Strong writes commit without waiting
+	// for the block's leases to expire — exactly the stall §II-D3 exists
+	// to enforce — so L1s holding live leases read stale data.
+	MutIgnoreWriteStall bool
+
 	// stalledFills counts misses whose DRAM data has returned but whose
 	// install stalled on unexpired victims (m.data != nil). While any
 	// fill is stalled, Tick retries installs (and counts EvictStalls)
@@ -211,7 +217,7 @@ func (l *L2) evict(victim *cache.Line[l2Meta]) {
 func (l *L2) runQueue(block mem.BlockAddr, line *cache.Line[l2Meta], msgs []*mem.Msg) {
 	for i, msg := range msgs {
 		writesBack := msg.Type == mem.BusWr || msg.Type == mem.BusAtom
-		if writesBack && !l.cfg.Weak && line.Meta.expiry > l.now {
+		if writesBack && !l.cfg.Weak && line.Meta.expiry > l.now && !l.MutIgnoreWriteStall {
 			l.blocked[block] = append(l.blocked[block], msgs[i:]...)
 			return
 		}
@@ -355,7 +361,7 @@ func (l *L2) resumeBlocked() {
 			l.failf("blocked-line-vanished", "blocked queue for %v lost its line", block)
 			return
 		}
-		if line.Meta.expiry > l.now {
+		if line.Meta.expiry > l.now && !l.MutIgnoreWriteStall {
 			l.stats.WriteStalls++
 			continue
 		}
@@ -447,6 +453,38 @@ func (l *L2) drainOut() {
 		}
 		l.outDRAM = l.outDRAM[1:]
 	}
+}
+
+// MsgPending reports message-driven work: queued input not yet
+// serviced, or output not yet injected. Time-driven work (blocked
+// TC-Strong writes, installs stalled on unexpired victims) is excluded
+// — it resolves by the passage of time, not by message processing. The
+// model checker uses this to advance its clock only when every message
+// in flight has been fully absorbed, which excludes zeno behaviors
+// (e.g. a lease expiring in flight forever re-sending the same read)
+// while preserving the expiry-vs-access races.
+func (l *L2) MsgPending() bool {
+	return len(l.inQ) > 0 || len(l.outNoC) > 0 || len(l.outDRAM) > 0
+}
+
+// ForEachLease implements coherence.LeaseHolder: each resident line's
+// granted lease as (0, expiry) in physical time.
+func (l *L2) ForEachLease(fn func(b mem.BlockAddr, wts, rts uint64)) {
+	l.array.ForEach(func(c *cache.Line[l2Meta]) { fn(c.Addr, 0, c.Meta.expiry) })
+}
+
+// NextTimeEvent implements coherence.TimeSensitive: the earliest future
+// lease expiry, which unblocks parked TC-Strong writes and frees
+// eviction victims for stalled fills.
+func (l *L2) NextTimeEvent(now uint64) (uint64, bool) {
+	var at uint64
+	ok := false
+	l.array.ForEach(func(c *cache.Line[l2Meta]) {
+		if e := c.Meta.expiry; e > now && (!ok || e < at) {
+			at, ok = e, true
+		}
+	})
+	return at, ok
 }
 
 // Peek implements coherence.L2 (verification hook).
