@@ -101,6 +101,7 @@ func realMain() int {
 		simw     = flag.Int("simworkers", 1, "SM tick workers inside each simulation (0 = GOMAXPROCS); with multi-workload -j the goroutine budget is j*simworkers, clamped to 2*GOMAXPROCS; output is bit-identical at any setting")
 		engine   = flag.String("engine", "auto", "cycle engine: auto (scheduled-wake event engine when its preconditions hold), event, or legacy (per-cycle loop); output is bit-identical under either")
 		compW    = flag.Bool("compwakes", true, "per-component wake dispatch under the event engine (quiet cache banks, NoC and DRAM sleep through busy cycles); output is bit-identical either way")
+		slack    = flag.Uint64("slack", 0, "relaxed-synchronization bound in cycles: domains free-run up to this many cycles between epoch barriers (0 = bit-exact). Nonzero slack perturbs cycle counts boundedly; functional results are preserved. Ignored under -faultseed and -engine legacy")
 
 		maxCycles = flag.Uint64("maxcycles", 0, "hard per-kernel cycle budget (0 = default 200M)")
 		watchdog  = flag.Uint64("watchdog", 0, "forward-progress watchdog window in cycles (0 = default 100k)")
@@ -212,6 +213,7 @@ func realMain() int {
 		cfg.Engine = mode
 	}
 	cfg.DisableComponentWakes = !*compW
+	cfg.SlackCycles = *slack
 	if *faultSeed != 0 {
 		cfg.Mem.Fault = fault.Chaos(*faultSeed)
 		fmt.Printf("fault plan: %s\n", cfg.Mem.Fault)
@@ -436,6 +438,16 @@ func printEngineLine(eng *sim.EngineStats) {
 	// wakes on): of the hierarchy dispatches above, which component
 	// Ticks actually ran vs slept. Omitted when the mode never engaged
 	// (legacy engine, -compwakes=false, fault injection).
+	// Relaxed-sync breakdown (only when -slack engaged): epoch count,
+	// how the domains spent the windows (executed vs skipped domain
+	// cycles), and the barrier NoC replay's traffic.
+	if r := &eng.Relaxed; r.Epochs > 0 {
+		fmt.Printf("engine: relaxed slack=%d epochs=%d sm_domain_cycles=%d/%d skipped mem_domain_cycles=%d/%d skipped exchanged=%d held=%d\n",
+			r.SlackCycles, r.Epochs,
+			r.SMDomainCycles, r.SMDomainSkipped,
+			r.MemDomainCycles, r.MemDomainSkipped,
+			r.ExchangedMsgs, r.HeldMsgs)
+	}
 	c := &eng.Comp
 	if total := c.HierarchyTicks() + c.HierarchySleeps(); total > 0 {
 		fmt.Printf("engine: hierarchy dispatch (ticks/sleeps): noc %d/%d dram %d/%d l2 %d/%d l1 %d/%d, sleep fraction %.2f\n",

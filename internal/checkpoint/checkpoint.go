@@ -53,6 +53,16 @@ type Checkpoint struct {
 	// Digest is the machine-state digest at the coordinate; restore
 	// replays to Cycle and verifies it reproduced this exact state.
 	Digest uint64
+	// PauseCycles is every stop cycle this execution has paused at, in
+	// order. Under the bit-exact engines a
+	// pause is pure suspension and replay could ignore these; under
+	// relaxed sync (SlackCycles > 0) a mid-window pause clamps the
+	// current epoch, inserting an extra exchange that perturbs the
+	// trajectory from that point on, so the replay must pause at every
+	// cycle the original run paused at to pass through the same machine
+	// states. Recording them unconditionally keeps restore one code
+	// path for both.
+	PauseCycles []uint64
 }
 
 // ConfigHash canonically hashes a simulator configuration. The
@@ -66,6 +76,15 @@ type Checkpoint struct {
 // (TestEngineCheckpointInterop pins both engine directions). Every
 // other field of sim.Config is a plain value, so the rendering is
 // process-independent.
+//
+// SlackCycles is excluded as a scheduling knob too, with one caveat:
+// unlike the other excluded knobs, a nonzero slack changes the
+// machine's cycle-by-cycle trajectory (boundedly, functionally
+// equivalently — see sim/relaxed.go). A checkpoint records a state
+// digest, and restore replays from cycle 0 under the restoring
+// process's own config, so restoring a slack-N checkpoint under a
+// different slack fails with ErrDigestMismatch rather than silently
+// diverging. Restore under the same slack that took the checkpoint.
 func ConfigHash(cfg sim.Config) uint64 {
 	cfg.Observer = nil
 	cfg.SimWorkers = 0
@@ -73,6 +92,7 @@ func ConfigHash(cfg sim.Config) uint64 {
 	cfg.Engine = sim.EngineAuto
 	cfg.DisableComponentWakes = false
 	cfg.ProfileLabels = false
+	cfg.SlackCycles = 0
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", cfg)
 	return h.Sum64()
@@ -83,7 +103,7 @@ func ConfigHash(cfg sim.Config) uint64 {
 // binaries reject new files loudly instead of misreading them.
 const (
 	ckptMagic    = "GTSCCKPT"
-	codecVersion = 1
+	codecVersion = 2        // v2: appended PauseCycles (pause-schedule replay)
 	maxFrame     = 64 << 20 // sanity bound on a frame length field
 )
 
@@ -117,6 +137,10 @@ func (ck *Checkpoint) marshal() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ck.Phase)))
 	buf = append(buf, ck.Phase...)
 	buf = binary.LittleEndian.AppendUint64(buf, ck.Digest)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ck.PauseCycles)))
+	for _, p := range ck.PauseCycles {
+		buf = binary.LittleEndian.AppendUint64(buf, p)
+	}
 	return buf
 }
 
@@ -167,6 +191,20 @@ func (ck *Checkpoint) unmarshal(buf []byte) error {
 	}
 	if ck.Digest, ok = u64(); !ok {
 		return ErrCorrupt
+	}
+	if len(buf) < 4 {
+		return ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+	if uint64(len(buf)) < uint64(n)*8 {
+		return ErrCorrupt
+	}
+	if n > 0 {
+		ck.PauseCycles = make([]uint64, n)
+		for i := range ck.PauseCycles {
+			ck.PauseCycles[i], _ = u64()
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -17,6 +18,7 @@ func testCheckpoint() *Checkpoint {
 		Cycle:       123456789,
 		Phase:       "drain",
 		Digest:      0x0123456789ABCDEF,
+		PauseCycles: []uint64{1000, 65537, 123456789},
 	}
 }
 
@@ -30,7 +32,7 @@ func TestCheckpointCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
-	if *got != *ck {
+	if !reflect.DeepEqual(got, ck) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, ck)
 	}
 }
@@ -45,7 +47,7 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if *got != *ck {
+	if !reflect.DeepEqual(got, ck) {
 		t.Errorf("file round trip mismatch: got %+v want %+v", got, ck)
 	}
 	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {

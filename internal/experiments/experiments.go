@@ -70,6 +70,14 @@ type Config struct {
 	// keys are engine-independent — exposed so sweeps can pin a loop
 	// for benchmarking or bisection.
 	Engine sim.EngineMode
+	// Slack is each run's relaxed-synchronization bound in cycles
+	// (sim.Config.SlackCycles; 0 = bit-exact execution). Unlike
+	// SimWorkers and Engine this is NOT a pure scheduling knob:
+	// nonzero slack perturbs cycle counts boundedly (functional
+	// results are preserved — see sim/relaxed.go), so it is part of
+	// the cache key and of the journal's config signature, and
+	// slack-0 results are never served for a slack-N request.
+	Slack uint64
 
 	// FaultSeed, when non-zero, runs every simulation under the chaos
 	// fault-injection plan with that seed (see internal/fault). Runs
@@ -213,7 +221,7 @@ func (s *Session) context() context.Context {
 }
 
 func (s *Session) key(wl string, v variant) string {
-	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%t/%d", wl, v.proto, v.cons, v.lease, v.forwardAll, v.oldCopy, v.adaptive, s.Cfg.FaultSeed)
+	return fmt.Sprintf("%s/%d/%d/%d/%t/%t/%t/%d/%d", wl, v.proto, v.cons, v.lease, v.forwardAll, v.oldCopy, v.adaptive, s.Cfg.FaultSeed, s.Cfg.Slack)
 }
 
 // do returns the cached result for key, or runs exec exactly once to
@@ -387,6 +395,7 @@ func (s *Session) simConfig(v variant, attempt int) sim.Config {
 	cfg.WatchdogWindow = s.Cfg.WatchdogWindow
 	cfg.SimWorkers = s.Cfg.SimWorkers
 	cfg.Engine = s.Cfg.Engine
+	cfg.SlackCycles = s.Cfg.Slack
 	cfg.Mem.GTSC.Lease = s.Cfg.GTSCLease
 	cfg.Mem.GTSC.TSBits = s.Cfg.GTSCTSBits
 	cfg.Mem.TC.Lease = s.Cfg.TCLease

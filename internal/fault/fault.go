@@ -147,13 +147,17 @@ func (r *rng) uint64n(n uint64) uint64 { return r.next() % n }
 // intn returns a value in [0, n).
 func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
 
-// Injector owns the perturbation stream of one simulated machine. All
-// shims built from one Injector share its RNG, and all draws happen in
-// deterministic simulation order, so one seed fixes the whole
-// schedule.
+// Injector owns the perturbation stream of one simulated machine.
+// Shims whose draws happen in serial hierarchy phases (delay shims,
+// DRAM spikes, rollovers, L2->L1 rejects) share the injector's main
+// RNG; the L1->L2 injection-reject path draws from per-lane streams
+// instead (see LaneReject), so the draw order is fixed by each lane's
+// own program order and the schedule replays identically whether SMs
+// tick serially or on the staged parallel pool.
 type Injector struct {
-	cfg Config
-	rng *rng
+	cfg   Config
+	rng   *rng
+	lanes []*rng // per-lane streams handed out by LaneReject, in lane order
 
 	// nextRollover is the cycle at which the next forced §V-D reset
 	// fires (0 = schedule not armed). Re-armed per kernel by
@@ -182,6 +186,38 @@ func (in *Injector) WrapSender(s coherence.Sender) coherence.Sender {
 		}
 		return s.TrySend(msg)
 	})
+}
+
+// LaneReject returns the transient-rejection draw for one injection
+// lane (an L1's private path into the NoC). Each lane owns its own
+// xorshift64* stream, derived deterministically from the plan seed and
+// the lane index, so a lane's draw sequence depends only on how many
+// sends that lane has attempted — not on how SM ticks interleave with
+// other lanes. That makes the fault schedule identical between the
+// serial loop, the staged parallel tick, and any replay of either.
+// Returns nil when the plan never rejects, so hot paths can skip the
+// draw entirely.
+func (in *Injector) LaneReject(lane int) func() bool {
+	if in.cfg.RejectProb <= 0 {
+		return nil
+	}
+	for len(in.lanes) <= lane {
+		// SplitMix64-style mix of (seed, lane) so adjacent lanes get
+		// well-separated streams even for small seeds.
+		z := uint64(in.cfg.Seed) + 0x9E3779B97F4A7C15*uint64(len(in.lanes)+1)
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		if z == 0 {
+			z = 0x9E3779B97F4A7C15
+		}
+		in.lanes = append(in.lanes, &rng{s: z})
+	}
+	r := in.lanes[lane]
+	p := in.cfg.RejectProb
+	return func() bool { return r.chance(p) }
 }
 
 // ArmRollover (re)seeds the forced-rollover schedule for a kernel
@@ -225,7 +261,14 @@ func (in *Injector) drawRolloverGap() uint64 {
 	return uint64(gap)
 }
 
-// RNGState exposes the injector's current RNG position, for checkpoint
-// state digests: two machines with equal state must also agree on
-// every future perturbation draw.
-func (in *Injector) RNGState() uint64 { return in.rng.s }
+// RNGState exposes the injector's current RNG position — the main
+// stream folded with every per-lane stream — for checkpoint state
+// digests: two machines with equal state must also agree on every
+// future perturbation draw on every path.
+func (in *Injector) RNGState() uint64 {
+	s := in.rng.s
+	for i, l := range in.lanes {
+		s ^= l.s * (0x9E3779B97F4A7C15 ^ uint64(i+1))
+	}
+	return s
+}

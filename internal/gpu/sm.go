@@ -634,6 +634,11 @@ func (d *Dispatcher) next(s *SM) *CTA {
 // deferFills field.
 func (s *SM) SetDeferFills(v bool) { s.deferFills = v }
 
+// PendingFill reports whether a deferred CTA refill is waiting for
+// CommitFill. The relaxed engine checks it at epoch barriers: a refill
+// gives a sleeping SM domain new work, invalidating its stall probe.
+func (s *SM) PendingFill() bool { return s.pendingFill }
+
 // CommitFill performs any CTA refill deferred during a parallel
 // compute phase. The simulator calls it in SM index order, which
 // reproduces the serial loop's dispatcher draw order exactly: within

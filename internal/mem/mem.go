@@ -6,7 +6,10 @@
 // messages of Fig 1).
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Geometry of the simulated memory system. The paper's setup uses
 // 128-byte cache lines (GPGPU-Sim default); lanes access 4-byte words.
@@ -130,3 +133,18 @@ func (s *Store) WriteWord(a Addr, v uint32) {
 
 // Blocks returns the number of blocks ever written.
 func (s *Store) Blocks() int { return len(s.blocks) }
+
+// ForEachBlock visits every allocated block address in ascending
+// order. Equivalence tests use it to enumerate the touched address
+// space so they can compare two runs' architected memory (the
+// L2-overlaid view, not this store's raw image) word for word.
+func (s *Store) ForEachBlock(f func(BlockAddr)) {
+	keys := make([]BlockAddr, 0, len(s.blocks))
+	for b := range s.blocks {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, b := range keys {
+		f(b)
+	}
+}

@@ -164,6 +164,27 @@ type System struct {
 	// parallel tick (see parallel.go); index = SM id.
 	staged []*stagedSender
 
+	// Relaxed-sync state (see relaxed.go): the run observer and its
+	// per-component staging shims, per-domain outbound epoch buffers,
+	// and the per-port held queues for barrier injections that met a
+	// full port. l1Obs/l2Obs are nil when no observer is attached.
+	obs       coherence.Observer
+	l1Obs     []*obsShim
+	l2Obs     []*obsShim
+	relaxL1   []*epochBuf  // SM domain i -> toL2 port i
+	relaxL2   []*epochBuf  // mem domain b -> toL1 port b
+	heldL2    [][]*mem.Msg // backpressured barrier injections, toL2 port i
+	heldL1    [][]*mem.Msg // backpressured barrier injections, toL1 port b
+	relaxHeld int
+	relaxToL2 relaxDir // aggregate injection state, L1->L2 direction
+	relaxToL1 relaxDir // aggregate injection state, L2->L1 direction
+	// relaxPartNext caches each DRAM partition's next scheduled event
+	// so the exchange can skip quiescent mem domains per replay cycle;
+	// relaxPartStale marks entries invalidated by a tick, recomputed
+	// lazily on the next quiescent cycle. Reset each RelaxedBegin.
+	relaxPartNext  []uint64
+	relaxPartStale []bool
+
 	// Wakes is the scheduled-wake agenda for the event-driven engine
 	// (see wakes.go); slot layout is [net, partitions, L2s, L1s] in
 	// canonical tick order, with SM slots appended by the simulator.
@@ -210,11 +231,30 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 			cfg.TC.Lease = floor
 		}
 	}
-	s := &System{Cfg: cfg, Store: store}
+	s := &System{Cfg: cfg, Store: store, obs: obs}
 	if cfg.Fault.Enabled() {
 		s.inj = fault.NewInjector(cfg.Fault)
 	}
 	s.Net = noc.New(cfg.NoC, cfg.NumSMs, cfg.NumBanks)
+
+	if obs != nil {
+		s.l1Obs = make([]*obsShim, cfg.NumSMs)
+		s.l2Obs = make([]*obsShim, cfg.NumBanks)
+	}
+	s.relaxToL2.due = noc.Never
+	s.relaxToL1.due = noc.Never
+	s.relaxL1 = make([]*epochBuf, cfg.NumSMs)
+	for i := range s.relaxL1 {
+		s.relaxL1[i] = &epochBuf{} // live wired by each exchange
+	}
+	s.relaxL2 = make([]*epochBuf, cfg.NumBanks)
+	for i := range s.relaxL2 {
+		s.relaxL2[i] = &epochBuf{live: &s.relaxToL1}
+	}
+	s.heldL2 = make([][]*mem.Msg, cfg.NumSMs)
+	s.heldL1 = make([][]*mem.Msg, cfg.NumBanks)
+	s.relaxPartNext = make([]uint64, cfg.NumBanks)
+	s.relaxPartStale = make([]bool, cfg.NumBanks)
 
 	s.Parts = make([]*dram.Partition, cfg.NumBanks)
 	for i := range s.Parts {
@@ -224,7 +264,22 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 	s.L2s = make([]coherence.L2, cfg.NumBanks)
 	sendToL1 := coherence.Sender(coherence.SenderFunc(s.Net.SendToL1))
 	if s.inj != nil {
+		// The L2->L1 path only sends from serial hierarchy phases, so
+		// the shared-stream reject shim stays deterministic at any
+		// worker count.
 		sendToL1 = s.inj.WrapSender(sendToL1)
+	}
+	// Per-bank relaxed interposer so epoch buffers can capture each
+	// bank's sends; a transparent passthrough outside relaxed mode.
+	bankSend := func(i int) coherence.Sender {
+		return &relaxSender{real: sendToL1, relax: s.relaxL2[i]}
+	}
+	// Per-bank observer shim; nil passthrough without an observer.
+	bankObs := func(i int) coherence.Observer {
+		if obs == nil {
+			return nil
+		}
+		return shimObs(obs, &s.l2Obs[i])
 	}
 	switch cfg.Protocol {
 	case GTSC:
@@ -232,7 +287,7 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		for i := range s.L2s {
 			l2 := core.NewL2(cfg.GTSC, i,
 				core.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				sendToL1, s.dramSender(i), obs)
+				bankSend(i), s.dramSender(i), bankObs(i))
 			l2.AttachResets(s.Resets)
 			// The G-TSC controllers follow the consume-and-free
 			// message ownership discipline, so the bank's partition
@@ -244,7 +299,7 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		for i := range s.L2s {
 			s.L2s[i] = tc.NewL2(cfg.TC, i,
 				tc.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				sendToL1, s.dramSender(i), obs)
+				bankSend(i), s.dramSender(i), bankObs(i))
 		}
 	case DIR:
 		dcfg := cfg.DIR
@@ -252,13 +307,13 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 		for i := range s.L2s {
 			s.L2s[i] = dir.NewL2(dcfg, i,
 				dir.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				sendToL1, s.dramSender(i), obs)
+				bankSend(i), s.dramSender(i), bankObs(i))
 		}
 	case BL, L1NC:
 		for i := range s.L2s {
 			l2 := nocoh.NewL2Plain(i,
 				nocoh.L2Geometry{Sets: cfg.L2Sets, Ways: cfg.L2Ways, PerCycle: cfg.L2PerCycle},
-				sendToL1, s.dramSender(i), obs)
+				bankSend(i), s.dramSender(i), bankObs(i))
 			// Under BL load values bind at the L2 (there is no L1).
 			l2.SetObserveLoads(cfg.Protocol == BL)
 			s.L2s[i] = l2
@@ -269,34 +324,42 @@ func New(cfg Config, store *mem.Store, obs coherence.Observer) *System {
 
 	s.L1s = make([]coherence.L1, cfg.NumSMs)
 	sendToL2 := coherence.Sender(coherence.SenderFunc(s.Net.SendToL2))
-	if s.inj != nil {
-		sendToL2 = s.inj.WrapSender(sendToL2)
-	}
 	s.staged = make([]*stagedSender, cfg.NumSMs)
 	for i := range s.L1s {
-		s.staged[i] = &stagedSender{real: sendToL2}
+		// The L1->L2 path sends from the SM compute phase, which may
+		// run staged and parallel; its fault draw therefore comes from
+		// a per-lane stream inside the staged sender (reject-at-stage)
+		// rather than a shared-stream wrapper. See stagedSender.
+		s.staged[i] = &stagedSender{real: sendToL2, relax: s.relaxL1[i]}
+		if s.inj != nil {
+			s.staged[i].reject = s.inj.LaneReject(i)
+		}
 		send := coherence.Sender(s.staged[i])
+		var l1obs coherence.Observer
+		if obs != nil {
+			l1obs = shimObs(obs, &s.l1Obs[i])
+		}
 		switch cfg.Protocol {
 		case GTSC:
 			s.L1s[i] = core.NewL1(cfg.GTSC, i, cfg.NumBanks,
 				core.L1Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs, Warps: cfg.MaxWarps},
-				send, obs)
+				send, l1obs)
 		case TC:
 			s.L1s[i] = tc.NewL1(cfg.TC, i, cfg.NumBanks,
 				tc.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs},
-				send, obs)
+				send, l1obs)
 		case BL:
-			s.L1s[i] = nocoh.NewL1Bypass(i, cfg.NumBanks, send, obs)
+			s.L1s[i] = nocoh.NewL1Bypass(i, cfg.NumBanks, send, l1obs)
 		case L1NC:
 			s.L1s[i] = nocoh.NewL1Simple(i, cfg.NumBanks,
 				nocoh.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs},
-				send, obs)
+				send, l1obs)
 		case DIR:
 			dcfg := cfg.DIR
 			dcfg.MaxSharers = cfg.NumSMs
 			s.L1s[i] = dir.NewL1(dcfg, i, cfg.NumBanks,
 				dir.Geometry{Sets: cfg.L1Sets, Ways: cfg.L1Ways, MSHRs: cfg.L1MSHRs},
-				send, obs)
+				send, l1obs)
 		}
 	}
 
@@ -420,7 +483,7 @@ func (s *System) Pending() int {
 	for _, sh := range s.shims {
 		n += sh.Pending()
 	}
-	return n
+	return n + s.relaxPending()
 }
 
 // Err reports the first protocol error recorded anywhere in the

@@ -29,8 +29,19 @@ const Never = sched.Never
 // stagedSender interposes one L1's request path to the NoC. Disarmed
 // (the serial loop, and every non-SM phase of the parallel loop) it is
 // a transparent passthrough.
+//
+// Fault injection draws the transient-reject chance FIRST on every
+// attempt, from this lane's private RNG stream (fault.LaneReject), in
+// both the serial and the staged path — so the perturbation schedule
+// is a function of the lane's own send count and replays identically
+// at any worker count. The commit replay then uses the raw sender:
+// the reject was already decided at stage time, and a second draw at
+// commit would both double-consume the stream and break the exact
+// vacancy reservation.
 type stagedSender struct {
 	real    coherence.Sender
+	reject  func() bool // per-lane fault draw; nil when not perturbed
+	relax   *epochBuf   // relaxed-sync epoch buffer (see relaxed.go)
 	staging bool
 	space   int // remaining injection-queue vacancy this cycle
 	buf     []*mem.Msg
@@ -38,6 +49,13 @@ type stagedSender struct {
 
 // TrySend implements coherence.Sender.
 func (ss *stagedSender) TrySend(msg *mem.Msg) bool {
+	if ss.reject != nil && ss.reject() {
+		return false // transient fault: indistinguishable from a full port
+	}
+	if ss.relax.on {
+		ss.relax.add(msg)
+		return true
+	}
 	if !ss.staging {
 		return ss.real.TrySend(msg)
 	}
@@ -49,23 +67,37 @@ func (ss *stagedSender) TrySend(msg *mem.Msg) bool {
 	return true
 }
 
-// BeginSMStage arms every L1's staged sender for one parallel SM
-// compute phase, capturing each port's exact vacancy.
+// BeginSMStage arms every L1's staged sender (and, when an observer is
+// attached, its observation shim) for one parallel SM compute phase,
+// capturing each port's exact vacancy.
 func (s *System) BeginSMStage() {
 	for i, ss := range s.staged {
 		ss.staging = true
 		ss.space = s.Net.InjectSpaceToL2(i)
 		ss.buf = ss.buf[:0]
 	}
+	for _, sh := range s.l1Obs {
+		if sh != nil {
+			sh.staging = true
+		}
+	}
 }
 
 // CommitSMStage disarms the staged senders and replays the buffered
-// messages into the NoC in SM-index order. Every replayed send must
-// succeed: staging reserved exactly the vacancy the port had, and
-// nothing else can fill an SM's port between stage and commit.
+// messages into the NoC in SM-index order; staged observations flush
+// in the same order. Every replayed send must succeed: the fault draw
+// (if any) already happened at stage time, staging reserved exactly
+// the vacancy the port had, and nothing else can fill an SM's port
+// between stage and commit. The serial loop ticks SMs in index order
+// too, so both the NoC event sequence and the observer stream are
+// identical to serial at any worker count.
 func (s *System) CommitSMStage() {
-	for _, ss := range s.staged {
+	for i, ss := range s.staged {
 		ss.staging = false
+		if sh := s.l1ObsAt(i); sh != nil {
+			sh.staging = false
+			sh.flush()
+		}
 		for j, msg := range ss.buf {
 			if !ss.real.TrySend(msg) {
 				panic("memsys: staged send rejected at commit")
@@ -76,10 +108,14 @@ func (s *System) CommitSMStage() {
 	}
 }
 
-// ParallelSafe reports whether SMs may tick concurrently. Fault
-// injection shares one RNG across every wrapped sender, so perturbed
-// runs stay on the serial loop.
-func (s *System) ParallelSafe() bool { return s.inj == nil }
+// l1ObsAt returns SM i's observation shim, or nil when no observer is
+// attached.
+func (s *System) l1ObsAt(i int) *obsShim {
+	if s.l1Obs == nil {
+		return nil
+	}
+	return s.l1Obs[i]
+}
 
 // SkipSafe reports whether the cycle-skipping engine may fast-forward
 // the clock. Fault shims hold messages with wall-of-cycle release
@@ -138,5 +174,5 @@ func (s *System) Drained() bool {
 			return false
 		}
 	}
-	return true
+	return s.relaxPending() == 0
 }

@@ -59,8 +59,14 @@ type Network struct {
 	// DeliverL1 receives messages addressed to SM Dst.
 	DeliverL1 func(sm int, msg *mem.Msg)
 
-	inFlight int
+	inFlight    int
+	deliveredL2 uint64 // lifetime count of wire deliveries into L2 banks
 }
+
+// DeliveredL2 returns the lifetime count of messages delivered into L2
+// banks. The relaxed exchange compares successive values to learn,
+// in O(1), whether a tick handed any bank new work.
+func (n *Network) DeliveredL2() uint64 { return n.deliveredL2 }
 
 // New builds a crossbar with nSM SM-side ports and nBank bank-side ports.
 func New(cfg Config, nSM, nBank int) *Network {
@@ -161,10 +167,10 @@ func (n *Network) SendToL1(msg *mem.Msg) bool {
 //
 //   - Injection (SendToL2/SendToL1): handled here, on every push.
 //   - Port credit return (busyUntil expiry): busyUntil only ever moves
-//     inside drainPort, which runs inside Tick, and Tick ends with a
-//     full recompute (n.next = NextEvent) — already covered.
-//   - Wire arrivals: pushed only by drainPort, same recompute covers
-//     them.
+//     inside drainPort, which runs inside Tick, and Tick rebuilds the
+//     cache from its drain results — already covered.
+//   - Wire arrivals: pushed only by drainPort; Tick's post-drain wire
+//     top check covers them.
 //
 // The one remaining hazard is the clock itself: the clamp below reads
 // n.now, so if the network's clock lags the machine's (its tick was
@@ -202,25 +208,49 @@ func (n *Network) Tick(now uint64) {
 	if now < n.next {
 		return
 	}
+	// The cache is rebuilt incrementally during the drains below rather
+	// than by a trailing NextEvent rescan: each port's head-serialize
+	// cycle is known the moment its drain stops, and the wire's earliest
+	// arrival is its heap top once the due deliveries pop. Delivery
+	// callbacks can inject new messages mid-tick; resetting the cache to
+	// Never first lets noteWork fold those in, and the final min keeps
+	// the result identical to the full rescan.
+	n.next = Never
+	next := uint64(Never)
 	for _, p := range n.toL2 {
-		n.drainPort(p, true, now)
+		if c := n.drainPort(p, true, now); c < next {
+			next = c
+		}
 	}
 	for _, p := range n.toL1 {
-		n.drainPort(p, false, now)
+		if c := n.drainPort(p, false, now); c < next {
+			next = c
+		}
 	}
 	for len(n.wire) > 0 && n.wire[0].at <= now {
 		a := n.wire.pop()
 		n.inFlight--
 		if a.toL2 {
+			n.deliveredL2++
 			n.DeliverL2(a.msg.Dst, a.msg)
 		} else {
 			n.DeliverL1(a.msg.Dst, a.msg)
 		}
 	}
-	n.next = n.NextEvent(now)
+	if len(n.wire) > 0 {
+		if c := max(n.wire[0].at, now+1); c < next {
+			next = c
+		}
+	}
+	if next < n.next {
+		n.next = next
+	}
 }
 
-func (n *Network) drainPort(p *port, toL2 bool, now uint64) {
+// drainPort serializes the port's due heads onto the wire and returns
+// the cycle its remaining head can next serialize (Never if it drained
+// empty), feeding Tick's incremental next-event rebuild.
+func (n *Network) drainPort(p *port, toL2 bool, now uint64) uint64 {
 	for p.len() > 0 && p.busyUntil <= now {
 		head := p.pop()
 		msg := head.msg
@@ -244,6 +274,10 @@ func (n *Network) drainPort(p *port, toL2 bool, now uint64) {
 		}
 		n.wire.push(arrival{at: now + flits + lat, seq: n.seq(), msg: msg, toL2: toL2})
 	}
+	if p.len() == 0 {
+		return Never
+	}
+	return max(p.busyUntil, now+1)
 }
 
 // seq is a per-network monotone counter used as the FIFO tiebreak for
@@ -387,6 +421,38 @@ func (n *Network) NextWork(now uint64) uint64 {
 		return now + 1
 	}
 	return n.next
+}
+
+// NextL1Arrival returns a sound lower bound on the earliest cycle at
+// which any in-flight L1-bound message can be delivered: the minimum
+// over wire arrivals already bound for L1s and the earliest possible
+// arrival of each toL1 port's head (serialize no earlier than the
+// port frees, then flits plus base route latency — the mesh's
+// bisection stall only ever adds delay, so omitting it keeps the
+// bound sound). Never when nothing L1-bound is in flight. The relaxed
+// engine uses this to pull epoch barriers in to response arrivals so
+// a stalled SM observes its data without waiting out the full slack.
+func (n *Network) NextL1Arrival(now uint64) uint64 {
+	next := uint64(Never)
+	for _, a := range n.wire {
+		if !a.toL2 && a.at < next {
+			next = a.at
+		}
+	}
+	for _, p := range n.toL1 {
+		if p.len() == 0 {
+			continue
+		}
+		msg := p.q[p.head].msg
+		lat := n.cfg.Latency
+		if n.cfg.Topology == Mesh {
+			lat = n.meshLatency(msg, false)
+		}
+		if at := max(p.busyUntil, now+1) + uint64(msg.Flits()) + lat; at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 // InjectSpaceToL2 returns how many more messages SM sm's injection

@@ -35,6 +35,17 @@ type EngineStats struct {
 	// phase ran on the worker pool.
 	ParallelCycles uint64
 
+	// SMTickCycles counts executed run-phase cycles on which at least
+	// one SM was actually ticked (the event engine skips cycles whose
+	// SMs all sleep) — the denominator of ParallelTickEfficiency: only
+	// cycles with SM work could have used the pool.
+	SMTickCycles uint64
+
+	// Relaxed counts what the bounded-slack engine did; all zero unless
+	// a phase ran relaxed (Config.SlackCycles > 0 and preconditions
+	// held).
+	Relaxed RelaxedStats
+
 	// EventCycles counts executed cycles dispatched by the
 	// scheduled-wake event engine (a subset of RunCycles+DrainCycles;
 	// zero means every phase ran on the legacy loop).
@@ -61,16 +72,48 @@ type EngineStats struct {
 	Comp memsys.DispatchStats
 }
 
+// RelaxedStats counts the relaxed-synchronization engine's work (see
+// Config.SlackCycles and sim/relaxed.go).
+type RelaxedStats struct {
+	// SlackCycles is the slack bound of the most recent relaxed phase.
+	SlackCycles uint64
+	// Epochs counts epoch barriers executed (grid barriers and forced
+	// pause barriers alike).
+	Epochs uint64
+	// SMDomainCycles / SMDomainSkipped count SM-domain cycles executed
+	// vs bulk-applied by intra-epoch quiescence skipping, summed over
+	// all SM domains. MemDomainCycles / MemDomainSkipped are the same
+	// for the L2-bank+DRAM domains.
+	SMDomainCycles   uint64
+	SMDomainSkipped  uint64
+	MemDomainCycles  uint64
+	MemDomainSkipped uint64
+	// ExchangedMsgs counts NoC injections replayed at epoch barriers;
+	// HeldMsgs counts the subset that met a full port on their tagged
+	// cycle and were deferred (the one relaxed-mode timing perturbation
+	// beyond barrier-crossing delivery).
+	ExchangedMsgs uint64
+	HeldMsgs      uint64
+	// DomainEpochs[i] counts epochs in which domain i executed at least
+	// one real cycle (domains 0..numSMs-1 are SM domains; the final
+	// entry is the serialized mem-domain chain).
+	DomainEpochs []uint64
+}
+
 // Dispatches is the total number of event dispatches the event engine
 // performed: one hierarchy dispatch per executed event cycle plus one
 // per SM tick.
 func (e *EngineStats) Dispatches() uint64 { return e.EventCycles + e.SMTicks }
 
-// Mode names the engine that actually dispatched cycles — "event" if
-// any phase ran on the scheduled-wake agenda, "legacy" otherwise. This
-// is what the CLIs' `engine:` line reports: the EFFECTIVE engine after
+// Mode names the engine that actually dispatched cycles — "relaxed"
+// if any phase ran bounded-slack epochs, "event" if any phase ran on
+// the scheduled-wake agenda, "legacy" otherwise. This is what the
+// CLIs' `engine:` line reports: the EFFECTIVE engine after
 // auto-selection and fallbacks, not the requested one.
 func (e *EngineStats) Mode() string {
+	if e.Relaxed.Epochs > 0 {
+		return "relaxed"
+	}
 	if e.EventCycles > 0 {
 		return "event"
 	}
@@ -91,15 +134,17 @@ func (e *EngineStats) MeanSkipWidth() float64 {
 // component was provably quiescent.
 func (e *EngineStats) SkippedCycles() uint64 { return e.RunSkipped + e.DrainSkipped }
 
-// ParallelTickEfficiency is the fraction of executed run-phase cycles
-// that ticked SMs on the worker pool (0 on the serial loop). Low
-// values with SimWorkers > 1 mean the run kept falling back to the
-// serial path (observer attached, fault injection enabled).
+// ParallelTickEfficiency is the compute-phase pool utilization: of the
+// executed run-phase cycles that had SM work to do (SMTickCycles),
+// the fraction whose SM compute phase actually ran on the worker pool.
+// 0 on the serial loop (effective workers == 1); 1.0 when every
+// SM-work cycle used the pool. Cycles whose SMs all slept are excluded
+// from the denominator — they have no compute phase to parallelize.
 func (e *EngineStats) ParallelTickEfficiency() float64 {
-	if e.RunCycles == 0 {
+	if e.SMTickCycles == 0 {
 		return 0
 	}
-	return float64(e.ParallelCycles) / float64(e.RunCycles)
+	return float64(e.ParallelCycles) / float64(e.SMTickCycles)
 }
 
 // Engine returns the engine's scheduling counters, accumulated across

@@ -129,7 +129,7 @@ func (s *Simulator) runPhaseEvent(ctx context.Context, stopAt uint64) (bool, err
 	st := s.cur
 	ev := s.ensureEventState()
 	workers := s.effectiveWorkers()
-	par := workers > 1 && s.Cfg.Observer == nil && s.Sys.ParallelSafe()
+	par := workers > 1
 	var pool *tickPool
 	if par {
 		pool = newTickPool(s.SMs, workers)
@@ -289,6 +289,7 @@ func (s *Simulator) tickSMsEvent(pool *tickPool, par bool) {
 	}
 	ev.due = due
 	if len(due) > 0 {
+		s.eng.SMTickCycles++
 		if par {
 			s.Sys.BeginSMStage()
 			pool.tick(now, due)

@@ -161,6 +161,18 @@ func goldenConfig(label string) (sim.Config, bool) {
 	default:
 		panic(fmt.Sprintf("GTSC_COMPONENT_WAKES: want on/1/off/0, got %q", v))
 	}
+	// GTSC_SLACK pins SlackCycles, so CI can assert that slack 0 stays
+	// bit-identical on every matrix leg. The golden hashes are only
+	// valid at slack 0: nonzero slack deviates in timing by design
+	// (functional equivalence is TestRelaxedSlackFunctionalEquivalence's
+	// job, not this suite's).
+	if v := os.Getenv("GTSC_SLACK"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("GTSC_SLACK: %v", err))
+		}
+		cfg.SlackCycles = n
+	}
 	switch label {
 	case "gtsc-rc":
 		cfg.Mem.Protocol, cfg.SM.Consistency = memsys.GTSC, gpu.RC

@@ -25,6 +25,12 @@ type tickPool struct {
 	sms     []*gpu.SM
 	workers int // pool goroutines, excluding the master
 
+	// fn is the per-item work function. The default ticks one SM at the
+	// published cycle; the relaxed engine substitutes a function that
+	// runs one whole domain through an epoch window (see relaxed.go).
+	// Written only between cycles (before the epoch bump), like due.
+	fn func(i int, now uint64)
+
 	// due lists the SM indices to tick this cycle. The master writes it
 	// before the epoch bump; workers read it only after observing the
 	// new epoch, so the atomic store/load pair gives the happens-before
@@ -47,7 +53,24 @@ type tickPool struct {
 // participant). workers must be >= 2; the serial loop needs no pool.
 func newTickPool(sms []*gpu.SM, workers int) *tickPool {
 	p := &tickPool{sms: sms, workers: workers - 1}
+	p.fn = func(i int, now uint64) { p.sms[i].Tick(now) }
 	p.all = make([]int, len(sms))
+	for i := range p.all {
+		p.all[i] = i
+	}
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// newWorkPool builds a pool over n abstract work items with a custom
+// work function — the relaxed engine's domain pool. Same barrier
+// discipline as the SM tick pool.
+func newWorkPool(n, workers int, fn func(i int, now uint64)) *tickPool {
+	p := &tickPool{workers: workers - 1, fn: fn}
+	p.all = make([]int, n)
 	for i := range p.all {
 		p.all[i] = i
 	}
@@ -77,7 +100,7 @@ func (p *tickPool) tick(now uint64, due []int) {
 	}
 }
 
-// work claims and ticks due SMs until the cursor runs out.
+// work claims and runs due items until the cursor runs out.
 func (p *tickPool) work(now uint64) {
 	due := p.due
 	n := int64(len(due))
@@ -86,7 +109,7 @@ func (p *tickPool) work(now uint64) {
 		if i >= n {
 			return
 		}
-		p.sms[due[i]].Tick(now)
+		p.fn(due[i], now)
 	}
 }
 

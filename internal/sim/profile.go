@@ -19,6 +19,14 @@ const (
 	phaseLabelHierarchy = "hierarchy-tick"
 	phaseLabelSM        = "sm-tick"
 	phaseLabelAgenda    = "agenda"
+
+	// Relaxed-sync engine phases: a domain free-running through its
+	// epoch window (set on whichever goroutine runs the domain, so
+	// multi-core time attributes correctly), the barrier's NoC replay,
+	// and the rest of the barrier (commits, observer merge, checks).
+	phaseLabelDomainRun = "domain-run"
+	phaseLabelExchange  = "noc-exchange"
+	phaseLabelBarrier   = "epoch-barrier"
 )
 
 // phaseLabels carries pre-built label contexts for the engine's hot
@@ -30,6 +38,9 @@ type phaseLabels struct {
 	hierarchy context.Context
 	smTick    context.Context
 	agenda    context.Context
+	domainRun context.Context
+	exchange  context.Context
+	barrier   context.Context
 }
 
 func (s *Simulator) newPhaseLabels() phaseLabels {
@@ -41,6 +52,9 @@ func (s *Simulator) newPhaseLabels() phaseLabels {
 	pl.hierarchy = pprof.WithLabels(base, pprof.Labels("engine_phase", phaseLabelHierarchy))
 	pl.smTick = pprof.WithLabels(base, pprof.Labels("engine_phase", phaseLabelSM))
 	pl.agenda = pprof.WithLabels(base, pprof.Labels("engine_phase", phaseLabelAgenda))
+	pl.domainRun = pprof.WithLabels(base, pprof.Labels("engine_phase", phaseLabelDomainRun))
+	pl.exchange = pprof.WithLabels(base, pprof.Labels("engine_phase", phaseLabelExchange))
+	pl.barrier = pprof.WithLabels(base, pprof.Labels("engine_phase", phaseLabelBarrier))
 	return pl
 }
 

@@ -56,15 +56,34 @@ type Config struct {
 	// SimWorkers ticks SMs concurrently on a persistent worker pool
 	// during the run phase (1 or 0 = the serial loop). This is a pure
 	// SCHEDULING knob: the two-phase tick stages every SM's outbound
-	// message and commits them in canonical SM order, so results —
-	// every stat, every golden fingerprint, every checkpoint digest —
-	// are bit-identical at any worker count. Observer-attached and
-	// fault-injected runs fall back to the serial loop (their hooks
-	// are not thread-safe), and the engine clamps the request to
-	// GOMAXPROCS (GOMAXPROCS==1 always runs serial — the barrier pool
-	// loses money without real CPUs); EngineStats.Workers reports the
-	// effective value. See DESIGN.md §7.
+	// message, its observations, and its fault draws, and commits them
+	// in canonical SM order, so results — every stat, every golden
+	// fingerprint, every checkpoint digest, every observer stream —
+	// are bit-identical at any worker count, including under observers
+	// and fault injection. The engine clamps the request to GOMAXPROCS
+	// (GOMAXPROCS==1 always runs serial — the barrier pool loses money
+	// without real CPUs) and to the SM count; EngineStats.Workers
+	// reports the effective value. See DESIGN.md §7.
 	SimWorkers int
+
+	// SlackCycles enables relaxed-synchronization (bounded-slack)
+	// execution: the machine is partitioned into domains (each SM with
+	// its L1; each L2 bank with its DRAM partition) that free-run up
+	// to SlackCycles cycles between epoch barriers, where cross-domain
+	// NoC traffic is exchanged in canonical order. 0 (the default)
+	// keeps the bit-exact engines. N > 0 is an opt-in fast mode: final
+	// memory state, workload verification, and coherence invariants
+	// are preserved exactly, but cycle counts and timing-derived stats
+	// deviate boundedly (deliveries cross at barriers, so a message
+	// can land up to N cycles later than bit-exact execution; see
+	// DESIGN.md §7). Relaxed mode disengages automatically — falling
+	// back to the bit-exact engines — under fault injection, a legacy
+	// engine request, or DisableCycleSkip, all of which demand exact
+	// per-cycle interleaving. EngineStats.Relaxed reports what the
+	// mode did; checkpoint ConfigHash excludes the knob (checkpoints
+	// pause at epoch barriers, and a digest only matches a replay run
+	// at the same slack).
+	SlackCycles uint64
 
 	// DisableCycleSkip turns off quiescence fast-forwarding, which
 	// advances the clock over provably idle cycles (all SMs stalled,
@@ -203,6 +222,7 @@ type Simulator struct {
 	eng    EngineStats      // engine scheduling counters (see engine.go)
 	probes []gpu.StallProbe // per-SM quiescence scratch (skip hot path)
 	ev     *eventState      // scheduled-wake engine state (see event.go)
+	rx     *relaxedState    // relaxed-sync engine state (see relaxed.go)
 
 	// cfgErr holds a configuration validation failure detected at New
 	// time. New keeps its no-error signature (a Simulator is still
@@ -378,8 +398,9 @@ func (s *Simulator) advance(ctx context.Context, stopAt uint64) (*stats.Run, boo
 // this over every golden row):
 //
 //   - a two-phase parallel SM tick (compute concurrently into staged
-//     buffers, commit in canonical SM order), used when SimWorkers > 1
-//     and no per-run hook (observer, fault injector) forces serial;
+//     buffers, commit in canonical SM order), used whenever
+//     SimWorkers > 1 — observer streams and fault draws are staged and
+//     replayed in the same canonical order (see memsys);
 //   - quiescence cycle-skipping (trySkipRun), which fast-forwards the
 //     clock over cycles that are provably pure stalls.
 //
@@ -387,6 +408,9 @@ func (s *Simulator) advance(ctx context.Context, stopAt uint64) (*stats.Run, boo
 // contract (see advance); a skipped window preserves every check's
 // firing cycle by landing on each sampling boundary.
 func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
+	if s.useRelaxed() {
+		return s.runPhaseRelaxed(ctx, stopAt)
+	}
 	if s.useEventEngine() {
 		return s.runPhaseEvent(ctx, stopAt)
 	}
@@ -396,7 +420,7 @@ func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 	s.Sys.SetComponentWakes(false)
 	st := s.cur
 	workers := s.effectiveWorkers()
-	par := workers > 1 && s.Cfg.Observer == nil && s.Sys.ParallelSafe()
+	par := workers > 1
 	var pool *tickPool
 	if par {
 		pool = newTickPool(s.SMs, workers)
@@ -444,11 +468,12 @@ func (s *Simulator) runPhase(ctx context.Context, stopAt uint64) (bool, error) {
 					sm.Tick(s.now)
 				}
 			}
-			// Forced mid-run §V-D rollovers (fault plans only; a plan
-			// with any knob set keeps the run on this serial loop, so
-			// this is the single firing point).
+			// Forced mid-run §V-D rollovers (fault plans only; fault
+			// plans force the legacy loop, so this is the single firing
+			// point — on the master goroutine, after the commit phase).
 			s.Sys.TickRollover(s.now)
 			s.eng.RunCycles++
+			s.eng.SMTickCycles++ // the legacy loop ticks SMs every executed cycle
 		}
 		if err := s.Sys.Err(); err != nil {
 			return false, s.attachDump(err)

@@ -60,9 +60,9 @@ func TestEngineReportsEffectiveWorkers(t *testing.T) {
 	if got > runtime.GOMAXPROCS(0) {
 		t.Errorf("EngineStats.Workers = %d exceeds GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
 	}
-	// Serial fallbacks (observer, non-parallel-safe system) report 1;
-	// otherwise the effective clamp value must surface verbatim.
-	if got != want && got != 1 {
-		t.Errorf("EngineStats.Workers = %d, want effective %d (or serial fallback 1)", got, want)
+	// The effective clamp value must surface verbatim (observers and
+	// fault shims no longer force a serial fallback).
+	if got != want {
+		t.Errorf("EngineStats.Workers = %d, want effective %d", got, want)
 	}
 }

@@ -196,7 +196,7 @@ func TestWorkerDeathMidRunResumesBitIdentical(t *testing.T) {
 	w := &Worker{Name: "successor", Client: successor, SliceCycles: 1500}
 	w.runItem(context.Background(), lr2)
 
-	sw := waitFinished(t, successor, sub.SweepID, 10*time.Second)
+	sw := waitFinished(t, successor, sub.SweepID, 30*time.Second)
 	assertMatchesRef(t, sw, ref)
 	res := sw.Results[0]
 	if res.Worker != "successor" {
